@@ -1,0 +1,177 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, plus the ablations listed in DESIGN.md.
+
+   Usage:
+     bench/main.exe                      run everything
+     bench/main.exe fig7 table3 ...      run selected experiments
+     bench/main.exe --quick ...          use the shrunk machine
+     bench/main.exe microbench           bechamel microbenchmarks of the
+                                         simulator primitives
+
+   Experiment ids: table1 table2 fig1 fig7 fig8 table3 fig9 fig10a fig10b
+   fig10c ablation-batch ablation-hwbits ablation-conservative
+   ablation-rescue ablation-drop ablation-tlb ext-freemem ext-reactive
+   ext-two-hogs
+   microbench *)
+
+open Memhog_core
+
+let t0 = Unix.gettimeofday ()
+
+let log msg = Printf.eprintf "  [%7.1fs] %s\n%!" (Unix.gettimeofday () -. t0) msg
+
+let print_section s =
+  Printf.printf "\n%s\n%s\n%s\n%!" (String.make 72 '=') s (String.make 72 '=')
+
+(* The matrix (all workloads x O/P/R/B next to the 5 s interactive task) is
+   shared by fig7, fig8, table3, fig9, fig10b and fig10c. *)
+let matrix_cache : Figures.matrix option ref = ref None
+
+let get_matrix ~machine () =
+  match !matrix_cache with
+  | Some m -> m
+  | None ->
+      log "building experiment matrix (6 workloads x O/P/R/B + interactive)";
+      let m = Figures.run_matrix ~machine ~log () in
+      matrix_cache := Some m;
+      m
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the substrate                            *)
+(* ------------------------------------------------------------------ *)
+
+let microbench () =
+  let open Bechamel in
+  let open Toolkit in
+  let sim_spin n =
+    Staged.stage (fun () ->
+        let e = Memhog_sim.Engine.create () in
+        ignore
+          (Memhog_sim.Engine.spawn e ~name:"spin" (fun () ->
+               for _ = 1 to n do
+                 Memhog_sim.Engine.delay ~cat:Memhog_sim.Account.User 10
+               done));
+        Memhog_sim.Engine.run e)
+  in
+  let vm_touch n =
+    Staged.stage (fun () ->
+        let config =
+          { Memhog_vm.Config.default with Memhog_vm.Config.total_frames = 256 }
+        in
+        let e = Memhog_sim.Engine.create () in
+        let os = Memhog_vm.Os.create ~config ~engine:e () in
+        ignore
+          (Memhog_sim.Engine.spawn e ~name:"toucher" (fun () ->
+               let asp = Memhog_vm.Os.new_process os ~name:"t" in
+               let seg =
+                 Memhog_vm.Os.map_segment os asp ~name:"d"
+                   ~bytes:(128 * 16384) ~on_swap:true
+               in
+               for i = 0 to n - 1 do
+                 ignore
+                   (Memhog_vm.Os.touch os asp
+                      ~vpn:(seg.Memhog_vm.Address_space.base_vpn + (i mod 128))
+                      ~write:false)
+               done;
+               Memhog_sim.Engine.stop ()));
+        Memhog_sim.Engine.run e)
+  in
+  let heap_churn n =
+    Staged.stage (fun () ->
+        let h = Memhog_sim.Heap.create () in
+        for i = 0 to n - 1 do
+          Memhog_sim.Heap.add h ~key:(i * 7919 mod 1000) ~seq:i i
+        done;
+        let rec drain () =
+          match Memhog_sim.Heap.pop_min h with
+          | Some _ -> drain ()
+          | None -> ()
+        in
+        drain ())
+  in
+  let test =
+    Test.make_grouped ~name:"memhog"
+      [
+        Test.make ~name:"engine: 10k events" (sim_spin 10_000);
+        Test.make ~name:"vm: 10k warm touches" (vm_touch 10_000);
+        Test.make ~name:"heap: 10k push/pop" (heap_churn 10_000);
+      ]
+  in
+  let benchmark () =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) () in
+    Benchmark.all cfg instances test
+  in
+  let results = benchmark () in
+  let results_analyzed =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      (Instance.monotonic_clock :> Measure.witness)
+      results
+  in
+  print_section "Microbenchmarks (bechamel, monotonic clock, ns/run)";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-28s %12.1f ns\n" name est
+      | _ -> Printf.printf "%-28s (no estimate)\n" name)
+    results_analyzed
+
+(* ------------------------------------------------------------------ *)
+(* Experiment registry                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let experiments ~machine =
+  [
+    ("table1", fun () -> Figures.table1 ~machine ());
+    ("table2", fun () -> Figures.table2 ~machine ());
+    ("fig1", fun () -> Figures.fig1 ~machine ~log ());
+    ("fig7", fun () -> Figures.fig7 (get_matrix ~machine ()));
+    ("fig8", fun () -> Figures.fig8 (get_matrix ~machine ()));
+    ("table3", fun () -> Figures.table3 (get_matrix ~machine ()));
+    ("fig9", fun () -> Figures.fig9 (get_matrix ~machine ()));
+    ("fig10a", fun () -> Figures.fig10a ~machine ~log ());
+    ("fig10b", fun () -> Figures.fig10b (get_matrix ~machine ()));
+    ("fig10c", fun () -> Figures.fig10c (get_matrix ~machine ()));
+    ("ablation-batch", fun () -> Figures.ablation_batch ~machine ~log ());
+    ("ablation-hwbits", fun () -> Figures.ablation_hwbits ~machine ~log ());
+    ( "ablation-conservative",
+      fun () -> Figures.ablation_conservative ~machine ~log () );
+    ("ablation-rescue", fun () -> Figures.ablation_rescue ~machine ~log ());
+    ("ablation-drop", fun () -> Figures.ablation_drop ~machine ~log ());
+    ("ablation-tlb", fun () -> Figures.ablation_tlb ~machine ~log ());
+    ("ext-freemem", fun () -> Figures.ext_freemem ~machine ~log ());
+    ("ext-reactive", fun () -> Figures.ext_reactive ~machine ~log ());
+    ("ext-two-hogs", fun () -> Figures.ext_two_hogs ~machine ~log ());
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let machine = if quick then Machine.quick else Machine.paper in
+  let selected = List.filter (fun a -> a <> "--quick") args in
+  let run_micro = List.mem "microbench" selected in
+  let selected = List.filter (fun a -> a <> "microbench") selected in
+  let registry = experiments ~machine in
+  let to_run =
+    match selected with
+    | [] -> registry
+    | names ->
+        List.map
+          (fun n ->
+            match List.assoc_opt n registry with
+            | Some f -> (n, f)
+            | None ->
+                Printf.eprintf "unknown experiment %s; known: %s microbench\n" n
+                  (String.concat " " (List.map fst registry));
+                exit 2)
+          names
+  in
+  List.iter
+    (fun (name, f) ->
+      log (Printf.sprintf "=== %s ===" name);
+      print_section name;
+      print_string (f ());
+      print_newline ())
+    to_run;
+  if run_micro || selected = [] then microbench ();
+  log "done"

@@ -1,0 +1,322 @@
+(* memhog — command-line front end to the reproduction.
+
+   Subcommands:
+     list       the benchmark suite (Table 2)
+     machine    the simulated machine (Table 1)
+     compile    run the compiler on a benchmark and dump analysis + code
+     run        run one experiment and print every collected metric
+     sweep      interactive response vs sleep time for any benchmark
+*)
+
+open Cmdliner
+open Memhog_core
+module VS = Memhog_vm.Vm_stats
+module Time_ns = Memhog_sim.Time_ns
+module Workload = Memhog_workloads.Workload
+
+let machine_term =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Use the 1/8-scale machine instead of the Table 1 testbed.")
+  in
+  Term.(const (fun q -> if q then Machine.quick else Machine.paper) $ quick)
+
+let workload_conv =
+  let parse s =
+    match Workload.find s with
+    | w -> Ok w
+    | exception Not_found ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown workload %s (try: %s)" s
+                (String.concat ", " Workload.names)))
+  in
+  Arg.conv (parse, fun fmt w -> Format.pp_print_string fmt w.Workload.w_name)
+
+let workload_term =
+  Arg.(
+    value
+    & pos 0 workload_conv (Workload.find "MATVEC")
+    & info [] ~docv:"WORKLOAD" ~doc:"Benchmark name (EMBAR, MATVEC, BUK, CGM, MGRID, FFTPDE).")
+
+let variant_conv =
+  let parse = function
+    | "O" | "o" -> Ok Experiment.O
+    | "P" | "p" -> Ok Experiment.P
+    | "R" | "r" -> Ok Experiment.R
+    | "B" | "b" -> Ok Experiment.B
+    | s -> Error (`Msg (Printf.sprintf "unknown variant %s (O, P, R or B)" s))
+  in
+  Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt (Experiment.variant_name v))
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run machine =
+    print_string (Figures.table2 ~machine ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the benchmark suite (Table 2).")
+    Term.(const run $ machine_term)
+
+(* ------------------------------------------------------------------ *)
+(* machine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let machine_cmd =
+  let run machine =
+    print_string (Figures.table1 ~machine ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "machine" ~doc:"Describe the simulated machine (Table 1).")
+    Term.(const run $ machine_term)
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let variant =
+    Arg.(
+      value
+      & opt variant_conv Experiment.R
+      & info [ "variant"; "v" ] ~docv:"V" ~doc:"Variant to generate (O, P, R).")
+  in
+  let analysis_only =
+    Arg.(value & flag & info [ "analysis" ] ~doc:"Print only the analysis.")
+  in
+  let run machine workload variant analysis_only =
+    let prog, _ =
+      workload.Workload.w_make
+        ~mem_bytes:(Machine.mem_bytes machine)
+        ~page_bytes:machine.Machine.m_config.Memhog_vm.Config.page_bytes
+    in
+    let target = Machine.compiler_target machine in
+    Format.printf "=== source ===@.%a@.@." Memhog_compiler.Ir.pp_program prog;
+    let ann = Memhog_compiler.Compile.analyze ~target prog in
+    Format.printf "=== analysis ===@.%a@.@." Memhog_compiler.Analysis.pp ann;
+    if not analysis_only then begin
+      let pir_variant =
+        match variant with
+        | Experiment.O -> Memhog_compiler.Pir.V_original
+        | Experiment.P -> Memhog_compiler.Pir.V_prefetch
+        | Experiment.R | Experiment.B -> Memhog_compiler.Pir.V_release
+      in
+      let compiled =
+        Memhog_compiler.Compile.compile ~target ~variant:pir_variant prog
+      in
+      Format.printf "=== generated code ===@.%a@." Memhog_compiler.Pir.pp compiled
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Run the compiler pass on a benchmark and dump its output.")
+    Term.(const run $ machine_term $ workload_term $ variant $ analysis_only)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let variant =
+    Arg.(
+      value
+      & opt variant_conv Experiment.R
+      & info [ "variant"; "v" ] ~docv:"V" ~doc:"Variant to run (O, P, R, B).")
+  in
+  let interactive =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "interactive" ] ~docv:"SLEEP_S"
+          ~doc:"Co-run the section-1.1 interactive task with this sleep time.")
+  in
+  let iterations =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "iterations"; "n" ] ~docv:"N" ~doc:"Main-computation passes.")
+  in
+  let conservative =
+    Arg.(
+      value & flag
+      & info [ "conservative" ]
+          ~doc:"Use the idealized section-2.3.2 insertion rule.")
+  in
+  let telemetry =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ]
+          ~doc:"Print sampled time series (free memory, resident sets) as sparklines.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the sampled time series to a CSV file.")
+  in
+  let run machine workload variant interactive iterations conservative telemetry
+      csv =
+    let interactive_sleep = Option.map Time_ns.of_sec_f interactive in
+    let min_sim_time =
+      match interactive_sleep with
+      | Some s -> max (Time_ns.sec 45) ((8 * s) + Time_ns.sec 20)
+      | None -> 0
+    in
+    let r =
+      Experiment.run
+        (Experiment.setup ~machine ?interactive_sleep ?iterations ~min_sim_time
+           ~conservative ~workload ~variant ())
+    in
+    let b = r.Experiment.r_breakdown in
+    Format.printf "workload:   %s  variant: %s@." r.Experiment.r_workload
+      (Experiment.variant_name r.Experiment.r_variant);
+    Format.printf "elapsed:    %s over %d passes (%s per pass)@."
+      (Time_ns.to_string r.Experiment.r_elapsed)
+      r.Experiment.r_iterations
+      (Time_ns.to_string (r.Experiment.r_elapsed / r.Experiment.r_iterations));
+    Format.printf "breakdown:  user %s | system %s | io %s | resource %s@."
+      (Time_ns.to_string b.Experiment.b_user)
+      (Time_ns.to_string b.Experiment.b_system)
+      (Time_ns.to_string b.Experiment.b_io_stall)
+      (Time_ns.to_string b.Experiment.b_resource_stall);
+    let s = r.Experiment.r_app_stats in
+    Format.printf "faults:     hard %d | soft %d (daemon %d) | validations %d@."
+      s.VS.hard_faults s.VS.soft_faults s.VS.soft_faults_daemon
+      s.VS.validation_faults;
+    Format.printf "freed:      by daemon %d | by release %d | rescued %d+%d@."
+      s.VS.freed_by_daemon s.VS.freed_by_releaser s.VS.rescued_daemon
+      s.VS.rescued_releaser;
+    Format.printf "daemon:     activations %d | pages stolen %d | invalidations %d@."
+      r.Experiment.r_global.VS.daemon_activations
+      r.Experiment.r_global.VS.daemon_pages_stolen
+      r.Experiment.r_global.VS.daemon_invalidations;
+    Format.printf "swap:       %d reads | %d writes@." r.Experiment.r_swap_reads
+      r.Experiment.r_swap_writes;
+    (match r.Experiment.r_runtime with
+    | Some rt ->
+        Format.printf
+          "runtime:    prefetch req %d (filtered %d) | release req %d (same \
+           %d, gone %d) | issued %d | buffered %d@."
+          rt.Memhog_runtime.Runtime.rt_prefetch_requests
+          rt.Memhog_runtime.Runtime.rt_prefetch_filtered
+          rt.Memhog_runtime.Runtime.rt_release_requests
+          rt.Memhog_runtime.Runtime.rt_release_filtered_same
+          rt.Memhog_runtime.Runtime.rt_release_filtered_bitmap
+          rt.Memhog_runtime.Runtime.rt_release_issued
+          rt.Memhog_runtime.Runtime.rt_release_buffered
+    | None -> ());
+    (match r.Experiment.r_interactive with
+    | Some i ->
+        Format.printf
+          "interactive: response %s (alone %s) | hard faults per sweep %s | \
+           %d sweeps@."
+          (match i.Experiment.is_avg_response with
+          | Some t -> Time_ns.to_string t
+          | None -> "-")
+          (Time_ns.to_string i.Experiment.is_alone_response)
+          (match i.Experiment.is_avg_hard_faults with
+          | Some f -> Printf.sprintf "%.1f" f
+          | None -> "-")
+          i.Experiment.is_sweeps
+    | None -> ());
+    if telemetry then
+      List.iter
+        (fun (_, series) ->
+          Format.printf "%a@." Memhog_sim.Series.pp_summary series)
+        r.Experiment.r_series;
+    (match csv with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc "series,time_ns,value\n";
+            List.iter
+              (fun (name, series) ->
+                Memhog_sim.Series.iter series (fun ~time ~value ->
+                    Printf.fprintf oc "%s,%d,%g\n" name time value))
+              r.Experiment.r_series);
+        Format.printf "telemetry written to %s@." path
+    | None -> ());
+    Format.printf "invariants: %s@."
+      (if r.Experiment.r_invariants_ok then "ok" else "VIOLATED");
+    if r.Experiment.r_invariants_ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment and print every metric.")
+    Term.(
+      const run $ machine_term $ workload_term $ variant $ interactive
+      $ iterations $ conservative $ telemetry $ csv)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let sleeps =
+    Arg.(
+      value
+      & opt (list float) [ 0.0; 0.5; 1.0; 2.0; 5.0; 10.0; 20.0 ]
+      & info [ "sleeps" ] ~docv:"S,S,..."
+          ~doc:"Sleep times (seconds) to sweep.")
+  in
+  let run machine workload sleeps =
+    Format.printf "%-9s %10s" "sleep(s)" "alone";
+    List.iter
+      (fun v -> Format.printf " %10s" (Experiment.variant_name v))
+      Experiment.all_variants;
+    Format.printf "@.";
+    List.iter
+      (fun s ->
+        let sleep = Time_ns.of_sec_f s in
+        let min_sim_time = max (Time_ns.sec 45) ((8 * sleep) + Time_ns.sec 20) in
+        let alone =
+          Experiment.run_interactive_alone ~machine ~sleep ~duration:min_sim_time ()
+        in
+        Format.printf "%-9.1f %10s" s
+          (match alone.Experiment.is_avg_response with
+          | Some t -> Time_ns.to_string t
+          | None -> "-");
+        List.iter
+          (fun variant ->
+            let r =
+              Experiment.run
+                (Experiment.setup ~machine ~interactive_sleep:sleep ~min_sim_time
+                   ~workload ~variant ())
+            in
+            Format.printf " %10s"
+              (match r.Experiment.r_interactive with
+              | Some i -> (
+                  match i.Experiment.is_avg_response with
+                  | Some t -> Time_ns.to_string t
+                  | None -> "-")
+              | None -> "-"))
+          Experiment.all_variants;
+        Format.printf "@.")
+      sleeps;
+    0
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Interactive response vs sleep time for one benchmark across all \
+          four variants (Figures 1/10a for any workload).")
+    Term.(const run $ machine_term $ workload_term $ sleeps)
+
+let () =
+  let doc =
+    "compiler-inserted releases for out-of-core applications (OSDI 2000 \
+     reproduction)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "memhog" ~version:"1.0.0" ~doc)
+          [ list_cmd; machine_cmd; compile_cmd; run_cmd; sweep_cmd ]))

@@ -1,0 +1,1 @@
+examples/compiler_explorer.ml: Array Format Memhog_compiler Memhog_workloads Sys

@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Experiment Format List Machine Memhog_compiler Memhog_core Memhog_sim Memhog_vm Memhog_workloads

@@ -1,0 +1,1 @@
+examples/interactive_mix.ml: Array Experiment Format List Machine Memhog_core Memhog_sim Memhog_workloads Printf Sys

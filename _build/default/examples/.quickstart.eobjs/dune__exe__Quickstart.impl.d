@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Experiment Format List Machine Memhog_core Memhog_sim Memhog_vm Memhog_workloads Option Sys

@@ -1,0 +1,1 @@
+lib/compiler/analysis.ml: Array Format Ir List Option String

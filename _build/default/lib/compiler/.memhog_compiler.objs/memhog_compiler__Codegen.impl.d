@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Analysis Fun Hashtbl Ir List Pir Printf

@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Analysis Codegen Ir Pir Printf

@@ -1,0 +1,1 @@
+lib/compiler/ir.ml: Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/compiler/pir.ml: Format Ir List Printf

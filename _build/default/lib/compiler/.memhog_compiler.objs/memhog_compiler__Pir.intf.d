@@ -1,0 +1,1 @@
+lib/compiler/pir.mli: Format Ir

@@ -1,0 +1,10 @@
+let analyze ?(target = Analysis.default_target) prog =
+  (match Ir.validate prog with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Compile: invalid program: %s" msg));
+  Analysis.analyze ~target prog
+
+let compile ?target ?conservative ~variant prog =
+  Codegen.compile ?conservative ~variant (analyze ?target prog)
+
+let all_variants = [ Pir.V_original; Pir.V_prefetch; Pir.V_release ]

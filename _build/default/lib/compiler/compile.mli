@@ -1,0 +1,19 @@
+(** One-call compiler driver: validate, analyze, lower.
+
+    Mirrors the paper's toolchain (Figure 4): the original source (here the
+    loop-nest IR) goes in, a specialized executable with prefetch and
+    release hints comes out.  The [target] parameters — memory size, page
+    size, fault latency — are exactly the three parameters the paper's
+    compiler is given (section 3.2). *)
+
+val compile :
+  ?target:Analysis.target ->
+  ?conservative:bool ->
+  variant:Pir.variant ->
+  Ir.program ->
+  Pir.prog
+(** Raises [Invalid_argument] if the program fails {!Ir.validate}. *)
+
+val analyze : ?target:Analysis.target -> Ir.program -> Analysis.t
+
+val all_variants : Pir.variant list

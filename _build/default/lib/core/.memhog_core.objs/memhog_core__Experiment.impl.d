@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Account Engine List Machine Memhog_compiler Memhog_disk Memhog_exec Memhog_runtime Memhog_sim Memhog_vm Memhog_workloads Option Printexc Printf Series Time_ns

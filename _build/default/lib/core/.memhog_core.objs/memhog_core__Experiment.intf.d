@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Machine Memhog_compiler Memhog_runtime Memhog_sim Memhog_vm Memhog_workloads

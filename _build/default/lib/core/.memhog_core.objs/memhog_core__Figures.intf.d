@@ -1,0 +1,1 @@
+lib/core/figures.mli: Experiment Machine Memhog_sim

@@ -1,0 +1,1 @@
+lib/core/machine.ml: Format Memhog_compiler Memhog_disk Memhog_vm

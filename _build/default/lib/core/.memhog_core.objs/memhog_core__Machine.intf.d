@@ -1,0 +1,1 @@
+lib/core/machine.mli: Format Memhog_compiler Memhog_disk Memhog_vm

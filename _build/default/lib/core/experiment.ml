@@ -1,0 +1,241 @@
+open Memhog_sim
+module Os = Memhog_vm.Os
+module Vm_stats = Memhog_vm.Vm_stats
+module Pir = Memhog_compiler.Pir
+module Compile = Memhog_compiler.Compile
+module Runtime = Memhog_runtime.Runtime
+module App = Memhog_exec.App
+module Interactive = Memhog_exec.Interactive
+module Workload = Memhog_workloads.Workload
+
+type variant = O | P | R | B
+
+let variant_name = function O -> "O" | P -> "P" | R -> "R" | B -> "B"
+let all_variants = [ O; P; R; B ]
+
+let pir_variant = function
+  | O -> Pir.V_original
+  | P -> Pir.V_prefetch
+  | R | B -> Pir.V_release
+
+let runtime_policy = function
+  | B -> Runtime.Buffered
+  | O | P | R -> Runtime.Aggressive
+
+type interactive_summary = {
+  is_sleep : Time_ns.t;
+  is_avg_response : Time_ns.t option;
+  is_avg_hard_faults : float option;
+  is_sweeps : int;
+  is_alone_response : Time_ns.t;
+}
+
+type breakdown = {
+  b_user : Time_ns.t;
+  b_system : Time_ns.t;
+  b_io_stall : Time_ns.t;
+  b_resource_stall : Time_ns.t;
+}
+
+let breakdown_total b = b.b_user + b.b_system + b.b_io_stall + b.b_resource_stall
+
+type result = {
+  r_workload : string;
+  r_variant : variant;
+  r_elapsed : Time_ns.t;
+  r_iterations : int;
+  r_breakdown : breakdown;
+  r_app_stats : Vm_stats.proc;
+  r_inter_stats : Vm_stats.proc option;
+  r_global : Vm_stats.global;
+  r_runtime : Runtime.stats option;
+  r_compiler : Pir.gen_stats;
+  r_interactive : interactive_summary option;
+  r_app_tlb_misses : int;
+  r_series : (string * Series.t) list;
+  r_swap_reads : int;
+  r_swap_writes : int;
+  r_disk_busy : Time_ns.t;
+  r_invariants_ok : bool;
+}
+
+type setup = {
+  machine : Machine.t;
+  workload : Workload.t;
+  variant : variant;
+  interactive_sleep : Time_ns.t option;
+  iterations : int option;
+  min_sim_time : Time_ns.t;
+  conservative : bool;
+  reactive : bool;
+  release_target : int option;
+  max_sim_time : Time_ns.t;
+}
+
+let setup ?(machine = Machine.paper) ?interactive_sleep ?iterations
+    ?(min_sim_time = 0) ?(conservative = false) ?(reactive = false)
+    ?release_target ?(max_sim_time = Time_ns.sec 3600) ~workload ~variant () =
+  {
+    machine;
+    workload;
+    variant;
+    interactive_sleep;
+    iterations;
+    min_sim_time;
+    conservative;
+    reactive;
+    release_target;
+    max_sim_time;
+  }
+
+let summarize_interactive ~sleep (task : Interactive.t) =
+  {
+    is_sleep = sleep;
+    is_avg_response = Interactive.avg_response task;
+    is_avg_hard_faults = Interactive.avg_hard_faults task;
+    is_sweeps = List.length (Interactive.sweeps task);
+    is_alone_response = Interactive.alone_response task;
+  }
+
+let run (s : setup) =
+  let m = s.machine in
+  let engine = Engine.create ~max_time:s.max_sim_time () in
+  let os =
+    Os.create ~swap_config:m.Machine.m_swap ~config:m.Machine.m_config ~engine ()
+  in
+  let prog_ir, params =
+    s.workload.Workload.w_make
+      ~mem_bytes:(Machine.mem_bytes m)
+      ~page_bytes:m.Machine.m_config.Memhog_vm.Config.page_bytes
+  in
+  let prog =
+    Compile.compile
+      ~target:(Machine.compiler_target m)
+      ~conservative:s.conservative
+      ~variant:(pir_variant s.variant)
+      prog_ir
+  in
+  let app =
+    App.create ~seed:m.Machine.m_seed
+      ~runtime_policy:
+        (if s.reactive then Runtime.Reactive else runtime_policy s.variant)
+      ?release_target:s.release_target ~os ~params prog
+  in
+  if s.reactive then
+    Os.set_eviction_advisor os (App.asp app) (fun () ->
+        Runtime.advise_evict (App.runtime app));
+  let task =
+    Option.map
+      (fun sleep ->
+        let t = Interactive.create ~os ~sleep () in
+        ignore (Interactive.spawn t);
+        t)
+      s.interactive_sleep
+  in
+  let iterations =
+    Option.value s.iterations ~default:s.workload.Workload.w_iterations
+  in
+  (* telemetry sampler *)
+  let free_series = Series.create ~name:"free" in
+  let rss_series = Series.create ~name:"app-rss" in
+  let inter_series = Series.create ~name:"inter-rss" in
+  ignore
+    (Engine.spawn engine ~name:"sampler" (fun () ->
+         while true do
+           Engine.delay ~cat:Account.Sleep (Time_ns.ms 100);
+           let now = Engine.now () in
+           Series.add free_series ~time:now
+             ~value:(float_of_int (Os.free_pages os));
+           Series.add rss_series ~time:now
+             ~value:(float_of_int (App.asp app).Memhog_vm.Address_space.rss);
+           match task with
+           | Some t ->
+               Series.add inter_series ~time:now
+                 ~value:
+                   (float_of_int (Interactive.asp t).Memhog_vm.Address_space.rss)
+           | None -> ()
+         done));
+  let elapsed = ref 0 in
+  let iterations_done = ref 0 in
+  let driver =
+    Engine.spawn engine ~name:"app-driver" (fun () ->
+        let start = Engine.now () in
+        let count = ref 0 in
+        (* run at least [iterations] passes, and keep going until
+           [min_sim_time] so the interactive task gets enough sweeps *)
+        while !count < iterations || Engine.now () - start < s.min_sim_time do
+          App.exec_main app;
+          incr count
+        done;
+        App.finish app;
+        iterations_done := !count;
+        elapsed := Engine.now () - start;
+        Engine.stop ())
+  in
+  Engine.run engine;
+  (match Engine.crashes engine with
+  | [] -> ()
+  | (name, e) :: _ ->
+      failwith
+        (Printf.sprintf "experiment %s/%s: process %s crashed: %s"
+           s.workload.Workload.w_name (variant_name s.variant) name
+           (Printexc.to_string e)));
+  let asp = App.asp app in
+  (* The application executed inside the driver process: its account holds
+     the Figure 7 time components. *)
+  let acct = driver.Engine.account in
+  let breakdown =
+    {
+      b_user = Account.get acct Account.User;
+      b_system = Account.get acct Account.System;
+      b_io_stall = Account.get acct Account.Io_stall;
+      b_resource_stall = Account.get acct Account.Resource_stall;
+    }
+  in
+  let swap = Os.swap os in
+  {
+    r_workload = s.workload.Workload.w_name;
+    r_variant = s.variant;
+    r_elapsed = !elapsed;
+    r_iterations = max 1 !iterations_done;
+    r_breakdown = breakdown;
+    r_app_stats = asp.Memhog_vm.Address_space.stats;
+    r_inter_stats =
+      Option.map
+        (fun t -> (Interactive.asp t).Memhog_vm.Address_space.stats)
+        task;
+    r_global = Os.global_stats os;
+    r_runtime =
+      (match s.variant with
+      | O -> None
+      | _ -> Some (Runtime.stats (App.runtime app)));
+    r_compiler = prog.Pir.px_stats;
+    r_interactive =
+      Option.map
+        (fun t ->
+          summarize_interactive ~sleep:(Option.get s.interactive_sleep) t)
+        task;
+    r_app_tlb_misses = Memhog_vm.Tlb.misses asp.Memhog_vm.Address_space.tlb;
+    r_series =
+      [ ("free", free_series); ("app-rss", rss_series) ]
+      @ (if task <> None then [ ("inter-rss", inter_series) ] else []);
+    r_swap_reads = Memhog_disk.Swap.page_reads swap;
+    r_disk_busy = Memhog_disk.Swap.total_busy_time swap;
+    r_swap_writes = Memhog_disk.Swap.page_writes swap;
+    r_invariants_ok = List.for_all snd (Os.check_invariants os);
+  }
+
+let run_interactive_alone ?(machine = Machine.paper) ~sleep ~duration () =
+  let engine = Engine.create ~max_time:(duration + Time_ns.sec 60) () in
+  let os =
+    Os.create ~swap_config:machine.Machine.m_swap
+      ~config:machine.Machine.m_config ~engine ()
+  in
+  let task = Interactive.create ~os ~sleep () in
+  ignore (Interactive.spawn task);
+  ignore
+    (Engine.spawn engine ~name:"stopper" (fun () ->
+         Engine.delay ~cat:Account.Sleep duration;
+         Engine.stop ()));
+  Engine.run engine;
+  summarize_interactive ~sleep task

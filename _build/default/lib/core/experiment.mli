@@ -1,0 +1,100 @@
+(** Experiment driver: build a machine, run one out-of-core application
+    variant (optionally next to the interactive task), collect every metric
+    the paper's evaluation reports.
+
+    The four variants match the bars of Figures 7-10:
+    - [O] — the original program, no paging directives;
+    - [P] — compiler-inserted prefetching only;
+    - [R] — prefetching + releasing, releases issued aggressively;
+    - [B] — prefetching + releasing, releases buffered by priority. *)
+
+type variant = O | P | R | B
+
+val variant_name : variant -> string
+val all_variants : variant list
+
+type interactive_summary = {
+  is_sleep : Memhog_sim.Time_ns.t;
+  is_avg_response : Memhog_sim.Time_ns.t option; (** None: too few sweeps *)
+  is_avg_hard_faults : float option;
+  is_sweeps : int;
+  is_alone_response : Memhog_sim.Time_ns.t;
+      (** ideal warm response (no faults) *)
+}
+
+type breakdown = {
+  b_user : Memhog_sim.Time_ns.t;
+  b_system : Memhog_sim.Time_ns.t;
+  b_io_stall : Memhog_sim.Time_ns.t;
+  b_resource_stall : Memhog_sim.Time_ns.t;
+}
+
+val breakdown_total : breakdown -> Memhog_sim.Time_ns.t
+
+type result = {
+  r_workload : string;
+  r_variant : variant;
+  r_elapsed : Memhog_sim.Time_ns.t;   (** out-of-core app completion time *)
+  r_iterations : int;                 (** main-computation passes executed *)
+  r_breakdown : breakdown;            (** Figure 7 components *)
+  r_app_stats : Memhog_vm.Vm_stats.proc;
+  r_inter_stats : Memhog_vm.Vm_stats.proc option;
+  r_global : Memhog_vm.Vm_stats.global;
+  r_runtime : Memhog_runtime.Runtime.stats option;
+  r_compiler : Memhog_compiler.Pir.gen_stats;
+  r_interactive : interactive_summary option;
+  r_app_tlb_misses : int;
+  r_series : (string * Memhog_sim.Series.t) list;
+      (** telemetry sampled every 100 ms of simulated time: "free" (free
+          pages), "app-rss", and "inter-rss" when the interactive task is
+          present *)
+  r_swap_reads : int;
+  r_swap_writes : int;
+  r_disk_busy : Memhog_sim.Time_ns.t;
+      (** summed busy time across disks (parallelism = busy / elapsed) *)
+  r_invariants_ok : bool;
+}
+
+type setup = {
+  machine : Machine.t;
+  workload : Memhog_workloads.Workload.t;
+  variant : variant;
+  interactive_sleep : Memhog_sim.Time_ns.t option;
+      (** [Some s]: co-run the section-1.1 interactive task with sleep [s] *)
+  iterations : int option;  (** override the workload's default *)
+  min_sim_time : Memhog_sim.Time_ns.t;
+      (** keep repeating the main computation at least this long, so the
+          interactive task completes enough sweeps *)
+  conservative : bool;      (** section-2.3.2 insertion rule ablation *)
+  reactive : bool;
+      (** section-2.2 alternative: run the release variant's code under the
+          Reactive run-time policy, registered as the OS's eviction advisor
+          instead of releasing proactively *)
+  release_target : int option;
+      (** pages drained per run-time buffering decision (paper: 100) *)
+  max_sim_time : Memhog_sim.Time_ns.t;
+}
+
+val setup :
+  ?machine:Machine.t ->
+  ?interactive_sleep:Memhog_sim.Time_ns.t ->
+  ?iterations:int ->
+  ?min_sim_time:Memhog_sim.Time_ns.t ->
+  ?conservative:bool ->
+  ?reactive:bool ->
+  ?release_target:int ->
+  ?max_sim_time:Memhog_sim.Time_ns.t ->
+  workload:Memhog_workloads.Workload.t ->
+  variant:variant ->
+  unit ->
+  setup
+
+val run : setup -> result
+
+val run_interactive_alone :
+  ?machine:Machine.t ->
+  sleep:Memhog_sim.Time_ns.t ->
+  duration:Memhog_sim.Time_ns.t ->
+  unit ->
+  interactive_summary
+(** Baseline: the interactive task with the machine to itself. *)

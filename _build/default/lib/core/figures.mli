@@ -1,0 +1,115 @@
+(** Drivers that regenerate every table and figure of the paper's
+    evaluation (section 4), plus the ablation studies listed in DESIGN.md.
+
+    Most figures share one experiment matrix — every workload crossed with
+    the four variants O/P/R/B, co-run with the interactive task at a 5 s
+    sleep — so the matrix is built once ({!run_matrix}) and formatted many
+    ways.  All output is plain text, printed in the same rows/series the
+    paper reports. *)
+
+type matrix = {
+  mx_machine : Machine.t;
+  mx_sleep : Memhog_sim.Time_ns.t;
+  mx_results : (string * (Experiment.variant * Experiment.result) list) list;
+  mx_alone : Experiment.interactive_summary;
+}
+
+val run_matrix :
+  ?machine:Machine.t ->
+  ?sleep:Memhog_sim.Time_ns.t ->
+  ?workloads:string list ->
+  ?log:(string -> unit) ->
+  unit ->
+  matrix
+(** Runs 4 variants per workload (default: all six), each next to the
+    interactive task (default sleep: 5 s, the setting of Figures 7-10b/c),
+    plus the interactive-alone baseline. *)
+
+(** {1 The paper's tables and figures} *)
+
+val table1 : ?machine:Machine.t -> unit -> string
+(** Hardware characteristics. *)
+
+val table2 : ?machine:Machine.t -> unit -> string
+(** Benchmark characteristics: what each computes, data-set size, traits,
+    and the compiler's analysis statistics. *)
+
+val fig1 :
+  ?machine:Machine.t -> ?sleeps_s:float list -> ?log:(string -> unit) -> unit -> string
+(** Interactive response time vs sleep time, out-of-core MATVEC original
+    vs prefetching (section 1.1's motivating experiment). *)
+
+val fig7 : matrix -> string
+(** Normalized execution time of the out-of-core applications, broken into
+    user / system / I/O stall / resource stall, for O/P/R/B. *)
+
+val fig8 : matrix -> string
+(** Soft page faults caused by the paging daemon's reference-bit
+    invalidations. *)
+
+val table3 : matrix -> string
+(** Paging-daemon activity: activations and pages stolen, original vs
+    prefetch+release. *)
+
+val fig9 : matrix -> string
+(** Outcomes of freed pages: who freed them (daemon vs releaser) and how
+    many were rescued from the free list. *)
+
+val fig10a :
+  ?machine:Machine.t -> ?sleeps_s:float list -> ?log:(string -> unit) -> unit -> string
+(** Interactive response vs sleep time for all four MATVEC variants. *)
+
+val fig10b : matrix -> string
+(** Interactive response at a 5 s sleep, normalized to running alone. *)
+
+val fig10c : matrix -> string
+(** Interactive hard page faults per sweep. *)
+
+(** {1 Ablations} *)
+
+val ablation_batch :
+  ?machine:Machine.t -> ?targets:int list -> ?log:(string -> unit) -> unit -> string
+(** Sweep the run-time layer's release batch size (the paper fixes 100
+    pages and notes it never varied it). *)
+
+val ablation_hwbits : ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
+(** Hardware vs software-simulated reference bits: does releasing still pay
+    when the daemon does not need to invalidate?  (The paper's section 6
+    question.) *)
+
+val ablation_conservative :
+  ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
+(** Aggressive insertion (paper) vs the idealized section-2.3.2 rule. *)
+
+val ablation_rescue : ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
+(** Free-list rescue on/off: the value of freeing to the tail. *)
+
+val ablation_drop : ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
+(** Dropping prefetches when memory is low vs letting them block. *)
+
+val ablation_tlb : ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
+(** Section 3.1.2's second PM feature: prefetched pages make no TLB entry.
+    Compares TLB misses and run time when prefetches are allowed to
+    displace live entries. *)
+
+(** {1 Extensions beyond the paper's evaluation} *)
+
+val ext_freemem :
+  ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
+(** Free-memory-over-time telemetry for MATVEC O/P/R/B next to the
+    interactive task: makes the mechanism of Figures 1/10 visible — the
+    free pool collapses under prefetching and stays healthy under
+    releasing. *)
+
+val ext_reactive :
+  ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
+(** Section 2.2's argument, demonstrated: a reactive (VINO-style) scheme in
+    which the application only surrenders pages when the OS asks improves
+    its own replacement but cannot protect the interactive task, unlike
+    pro-active releasing. *)
+
+val ext_two_hogs :
+  ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
+(** Two out-of-core applications sharing the machine (the multiprogramming
+    scenario section 1 motivates but the paper's evaluation does not run):
+    both original vs both prefetch+release. *)

@@ -1,0 +1,46 @@
+module Config = Memhog_vm.Config
+module Swap = Memhog_disk.Swap
+module Disk = Memhog_disk.Disk
+
+type t = {
+  m_name : string;
+  m_config : Config.t;
+  m_swap : Swap.config;
+  m_seed : int;
+}
+
+let paper =
+  {
+    m_name = "SGI Origin 200 (Table 1)";
+    m_config = Config.default;
+    m_swap = Swap.default_config;
+    m_seed = 42;
+  }
+
+let quick =
+  {
+    m_name = "quick (1/8 scale)";
+    m_config = Config.scaled ~factor:8 Config.default;
+    m_swap = { Swap.default_config with Swap.num_disks = 4 };
+    m_seed = 42;
+  }
+
+let fault_latency_ns t =
+  let p = t.m_swap.Swap.disk_params in
+  p.Disk.overhead_ns + p.Disk.seek_ns + p.Disk.rotation_ns
+  + (p.Disk.transfer_ns_per_kb * (t.m_config.Config.page_bytes / 1024))
+
+let compiler_target t =
+  {
+    Memhog_compiler.Analysis.memory_pages = t.m_config.Config.total_frames;
+    page_bytes = t.m_config.Config.page_bytes;
+    fault_latency_ns = fault_latency_ns t;
+  }
+
+let mem_bytes t = t.m_config.Config.total_frames * t.m_config.Config.page_bytes
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s@,%a@,disks: %d x Cheetah 4LP (%d per controller)@,fault latency: %.2f ms@]"
+    t.m_name Config.pp t.m_config t.m_swap.Swap.num_disks
+    t.m_swap.Swap.disks_per_controller
+    (float_of_int (fault_latency_ns t) /. 1e6)

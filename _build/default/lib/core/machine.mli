@@ -1,0 +1,25 @@
+(** Machine descriptions for experiments.
+
+    [paper] is the Table 1 testbed: 4 CPUs, 75 MB of user memory in 16 KB
+    pages, swap striped over ten Cheetah 4LP disks.  [quick] is a
+    proportionally shrunk machine for tests and examples. *)
+
+type t = {
+  m_name : string;
+  m_config : Memhog_vm.Config.t;
+  m_swap : Memhog_disk.Swap.config;
+  m_seed : int;
+}
+
+val paper : t
+val quick : t
+
+val fault_latency_ns : t -> int
+(** Average cost of a demand page-in (overhead + seek + rotation +
+    transfer): the latency parameter handed to the compiler. *)
+
+val compiler_target : t -> Memhog_compiler.Analysis.target
+
+val mem_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+let ns t = Memhog_sim.Time_ns.to_string t
+let ns_opt = function Some t -> ns t | None -> "-"
+let ratio x = Printf.sprintf "%.2f" x
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+let f1 x = Printf.sprintf "%.1f" x
+
+let count n =
+  let s = string_of_int n in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let table ?title ~header ~rows fmt () =
+  let ncols = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> ncols then
+        invalid_arg "Report.table: row width mismatch")
+    rows;
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    rows;
+  let pad i cell =
+    let w = widths.(i) in
+    if i = 0 then Printf.sprintf "%-*s" w cell else Printf.sprintf "%*s" w cell
+  in
+  let line ch =
+    String.concat "-+-"
+      (Array.to_list (Array.map (fun w -> String.make w ch) widths))
+  in
+  (match title with
+  | Some t -> Format.fprintf fmt "%s@," t
+  | None -> ());
+  Format.fprintf fmt "%s@," (String.concat " | " (List.mapi pad header));
+  Format.fprintf fmt "%s@," (line '-');
+  List.iter
+    (fun row -> Format.fprintf fmt "%s@," (String.concat " | " (List.mapi pad row)))
+    rows

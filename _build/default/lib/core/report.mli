@@ -1,0 +1,23 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+val table :
+  ?title:string ->
+  header:string list ->
+  rows:string list list ->
+  Format.formatter ->
+  unit ->
+  unit
+(** Column widths adapt to contents; the first column is left-aligned,
+    the rest right-aligned. *)
+
+val ns : Memhog_sim.Time_ns.t -> string
+val ns_opt : Memhog_sim.Time_ns.t option -> string
+val ratio : float -> string
+(** Two-decimal fixed point ("1.37"). *)
+
+val pct : float -> string
+(** Percentage with one decimal ("42.3%"). *)
+
+val f1 : float -> string
+val count : int -> string
+(** Thousands separators for large counters. *)

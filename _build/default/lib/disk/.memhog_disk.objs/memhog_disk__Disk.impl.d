@@ -1,0 +1,1 @@
+lib/disk/disk.ml: Account Engine Memhog_sim Printf Semaphore Time_ns

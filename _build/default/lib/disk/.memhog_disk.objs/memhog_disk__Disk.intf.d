@@ -1,0 +1,1 @@
+lib/disk/disk.mli: Memhog_sim Time_ns

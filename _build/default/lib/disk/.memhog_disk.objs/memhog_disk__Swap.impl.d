@@ -1,0 +1,1 @@
+lib/disk/swap.ml: Array Disk Memhog_sim Printf

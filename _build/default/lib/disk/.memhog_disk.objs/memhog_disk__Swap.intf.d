@@ -1,0 +1,1 @@
+lib/disk/swap.mli: Disk Memhog_sim Time_ns

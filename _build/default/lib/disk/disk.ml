@@ -1,0 +1,104 @@
+open Memhog_sim
+
+type params = {
+  seek_ns : Time_ns.t;
+  rotation_ns : Time_ns.t;
+  transfer_ns_per_kb : Time_ns.t;
+  overhead_ns : Time_ns.t;
+  near_skip_ns : Time_ns.t;
+  near_skip_span : int;
+}
+
+(* Seagate Cheetah 4LP: ~7.7 ms average seek, 10,033 RPM (~3 ms average
+   rotational latency), ~15 MB/s sustained media rate (~65 us per KB). *)
+let cheetah_4lp =
+  {
+    seek_ns = Time_ns.us 7_700;
+    rotation_ns = Time_ns.us 2_990;
+    transfer_ns_per_kb = Time_ns.us 65;
+    overhead_ns = Time_ns.us 300;
+    (* short forward skips stay in the cylinder neighbourhood: roughly a
+       track-to-track seek plus half a rotation *)
+    near_skip_ns = Time_ns.us 2_400;
+    near_skip_span = 64;
+  }
+
+type t = {
+  id : int;
+  params : params;
+  arm : Semaphore.t;
+  bus : Semaphore.t option;
+  mutable last_block : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes : int;
+  mutable busy : int;
+  mutable seq_hits : int;
+  mutable near_hits : int;
+}
+
+let create ?(params = cheetah_4lp) ?bus ~id () =
+  {
+    id;
+    params;
+    arm = Semaphore.create ~name:(Printf.sprintf "disk%d" id) 1;
+    bus;
+    last_block = min_int;
+    reads = 0;
+    writes = 0;
+    bytes = 0;
+    busy = 0;
+    seq_hits = 0;
+    near_hits = 0;
+  }
+
+let id t = t.id
+
+(* (positioning, transfer): positioning happens on the arm alone; the
+   transfer additionally occupies the adapter bus. *)
+let service_time t ~block ~bytes ~is_write =
+  let p = t.params in
+  let transfer = p.transfer_ns_per_kb * ((bytes + 1023) / 1024) in
+  if is_write then
+    (* Write-behind: the drive cache absorbs writes at streaming cost and
+       commits them opportunistically, so writes neither pay positioning
+       nor disturb the read head. *)
+    (p.overhead_ns, transfer)
+  else begin
+    let delta = block - t.last_block in
+    if delta = 1 then begin
+      t.seq_hits <- t.seq_hits + 1;
+      (p.overhead_ns, transfer)
+    end
+    else if delta > 1 && delta <= p.near_skip_span then begin
+      t.near_hits <- t.near_hits + 1;
+      (p.overhead_ns + p.near_skip_ns, transfer)
+    end
+    else (p.overhead_ns + p.seek_ns + p.rotation_ns, transfer)
+  end
+
+let do_io ?(cat = Account.Io_stall) t ~block ~bytes ~is_write =
+  Semaphore.acquire ~cat t.arm;
+  let positioning, transfer = service_time t ~block ~bytes ~is_write in
+  if not is_write then t.last_block <- block;
+  if is_write then t.writes <- t.writes + 1 else t.reads <- t.reads + 1;
+  t.bytes <- t.bytes + bytes;
+  t.busy <- t.busy + positioning + transfer;
+  Engine.delay ~cat positioning;
+  (match t.bus with
+  | Some bus ->
+      Semaphore.acquire ~cat bus;
+      Engine.delay ~cat transfer;
+      Semaphore.release bus
+  | None -> Engine.delay ~cat transfer);
+  Semaphore.release t.arm
+
+let read ?cat t ~block ~bytes = do_io ?cat t ~block ~bytes ~is_write:false
+let write ?cat t ~block ~bytes = do_io ?cat t ~block ~bytes ~is_write:true
+
+let reads t = t.reads
+let writes t = t.writes
+let bytes_moved t = t.bytes
+let busy_time t = t.busy
+let sequential_hits t = t.seq_hits
+let near_hits t = t.near_hits

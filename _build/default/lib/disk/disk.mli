@@ -1,0 +1,49 @@
+(** Single-disk service model.
+
+    Each disk has one arm: requests serialize FIFO.  Service time is
+    positioning (seek + rotational latency, skipped when the request is
+    sequential with the previous one on this disk) plus media transfer.
+    Parameters default to a Seagate Cheetah 4LP, the drive used in the
+    paper's testbed (Table 1). *)
+
+open Memhog_sim
+
+type params = {
+  seek_ns : Time_ns.t;           (** average seek *)
+  rotation_ns : Time_ns.t;       (** average rotational latency (half turn) *)
+  transfer_ns_per_kb : Time_ns.t;(** media transfer cost per KB *)
+  overhead_ns : Time_ns.t;       (** fixed per-request command overhead *)
+  near_skip_ns : Time_ns.t;
+      (** positioning cost for a short forward skip (same cylinder
+          neighbourhood) instead of a full seek *)
+  near_skip_span : int;          (** how many blocks ahead count as "near" *)
+}
+
+val cheetah_4lp : params
+
+type t
+
+val create :
+  ?params:params -> ?bus:Memhog_sim.Semaphore.t -> id:int -> unit -> t
+(** [bus] is the SCSI adapter this disk hangs off: the media-transfer phase
+    of each request holds it, so disks sharing an adapter serialize their
+    transfers (positioning still overlaps). *)
+
+val id : t -> int
+
+val read : ?cat:Memhog_sim.Account.category -> t -> block:int -> bytes:int -> unit
+(** Perform a read, blocking the calling process for queueing + service
+    time.  [block] is a logical block number used only for sequentiality
+    detection.  Wait + service time is charged to [cat] (default
+    [Io_stall]). *)
+
+val write : ?cat:Memhog_sim.Account.category -> t -> block:int -> bytes:int -> unit
+
+(** {1 Statistics} *)
+
+val reads : t -> int
+val writes : t -> int
+val bytes_moved : t -> int
+val busy_time : t -> Time_ns.t
+val sequential_hits : t -> int
+val near_hits : t -> int

@@ -1,0 +1,36 @@
+(** Striped swap volume.
+
+    The paper's testbed stripes raw swap across ten Cheetah disks attached
+    to five SCSI adapters.  Pages are striped round-robin: page [p] lives on
+    disk [p mod n] at per-disk block [p / n], so a sequential page run is
+    spread across all arms and can be fetched in parallel — the property
+    that makes aggressive prefetching profitable. *)
+
+open Memhog_sim
+
+type config = {
+  num_disks : int;
+  disks_per_controller : int;
+  disk_params : Disk.params;
+}
+
+val default_config : config
+(** 10 disks, 2 per controller, Cheetah 4LP parameters — Table 1. *)
+
+type t
+
+val create : ?config:config -> page_bytes:int -> unit -> t
+
+val num_disks : t -> int
+
+val read_page : ?cat:Memhog_sim.Account.category -> t -> page:int -> unit
+(** Fetch one page from swap, blocking the caller for the full I/O. *)
+
+val write_page : ?cat:Memhog_sim.Account.category -> t -> page:int -> unit
+
+(** {1 Statistics} *)
+
+val page_reads : t -> int
+val page_writes : t -> int
+val disks : t -> Disk.t array
+val total_busy_time : t -> Time_ns.t

@@ -1,0 +1,1 @@
+lib/exec/app.ml: Account Array Engine Hashtbl List Memhog_compiler Memhog_runtime Memhog_sim Memhog_vm Printf Rng Semaphore Time_ns

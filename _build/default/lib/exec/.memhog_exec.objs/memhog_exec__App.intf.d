@@ -1,0 +1,1 @@
+lib/exec/app.mli: Memhog_compiler Memhog_runtime Memhog_sim Memhog_vm

@@ -1,0 +1,1 @@
+lib/exec/interactive.ml: Account Engine List Memhog_sim Memhog_vm Option Time_ns

@@ -1,0 +1,1 @@
+lib/exec/interactive.mli: Memhog_sim Memhog_vm

@@ -1,0 +1,232 @@
+open Memhog_sim
+module Os = Memhog_vm.Os
+module As = Memhog_vm.Address_space
+module Ir = Memhog_compiler.Ir
+module Pir = Memhog_compiler.Pir
+module Runtime = Memhog_runtime.Runtime
+
+type stream = {
+  sr_rng : Rng.t;
+  mutable sr_pos : int;          (* next touch position *)
+  sr_ring : int array;           (* pre-drawn page offsets *)
+  mutable sr_drawn : int;        (* positions drawn so far *)
+}
+
+type t = {
+  os : Os.t;
+  asp : As.t;
+  rt : Runtime.t;
+  prog : Pir.prog;
+  env : Ir.env;
+  segs : (string, As.segment * int (* elem bytes *)) Hashtbl.t;
+  streams : (int, stream) Hashtbl.t;
+  seed : int;
+  page_bytes : int;
+  mutable touches : int;
+}
+
+let asp t = t.asp
+let runtime t = t.rt
+let env t = t.env
+let touched_pages t = t.touches
+
+let segment_of_array t name =
+  match Hashtbl.find_opt t.segs name with
+  | Some (seg, _) -> seg
+  | None -> invalid_arg (Printf.sprintf "App: unknown array %s" name)
+
+let create ?(seed = 17) ?(runtime_policy = Runtime.Aggressive) ?release_target
+    ?rt_threads ~os ~params prog =
+  let asp = Os.new_process os ~name:prog.Pir.px_name in
+  let env = Ir.env_of_list params in
+  let segs = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Ir.array_decl) ->
+      let elems = Ir.eval_bound env a.Ir.a_size_elems in
+      let bytes = elems * a.Ir.a_elem_bytes in
+      let seg =
+        Os.map_segment os asp ~name:a.Ir.a_name ~bytes ~on_swap:a.Ir.a_on_swap
+      in
+      Os.attach_paging_directed os asp seg;
+      Hashtbl.replace segs a.Ir.a_name (seg, a.Ir.a_elem_bytes))
+    prog.Pir.px_arrays;
+  let rt =
+    Runtime.create ?release_target ?nthreads:rt_threads ~os ~asp
+      ~policy:runtime_policy ()
+  in
+  {
+    os;
+    asp;
+    rt;
+    prog;
+    env;
+    segs;
+    streams = Hashtbl.create 8;
+    seed;
+    page_bytes = (Os.config os).Memhog_vm.Config.page_bytes;
+    touches = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Page expansion                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Enumerate the distinct pages covered by [count] accesses starting at
+   element [first] with [stride] elements between accesses.  Pages are
+   reported in access order; out-of-bounds accesses are clamped away. *)
+let iter_pages t array ~first ~count ~stride f =
+  if count > 0 then begin
+    let seg, elem_bytes = Hashtbl.find t.segs array in
+    let seg_elems = seg.As.npages * t.page_bytes / elem_bytes in
+    let page_of e = e * elem_bytes / t.page_bytes in
+    let clamp e = max 0 (min (seg_elems - 1) e) in
+    if stride = 0 then f (seg.As.base_vpn + page_of (clamp first))
+    else if abs stride * elem_bytes < t.page_bytes then begin
+      (* dense: the accesses sweep a contiguous range; report each page *)
+      let last = first + ((count - 1) * stride) in
+      let lo = clamp (min first last) and hi = clamp (max first last) in
+      let plo = page_of lo and phi = page_of hi in
+      if stride > 0 then
+        for p = plo to phi do
+          f (seg.As.base_vpn + p)
+        done
+      else
+        for p = phi downto plo do
+          f (seg.As.base_vpn + p)
+        done
+    end
+    else begin
+      (* sparse: each access may land on its own page *)
+      let prev = ref min_int in
+      for k = 0 to count - 1 do
+        let e = first + (k * stride) in
+        if e >= 0 && e < seg_elems then begin
+          let p = page_of e in
+          if p <> !prev then begin
+            prev := p;
+            f (seg.As.base_vpn + p)
+          end
+        end
+      done
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Indirect streams                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ring_size = 1024
+
+let stream_for t id =
+  match Hashtbl.find_opt t.streams id with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          sr_rng = Rng.create ~seed:(t.seed lxor (id * 0x9E3779B9));
+          sr_pos = 0;
+          sr_ring = Array.make ring_size 0;
+          sr_drawn = 0;
+        }
+      in
+      Hashtbl.replace t.streams id s;
+      s
+
+(* Page offset (within the array's segment) touched at stream position
+   [pos]; draws lazily, in order, so the sequence is deterministic. *)
+let stream_page s ~npages pos =
+  if pos - s.sr_drawn >= ring_size then
+    invalid_arg "App: indirect lookahead exceeds ring size";
+  while s.sr_drawn <= pos do
+    s.sr_ring.(s.sr_drawn mod ring_size) <- Rng.int s.sr_rng npages;
+    s.sr_drawn <- s.sr_drawn + 1
+  done;
+  s.sr_ring.(pos mod ring_size)
+
+(* ------------------------------------------------------------------ *)
+(* Interpretation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let compute t ns =
+  if ns > 0 then begin
+    let cpus = Os.cpus t.os in
+    Semaphore.acquire cpus;
+    Engine.delay ~cat:Account.User ns;
+    Semaphore.release cpus
+  end
+
+let rec exec t (stmt : Pir.pstmt) =
+  match stmt with
+  | Pir.P_seq ss -> List.iter (exec t) ss
+  | Pir.P_loop { var; lo; hi; step; body } ->
+      let l = lo t.env and h = hi t.env in
+      let v = ref l in
+      while !v < h do
+        Hashtbl.replace t.env var !v;
+        exec t body;
+        v := !v + step
+      done;
+      Hashtbl.remove t.env var
+  | Pir.P_touch { array; first; count; stride; write } ->
+      iter_pages t array ~first:(first t.env) ~count:(count t.env)
+        ~stride:(stride t.env) (fun vpn ->
+          t.touches <- t.touches + 1;
+          ignore (Os.touch t.os t.asp ~vpn ~write))
+  | Pir.P_compute { ns } -> compute t (ns t.env)
+  | Pir.P_prefetch d ->
+      iter_pages t d.Pir.d_array ~first:(d.Pir.d_first t.env)
+        ~count:(d.Pir.d_count t.env) ~stride:(d.Pir.d_stride t.env) (fun vpn ->
+          Runtime.prefetch_page t.rt ~vpn)
+  | Pir.P_release { dir = d; priority } ->
+      iter_pages t d.Pir.d_array ~first:(d.Pir.d_first t.env)
+        ~count:(d.Pir.d_count t.env) ~stride:(d.Pir.d_stride t.env) (fun vpn ->
+          Runtime.release_page t.rt ~vpn ~priority ~tag:d.Pir.d_tag)
+  | Pir.P_indirect { array; count; write; lookahead; prefetch; stream } ->
+      let seg, _ = Hashtbl.find t.segs array in
+      let s = stream_for t stream in
+      let n = count t.env in
+      for _ = 1 to n do
+        let pos = s.sr_pos in
+        s.sr_pos <- pos + 1;
+        if prefetch then begin
+          let ahead = stream_page s ~npages:seg.As.npages (pos + lookahead) in
+          Runtime.prefetch_page t.rt ~vpn:(seg.As.base_vpn + ahead)
+        end;
+        let page = stream_page s ~npages:seg.As.npages pos in
+        t.touches <- t.touches + 1;
+        ignore (Os.touch t.os t.asp ~vpn:(seg.As.base_vpn + page) ~write)
+      done
+  | Pir.P_call { proc; binds } ->
+      let values = List.map (fun (p, rt) -> (p, rt t.env)) binds in
+      let saved =
+        List.map (fun (p, _) -> (p, Hashtbl.find_opt t.env p)) values
+      in
+      List.iter (fun (p, v) -> Hashtbl.replace t.env p v) values;
+      exec t (Pir.find_proc t.prog proc);
+      List.iter
+        (fun (p, old) ->
+          match old with
+          | Some v -> Hashtbl.replace t.env p v
+          | None -> Hashtbl.remove t.env p)
+        saved
+
+let exec_main t =
+  Runtime.start t.rt;
+  exec t t.prog.Pir.px_main
+
+let finish t =
+  Runtime.drain t.rt;
+  (* let the helper threads and the releaser daemon consume the final
+     requests before the caller declares the run over *)
+  Engine.delay ~cat:Account.Sleep (Time_ns.ms 20)
+
+let run t ~iterations =
+  for _ = 1 to iterations do
+    exec_main t
+  done;
+  finish t
+
+let spawn t ~iterations ~on_done =
+  Engine.spawn (Os.engine t.os) ~name:t.prog.Pir.px_name (fun () ->
+      run t ~iterations;
+      on_done ())

@@ -1,0 +1,73 @@
+open Memhog_sim
+module Os = Memhog_vm.Os
+module As = Memhog_vm.Address_space
+module Vm_stats = Memhog_vm.Vm_stats
+
+type sweep = {
+  sw_index : int;
+  sw_response : Time_ns.t;
+  sw_hard_faults : int;
+  sw_soft_faults : int;
+}
+
+type t = {
+  os : Os.t;
+  it_asp : As.t;
+  seg : As.segment;
+  sleep : Time_ns.t;
+  work_per_page_ns : Time_ns.t;
+  mutable sweep_list : sweep list; (* newest first *)
+}
+
+let create ?(data_bytes = 1024 * 1024) ?(work_per_page_ns = Time_ns.us 50) ~os
+    ~sleep () =
+  let it_asp = Os.new_process os ~name:"interactive" in
+  let seg =
+    Os.map_segment os it_asp ~name:"interactive-data" ~bytes:data_bytes
+      ~on_swap:true
+  in
+  { os; it_asp; seg; sleep; work_per_page_ns; sweep_list = [] }
+
+let asp t = t.it_asp
+let sweeps t = List.rev t.sweep_list
+
+let alone_response t = t.seg.As.npages * t.work_per_page_ns
+
+let loop t () =
+  let index = ref 0 in
+  while true do
+    let t0 = Engine.now () in
+    let hard0 = t.it_asp.As.stats.Vm_stats.hard_faults in
+    let soft0 = t.it_asp.As.stats.Vm_stats.soft_faults in
+    for p = 0 to t.seg.As.npages - 1 do
+      ignore (Os.touch t.os t.it_asp ~vpn:(t.seg.As.base_vpn + p) ~write:false);
+      Engine.delay ~cat:Account.User t.work_per_page_ns
+    done;
+    let sweep =
+      {
+        sw_index = !index;
+        sw_response = Engine.now () - t0;
+        sw_hard_faults = t.it_asp.As.stats.Vm_stats.hard_faults - hard0;
+        sw_soft_faults = t.it_asp.As.stats.Vm_stats.soft_faults - soft0;
+      }
+    in
+    t.sweep_list <- sweep :: t.sweep_list;
+    incr index;
+    Engine.delay ~cat:Account.Sleep t.sleep
+  done
+
+let spawn t = Engine.spawn (Os.engine t.os) ~name:"interactive" (loop t)
+
+let stats_over ?(skip = 1) t f =
+  let usable = List.filter (fun s -> s.sw_index >= skip) (sweeps t) in
+  match usable with
+  | [] -> None
+  | l ->
+      let sum = List.fold_left (fun acc s -> acc +. f s) 0.0 l in
+      Some (sum /. float_of_int (List.length l))
+
+let avg_response ?skip t =
+  stats_over ?skip t (fun s -> float_of_int s.sw_response)
+  |> Option.map int_of_float
+
+let avg_hard_faults ?skip t = stats_over ?skip t (fun s -> float_of_int s.sw_hard_faults)

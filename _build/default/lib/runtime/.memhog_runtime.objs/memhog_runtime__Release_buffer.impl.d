@@ -1,0 +1,1 @@
+lib/runtime/release_buffer.ml: Array Hashtbl Int List Map Queue

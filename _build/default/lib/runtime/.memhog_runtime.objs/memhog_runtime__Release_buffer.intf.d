@@ -1,0 +1,1 @@
+lib/runtime/release_buffer.mli:

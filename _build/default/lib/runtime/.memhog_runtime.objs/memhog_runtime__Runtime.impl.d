@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Account Array Engine Hashtbl List Mailbox Memhog_sim Memhog_vm Printf Release_buffer

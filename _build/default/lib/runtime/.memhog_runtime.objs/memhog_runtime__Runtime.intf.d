@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Memhog_sim Memhog_vm

@@ -1,0 +1,86 @@
+module IntMap = Map.Make (Int)
+
+type tag_queue = { tq_tag : int; tq_pages : int Queue.t }
+
+type t = {
+  mutable by_priority : tag_queue list IntMap.t; (* priority -> queues *)
+  tags : (int, int * tag_queue) Hashtbl.t;       (* tag -> (priority, queue) *)
+  mutable total : int;
+}
+
+let create () = { by_priority = IntMap.empty; tags = Hashtbl.create 32; total = 0 }
+
+let add t ~tag ~priority ~vpn =
+  if priority <= 0 then invalid_arg "Release_buffer.add: priority must be > 0";
+  let q =
+    match Hashtbl.find_opt t.tags tag with
+    | Some (p, q) ->
+        if p <> priority then
+          invalid_arg "Release_buffer.add: tag reused with a different priority";
+        q
+    | None ->
+        let q = { tq_tag = tag; tq_pages = Queue.create () } in
+        Hashtbl.replace t.tags tag (priority, q);
+        t.by_priority <-
+          IntMap.update priority
+            (function Some qs -> Some (qs @ [ q ]) | None -> Some [ q ])
+            t.by_priority;
+        q
+  in
+  Queue.add vpn q.tq_pages;
+  t.total <- t.total + 1
+
+let total t = t.total
+let queue_count t = Hashtbl.length t.tags
+
+let lowest_priority t =
+  match IntMap.min_binding_opt t.by_priority with
+  | Some (p, _) -> Some p
+  | None -> None
+
+let drop_tag t priority (q : tag_queue) =
+  Hashtbl.remove t.tags q.tq_tag;
+  t.by_priority <-
+    IntMap.update priority
+      (function
+        | Some qs -> (
+            match List.filter (fun x -> x.tq_tag <> q.tq_tag) qs with
+            | [] -> None
+            | qs -> Some qs)
+        | None -> None)
+      t.by_priority
+
+let pop_lowest t ~max =
+  let out = ref [] in
+  let n = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !n < max do
+    match IntMap.min_binding_opt t.by_priority with
+    | None -> continue_ := false
+    | Some (priority, queues) ->
+        (* One page from each queue at this priority, round-robin, until the
+           budget is spent or the level empties. *)
+        let remaining = ref queues in
+        while !remaining <> [] && !n < max do
+          let next_round = ref [] in
+          List.iter
+            (fun q ->
+              if !n < max then begin
+                (match Queue.take_opt q.tq_pages with
+                | Some vpn ->
+                    out := vpn :: !out;
+                    incr n;
+                    t.total <- t.total - 1
+                | None -> ());
+                if Queue.is_empty q.tq_pages then drop_tag t priority q
+                else next_round := q :: !next_round
+              end
+              else next_round := q :: !next_round)
+            !remaining;
+          remaining := List.rev !next_round;
+          (* All queues at this level empty: move to the next level. *)
+          if List.for_all (fun q -> Queue.is_empty q.tq_pages) !remaining then
+            remaining := []
+        done
+  done;
+  Array.of_list (List.rev !out)

@@ -1,0 +1,25 @@
+(** Priority-indexed release queues (Figure 6(b)).
+
+    Release requests with non-zero priority are stored in per-tag queues; a
+    priority list indexes the queues.  When memory runs short, pages are
+    drained from the {e lowest}-priority queues first, round-robin across
+    queues of equal priority — retaining the pages whose reuse the compiler
+    expects soonest. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> tag:int -> priority:int -> vpn:int -> unit
+(** Requires [priority > 0] (zero-priority releases are issued directly,
+    not buffered). *)
+
+val total : t -> int
+(** Buffered pages across all queues. *)
+
+val pop_lowest : t -> max:int -> int array
+(** Remove up to [max] pages, lowest priority first, round-robin across
+    same-priority tags.  Returns the page numbers in drain order. *)
+
+val queue_count : t -> int
+val lowest_priority : t -> int option

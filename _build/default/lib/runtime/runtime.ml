@@ -1,0 +1,189 @@
+open Memhog_sim
+module Os = Memhog_vm.Os
+module As = Memhog_vm.Address_space
+
+type policy = Aggressive | Buffered | Reactive
+
+let policy_name = function
+  | Aggressive -> "aggressive"
+  | Buffered -> "buffered"
+  | Reactive -> "reactive"
+
+type stats = {
+  mutable rt_prefetch_requests : int;
+  mutable rt_prefetch_filtered : int;
+  mutable rt_prefetch_enqueued : int;
+  mutable rt_release_requests : int;
+  mutable rt_release_filtered_bitmap : int;
+  mutable rt_release_filtered_same : int;
+  mutable rt_release_issued : int;
+  mutable rt_release_buffered : int;
+  mutable rt_buffer_drains : int;
+}
+
+type work = W_prefetch of int | W_release of int array
+
+type t = {
+  os : Os.t;
+  asp : As.t;
+  pol : policy;
+  nthreads : int;
+  release_target : int;
+  headroom : int;
+  filter_ns : int;
+  queue : work Mailbox.t;
+  buffer : Release_buffer.t;
+  last_release : (int, int) Hashtbl.t; (* tag -> recorded page, one behind *)
+  st : stats;
+  mutable started : bool;
+}
+
+let create ?(nthreads = 16) ?(release_target = 100) ?(headroom = 0)
+    ?(filter_ns = 200) ~os ~asp ~policy () =
+  {
+    os;
+    asp;
+    pol = policy;
+    nthreads;
+    release_target;
+    headroom;
+    filter_ns;
+    queue = Mailbox.create ~name:"runtime-work" ();
+    buffer = Release_buffer.create ();
+    last_release = Hashtbl.create 64;
+    st =
+      {
+        rt_prefetch_requests = 0;
+        rt_prefetch_filtered = 0;
+        rt_prefetch_enqueued = 0;
+        rt_release_requests = 0;
+        rt_release_filtered_bitmap = 0;
+        rt_release_filtered_same = 0;
+        rt_release_issued = 0;
+        rt_release_buffered = 0;
+        rt_buffer_drains = 0;
+      };
+    started = false;
+  }
+
+let policy t = t.pol
+let stats t = t.st
+let buffered_pages t = Release_buffer.total t.buffer
+
+(* Helper threads: issue prefetches and release requests to the
+   PagingDirected PM, waiting out the I/O so the application does not. *)
+let thread_loop t () =
+  while true do
+    match Mailbox.recv t.queue with
+    | W_prefetch vpn -> ignore (Os.prefetch t.os t.asp ~vpn)
+    | W_release vpns -> Os.release_request t.os t.asp ~vpns
+  done
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    for i = 1 to t.nthreads do
+      ignore
+        (Engine.spawn (Os.engine t.os)
+           ~name:(Printf.sprintf "%s-rt-thread-%d" t.asp.As.as_name i)
+           (thread_loop t))
+    done
+  end
+
+let charge_filter t = Engine.delay ~cat:Account.User t.filter_ns
+
+let prefetch_page t ~vpn =
+  t.st.rt_prefetch_requests <- t.st.rt_prefetch_requests + 1;
+  charge_filter t;
+  if Os.page_resident t.asp ~vpn then
+    t.st.rt_prefetch_filtered <- t.st.rt_prefetch_filtered + 1
+  else begin
+    t.st.rt_prefetch_enqueued <- t.st.rt_prefetch_enqueued + 1;
+    Mailbox.send t.queue (W_prefetch vpn)
+  end
+
+let issue_release t vpns =
+  if Array.length vpns > 0 then begin
+    t.st.rt_release_issued <- t.st.rt_release_issued + Array.length vpns;
+    Mailbox.send t.queue (W_release vpns)
+  end
+
+(* Drain the lowest-priority queues when usage approaches the limit the OS
+   published in the shared page. *)
+let maybe_drain t =
+  let usage = Os.shared_current_usage t.os t.asp in
+  let limit = Os.shared_upper_limit t.os t.asp in
+  if usage + t.headroom >= limit && Release_buffer.total t.buffer > 0 then begin
+    t.st.rt_buffer_drains <- t.st.rt_buffer_drains + 1;
+    let vpns = Release_buffer.pop_lowest t.buffer ~max:t.release_target in
+    (* Stale entries (pages already stolen) are cheap to drop here. *)
+    let vpns = Array.of_list (List.filter (fun vpn -> Os.page_resident t.asp ~vpn)
+                                (Array.to_list vpns)) in
+    issue_release t vpns
+  end
+
+(* Handle a release that survived the one-behind filter. *)
+let handle_release t ~vpn ~priority ~tag =
+  if not (Os.page_resident t.asp ~vpn) then
+    t.st.rt_release_filtered_bitmap <- t.st.rt_release_filtered_bitmap + 1
+  else
+    match t.pol with
+    | Aggressive -> issue_release t [| vpn |]
+    | Buffered ->
+        if priority = 0 then issue_release t [| vpn |]
+        else begin
+          t.st.rt_release_buffered <- t.st.rt_release_buffered + 1;
+          Release_buffer.add t.buffer ~tag ~priority ~vpn;
+          maybe_drain t
+        end
+    | Reactive ->
+        (* hold everything; the buffer requires positive priorities, so
+           shift by one *)
+        t.st.rt_release_buffered <- t.st.rt_release_buffered + 1;
+        Release_buffer.add t.buffer ~tag ~priority:(priority + 1) ~vpn
+
+let release_page t ~vpn ~priority ~tag =
+  t.st.rt_release_requests <- t.st.rt_release_requests + 1;
+  charge_filter t;
+  if not (Os.page_resident t.asp ~vpn) then
+    t.st.rt_release_filtered_bitmap <- t.st.rt_release_filtered_bitmap + 1
+  else
+    (* One-request-behind: the first request for a tag is recorded; a repeat
+       of the same page is dropped (obviously still in use); a different
+       page causes the recorded one to be handled and the new one to take
+       its place.  Issued releases thus trail the compiler's hints by one
+       iteration. *)
+    match Hashtbl.find_opt t.last_release tag with
+    | Some prev when prev = vpn ->
+        t.st.rt_release_filtered_same <- t.st.rt_release_filtered_same + 1
+    | Some prev ->
+        Hashtbl.replace t.last_release tag vpn;
+        handle_release t ~vpn:prev ~priority ~tag
+    | None -> Hashtbl.replace t.last_release tag vpn
+
+let rec advise_evict t =
+  let batch = Release_buffer.pop_lowest t.buffer ~max:1 in
+  if Array.length batch = 0 then None
+  else if Os.page_resident t.asp ~vpn:batch.(0) then Some batch.(0)
+  else advise_evict t (* stale entry: the page is already gone *)
+
+let drain t =
+  t.st.rt_buffer_drains <- t.st.rt_buffer_drains + 1;
+  (* Flush the one-behind filter: at exit nothing is still in use, so every
+     recorded page is releasable (priority no longer matters). *)
+  let pending =
+    Hashtbl.fold (fun _tag vpn acc -> vpn :: acc) t.last_release []
+  in
+  Hashtbl.reset t.last_release;
+  let pending =
+    List.filter (fun vpn -> Os.page_resident t.asp ~vpn) pending
+  in
+  issue_release t (Array.of_list pending);
+  let rec go () =
+    let vpns = Release_buffer.pop_lowest t.buffer ~max:t.release_target in
+    if Array.length vpns > 0 then begin
+      issue_release t (Array.of_list (List.filter (fun vpn -> Os.page_resident t.asp ~vpn) (Array.to_list vpns)));
+      go ()
+    end
+  in
+  go ()

@@ -1,0 +1,77 @@
+(** The run-time layer (section 3.3, Figure 6).
+
+    Sits between the instrumented application and the OS.  It filters
+    obviously-bad requests using the shared page's residency bitmap and a
+    per-tag "one request behind" check, issues the surviving requests
+    through a pool of helper threads (the pthreads of the paper — IRIX gave
+    user programs no asynchronous I/O), and implements the two release
+    policies the paper compares:
+
+    - {b Aggressive}: issue every surviving release to the OS immediately;
+    - {b Buffered}: issue zero-priority releases immediately, buffer the
+      rest in priority queues, and drain ~[release_target] pages from the
+      lowest-priority queues whenever the process's memory usage approaches
+      the upper limit published by the OS. *)
+
+type policy =
+  | Aggressive
+  | Buffered
+  | Reactive
+      (** section 2.2's alternative: never release proactively; hold every
+          releasable page and surrender the least-valuable one only when
+          the OS asks (via {!advise_evict}, wired to
+          {!Memhog_vm.Os.set_eviction_advisor}) *)
+
+val policy_name : policy -> string
+
+type stats = {
+  mutable rt_prefetch_requests : int;   (** seen from the application *)
+  mutable rt_prefetch_filtered : int;   (** dropped: already resident *)
+  mutable rt_prefetch_enqueued : int;
+  mutable rt_release_requests : int;
+  mutable rt_release_filtered_bitmap : int; (** dropped: not resident *)
+  mutable rt_release_filtered_same : int;   (** dropped: same page as the
+                                                previous request of the tag *)
+  mutable rt_release_issued : int;      (** handed to the OS *)
+  mutable rt_release_buffered : int;
+  mutable rt_buffer_drains : int;
+}
+
+type t
+
+val create :
+  ?nthreads:int ->
+  ?release_target:int ->
+  ?headroom:int ->
+  ?filter_ns:Memhog_sim.Time_ns.t ->
+  os:Memhog_vm.Os.t ->
+  asp:Memhog_vm.Address_space.t ->
+  policy:policy ->
+  unit ->
+  t
+(** [release_target] is the number of pages drained per buffering decision
+    (the paper fixes 100 and notes it did not experiment with it);
+    [headroom] is how close to the upper limit usage may get before a
+    drain; [filter_ns] is the per-request user-time cost of the checks. *)
+
+val start : t -> unit
+(** Spawn the helper threads (call once, from any process or before run). *)
+
+val policy : t -> policy
+val stats : t -> stats
+val buffered_pages : t -> int
+
+val prefetch_page : t -> vpn:int -> unit
+(** Called by the application for each page named by a compiler prefetch
+    hint.  Cheap: filters and enqueues. *)
+
+val release_page : t -> vpn:int -> priority:int -> tag:int -> unit
+(** Called for each page named by a compiler release hint. *)
+
+val advise_evict : t -> int option
+(** Reactive path: the page the application prefers to surrender (lowest
+    priority first), or [None] when it holds nothing releasable. *)
+
+val drain : t -> unit
+(** Application exit: flush the one-behind filter's recorded pages and
+    force-issue all buffered releases. *)

@@ -1,0 +1,1 @@
+lib/sim/account.ml: Array Format List Time_ns

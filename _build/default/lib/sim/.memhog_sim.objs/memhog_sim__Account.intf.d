@@ -1,0 +1,1 @@
+lib/sim/account.mli: Format Time_ns

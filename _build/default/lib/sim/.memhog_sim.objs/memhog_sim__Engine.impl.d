@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Account Effect Heap List Time_ns

@@ -1,0 +1,1 @@
+lib/sim/semaphore.mli: Account Time_ns

@@ -1,0 +1,41 @@
+type category = User | System | Io_stall | Resource_stall | Sleep
+
+let all_categories = [ User; System; Io_stall; Resource_stall; Sleep ]
+
+let index = function
+  | User -> 0
+  | System -> 1
+  | Io_stall -> 2
+  | Resource_stall -> 3
+  | Sleep -> 4
+
+let category_name = function
+  | User -> "user"
+  | System -> "system"
+  | Io_stall -> "io-stall"
+  | Resource_stall -> "resource-stall"
+  | Sleep -> "sleep"
+
+type t = { buckets : int array }
+
+let create () = { buckets = Array.make 5 0 }
+
+let add t cat d =
+  if d < 0 then invalid_arg "Account.add: negative duration";
+  t.buckets.(index cat) <- t.buckets.(index cat) + d
+
+let get t cat = t.buckets.(index cat)
+
+let total t = Array.fold_left ( + ) 0 t.buckets
+
+let busy_total t = total t - get t Sleep
+
+let reset t = Array.fill t.buckets 0 (Array.length t.buckets) 0
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>";
+  List.iter
+    (fun cat ->
+      Format.fprintf fmt "%s=%a " (category_name cat) Time_ns.pp (get t cat))
+    all_categories;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,18 @@
+type t = { name : string; waiters : Engine.waker Queue.t }
+
+let create ?(name = "cond") () = { name; waiters = Queue.create () }
+
+let wait ?(cat = Account.Resource_stall) t =
+  let t0 = Engine.now () in
+  Engine.suspend (fun waker -> Queue.add waker t.waiters);
+  let waited = Engine.now () - t0 in
+  Account.add (Engine.self ()).account cat waited
+
+let signal t = match Queue.take_opt t.waiters with Some w -> w () | None -> ()
+
+let broadcast t =
+  let pending = Queue.create () in
+  Queue.transfer t.waiters pending;
+  Queue.iter (fun w -> w ()) pending
+
+let waiting t = Queue.length t.waiters

@@ -1,0 +1,160 @@
+open Effect
+open Effect.Deep
+
+type proc_state = Ready | Blocked | Finished | Crashed of exn
+
+type proc = {
+  pid : int;
+  name : string;
+  account : Account.t;
+  mutable state : proc_state;
+  mutable wakeups : int;
+}
+
+type t = {
+  events : (unit -> unit) Heap.t;
+  mutable now : int;
+  mutable seq : int;
+  mutable next_pid : int;
+  mutable stop_requested : bool;
+  mutable live : int;
+  max_time : int;
+  mutable crash_list : (string * exn) list;
+}
+
+exception Not_in_simulation
+exception Stopped
+
+type waker = unit -> unit
+
+(* Effects performed by process code.  The handler closure installed by
+   [start_fiber] knows both the engine and the current process, so the
+   effects carry no engine reference. *)
+type _ Effect.t += E_now : int Effect.t
+type _ Effect.t += E_self : proc Effect.t
+type _ Effect.t += E_delay : Account.category * int -> unit Effect.t
+type _ Effect.t += E_suspend : (waker -> unit) -> unit Effect.t
+type _ Effect.t += E_spawn : string * (unit -> unit) -> proc Effect.t
+type _ Effect.t += E_stop : unit Effect.t
+
+let create ?(max_time = Time_ns.sec 10_000_000) () =
+  {
+    events = Heap.create ();
+    now = 0;
+    seq = 0;
+    next_pid = 0;
+    stop_requested = false;
+    live = 0;
+    max_time;
+    crash_list = [];
+  }
+
+let now_of t = t.now
+let stopped t = t.stop_requested
+let crashes t = List.rev t.crash_list
+let live_count t = t.live
+
+let schedule t time thunk =
+  if time < t.now then invalid_arg "Engine.schedule: time in the past";
+  t.seq <- t.seq + 1;
+  Heap.add t.events ~key:time ~seq:t.seq thunk
+
+let rec start_fiber t proc f =
+  proc.state <- Ready;
+  let retc () =
+    proc.state <- Finished;
+    t.live <- t.live - 1
+  in
+  let exnc e =
+    (match e with
+    | Stopped ->
+        (* A process observed the stop request and unwound; not a crash. *)
+        proc.state <- Finished
+    | _ ->
+        proc.state <- Crashed e;
+        t.crash_list <- (proc.name, e) :: t.crash_list);
+    t.live <- t.live - 1
+  in
+  let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
+    function
+    | E_now -> Some (fun k -> continue k t.now)
+    | E_self -> Some (fun k -> continue k proc)
+    | E_delay (cat, d) ->
+        Some
+          (fun k ->
+            if d < 0 then discontinue k (Invalid_argument "Engine.delay: negative")
+            else begin
+              Account.add proc.account cat d;
+              proc.state <- Blocked;
+              schedule t (t.now + d) (fun () ->
+                  if t.stop_requested then discontinue k Stopped
+                  else begin
+                    proc.state <- Ready;
+                    continue k ()
+                  end)
+            end)
+    | E_suspend register ->
+        Some
+          (fun k ->
+            proc.state <- Blocked;
+            let fired = ref false in
+            let waker () =
+              if not !fired then begin
+                fired := true;
+                proc.wakeups <- proc.wakeups + 1;
+                schedule t t.now (fun () ->
+                    if t.stop_requested then discontinue k Stopped
+                    else begin
+                      proc.state <- Ready;
+                      continue k ()
+                    end)
+              end
+            in
+            register waker)
+    | E_spawn (name, f) -> Some (fun k -> continue k (spawn t ~name f))
+    | E_stop ->
+        Some
+          (fun k ->
+            t.stop_requested <- true;
+            continue k ())
+    | _ -> None
+  in
+  match_with f () { retc; exnc; effc }
+
+and spawn : t -> name:string -> (unit -> unit) -> proc =
+ fun t ~name f ->
+  let proc =
+    { pid = t.next_pid; name; account = Account.create (); state = Ready; wakeups = 0 }
+  in
+  t.next_pid <- t.next_pid + 1;
+  t.live <- t.live + 1;
+  schedule t t.now (fun () -> start_fiber t proc f);
+  proc
+
+let run t =
+  let rec loop () =
+    if t.stop_requested then ()
+    else
+      match Heap.pop_min t.events with
+      | None -> ()
+      | Some (time, _, thunk) ->
+          if time > t.max_time then t.stop_requested <- true
+          else begin
+            t.now <- time;
+            thunk ();
+            loop ()
+          end
+  in
+  loop ()
+
+(* Process-side operations. *)
+
+let wrap_unhandled f =
+  try f () with Effect.Unhandled _ -> raise Not_in_simulation
+
+let now () = wrap_unhandled (fun () -> perform E_now)
+let self () = wrap_unhandled (fun () -> perform E_self)
+let delay ~cat d = wrap_unhandled (fun () -> perform (E_delay (cat, d)))
+let suspend register = wrap_unhandled (fun () -> perform (E_suspend register))
+let spawn_child ~name f = wrap_unhandled (fun () -> perform (E_spawn (name, f)))
+let stop () = wrap_unhandled (fun () -> perform E_stop)

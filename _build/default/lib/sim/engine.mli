@@ -1,0 +1,79 @@
+(** Deterministic discrete-event simulation engine.
+
+    Simulated processes are OCaml 5 fibers: ordinary functions that perform
+    effects ([delay], [suspend], [spawn], ...) handled by the engine.  The
+    engine maintains a single event queue ordered by (timestamp, insertion
+    sequence), so identical inputs always produce identical schedules.
+
+    Typical use:
+    {[
+      let engine = Engine.create () in
+      ignore (Engine.spawn engine ~name:"main" (fun () ->
+        Engine.delay ~cat:Account.User (Time_ns.ms 3);
+        ...));
+      Engine.run engine
+    ]}
+
+    All of [now], [delay], [suspend], [spawn], [self] and [stop] (the
+    unprefixed process operations) may only be called from inside a running
+    process; calling them elsewhere raises [Not_in_simulation]. *)
+
+type t
+
+type proc_state = Ready | Blocked | Finished | Crashed of exn
+
+type proc = {
+  pid : int;
+  name : string;
+  account : Account.t;
+  mutable state : proc_state;
+  mutable wakeups : int;  (** diagnostic: how many times resumed *)
+}
+
+exception Not_in_simulation
+exception Stopped
+
+val create : ?max_time:Time_ns.t -> unit -> t
+(** [max_time] is a safety cap on simulated time (default: 10^7 seconds);
+    the run halts when the clock would pass it. *)
+
+val now_of : t -> Time_ns.t
+(** Current simulated time (readable from outside processes too). *)
+
+val spawn : t -> name:string -> (unit -> unit) -> proc
+(** Register a new process; it starts at the current simulated time once
+    [run] (re)gains control.  Callable from inside or outside processes. *)
+
+val run : t -> unit
+(** Run until the event queue drains, [stop] is called, or [max_time] is
+    reached.  Processes that crashed are reported via [crashes]. *)
+
+val stopped : t -> bool
+val crashes : t -> (string * exn) list
+val live_count : t -> int
+(** Number of processes spawned and not yet finished. *)
+
+(** {1 Operations available inside processes} *)
+
+type waker = unit -> unit
+(** Calling a waker schedules the suspended process to resume at the
+    simulated time of the call.  Calling it more than once is harmless. *)
+
+val now : unit -> Time_ns.t
+val self : unit -> proc
+
+val delay : cat:Account.category -> Time_ns.t -> unit
+(** Advance this process's clock by the given duration, charging the time to
+    [cat] in its account. *)
+
+val suspend : (waker -> unit) -> unit
+(** Block until the waker passed to the callback is invoked.  The callback
+    runs immediately (in the suspending process's context) and must arrange
+    for some other process to call the waker later.  No time category is
+    charged here; blocking primitives account the elapsed wait themselves. *)
+
+val spawn_child : name:string -> (unit -> unit) -> proc
+(** [spawn] from inside a process. *)
+
+val stop : unit -> unit
+(** Request the whole simulation to halt after the current event. *)

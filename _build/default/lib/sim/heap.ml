@@ -1,0 +1,63 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable size : int }
+
+let create () = { arr = [||]; size = 0 }
+
+let is_empty t = t.size = 0
+let length t = t.size
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow t =
+  let cap = max 16 (2 * Array.length t.arr) in
+  let arr = Array.make cap t.arr.(0) in
+  Array.blit t.arr 0 arr 0 t.size;
+  t.arr <- arr
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.arr.(i) t.arr.(parent) then begin
+      let tmp = t.arr.(i) in
+      t.arr.(i) <- t.arr.(parent);
+      t.arr.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t.arr.(l) t.arr.(!smallest) then smallest := l;
+  if r < t.size && less t.arr.(r) t.arr.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.arr.(i) in
+    t.arr.(i) <- t.arr.(!smallest);
+    t.arr.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~key ~seq value =
+  let entry = { key; seq; value } in
+  if t.size = 0 && Array.length t.arr = 0 then t.arr <- Array.make 16 entry;
+  if t.size = Array.length t.arr then grow t;
+  t.arr.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let min = t.arr.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.arr.(0) <- t.arr.(t.size);
+      sift_down t 0
+    end;
+    Some (min.key, min.seq, min.value)
+  end
+
+let peek_key t = if t.size = 0 then None else Some (t.arr.(0).key, t.arr.(0).seq)
+
+let clear t = t.size <- 0

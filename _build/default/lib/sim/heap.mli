@@ -1,0 +1,22 @@
+(** Binary min-heap keyed by [(primary, sequence)] integer pairs.
+
+    The event queue of the simulation engine needs a priority queue ordered
+    first by timestamp and second by insertion sequence, so that events
+    scheduled for the same instant fire in FIFO order and runs are fully
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val add : 'a t -> key:int -> seq:int -> 'a -> unit
+
+val pop_min : 'a t -> (int * int * 'a) option
+(** Remove and return the entry with the smallest [(key, seq)]. *)
+
+val peek_key : 'a t -> (int * int) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random number generator (xoshiro256** seeded via
+    splitmix64).
+
+    The simulator never uses the global [Random] state: every stochastic
+    component (disk layout noise, indirect-reference index streams, ...)
+    owns an explicit, splittable [Rng.t], so a run is a pure function of its
+    seeds and results are reproducible across machines. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** Derive an independent stream; the parent stream advances. *)
+
+val copy : t -> t
+
+val bits64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val shuffle_in_place : t -> 'a array -> unit

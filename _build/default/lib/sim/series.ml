@@ -1,0 +1,87 @@
+type t = {
+  name : string;
+  mutable times : int array;
+  mutable values : float array;
+  mutable len : int;
+}
+
+let create ~name = { name; times = [||]; values = [||]; len = 0 }
+
+let name t = t.name
+
+let grow t =
+  let cap = max 64 (2 * Array.length t.times) in
+  let times = Array.make cap 0 and values = Array.make cap 0.0 in
+  Array.blit t.times 0 times 0 t.len;
+  Array.blit t.values 0 values 0 t.len;
+  t.times <- times;
+  t.values <- values
+
+let add t ~time ~value =
+  if t.len > 0 && time < t.times.(t.len - 1) then
+    invalid_arg "Series.add: time went backwards";
+  if t.len = Array.length t.times then grow t;
+  t.times.(t.len) <- time;
+  t.values.(t.len) <- value;
+  t.len <- t.len + 1
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.values.(i)
+  done;
+  !acc
+
+let min_value t = if t.len = 0 then None else Some (fold min infinity t)
+let max_value t = if t.len = 0 then None else Some (fold max neg_infinity t)
+
+let mean t =
+  if t.len = 0 then None else Some (fold ( +. ) 0.0 t /. float_of_int t.len)
+
+let last t = if t.len = 0 then None else Some (t.values.(t.len - 1))
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f ~time:t.times.(i) ~value:t.values.(i)
+  done
+
+let glyphs = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87";
+                "\xe2\x96\x88" |]
+
+let sparkline ?(width = 60) t =
+  if t.len = 0 then "(no samples)"
+  else begin
+    let t0 = t.times.(0) and t1 = t.times.(t.len - 1) in
+    let span = max 1 (t1 - t0) in
+    (* average the samples landing in each bucket; carry the previous level
+       across empty buckets *)
+    let sums = Array.make width 0.0 and counts = Array.make width 0 in
+    for i = 0 to t.len - 1 do
+      let b = min (width - 1) ((t.times.(i) - t0) * width / span) in
+      sums.(b) <- sums.(b) +. t.values.(i);
+      counts.(b) <- counts.(b) + 1
+    done;
+    let lo = Option.get (min_value t) and hi = Option.get (max_value t) in
+    let range = if hi -. lo <= 0.0 then 1.0 else hi -. lo in
+    let buf = Buffer.create (width * 3) in
+    let level = ref 0.0 in
+    for b = 0 to width - 1 do
+      if counts.(b) > 0 then level := sums.(b) /. float_of_int counts.(b);
+      let g =
+        1 + int_of_float (7.99 *. (!level -. lo) /. range)
+      in
+      Buffer.add_string buf glyphs.(max 1 (min 8 g))
+    done;
+    Buffer.contents buf
+  end
+
+let pp_summary fmt t =
+  match (min_value t, mean t, max_value t, last t) with
+  | Some mn, Some av, Some mx, Some la ->
+      Format.fprintf fmt "%-12s min %.0f  mean %.0f  max %.0f  last %.0f  |%s|"
+        t.name mn av mx la (sparkline t)
+  | _ -> Format.fprintf fmt "%-12s (no samples)" t.name

@@ -1,0 +1,32 @@
+(** Append-only time series for simulation telemetry.
+
+    Samplers record machine state (free pages, resident sets, queue depths)
+    as the simulation runs; the harness summarizes a series or renders it as
+    a unicode sparkline so "free memory over time" fits in a text report. *)
+
+type t
+
+val create : name:string -> t
+
+val name : t -> string
+
+val add : t -> time:Time_ns.t -> value:float -> unit
+(** Samples must arrive in nondecreasing time order. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val min_value : t -> float option
+val max_value : t -> float option
+val mean : t -> float option
+val last : t -> float option
+
+val iter : t -> (time:Time_ns.t -> value:float -> unit) -> unit
+(** In sample order (for exporting telemetry). *)
+
+val sparkline : ?width:int -> t -> string
+(** Resample to [width] buckets (default 60) and render with the eight
+    one-eighth block glyphs; empty series render as "(no samples)". *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One line: name, min/mean/max/last and the sparkline. *)

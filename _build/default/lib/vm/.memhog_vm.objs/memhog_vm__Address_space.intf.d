@@ -1,0 +1,1 @@
+lib/vm/address_space.mli: Bytes Memhog_sim Tlb Vm_stats

@@ -1,0 +1,1 @@
+lib/vm/config.ml: Format Memhog_sim Time_ns

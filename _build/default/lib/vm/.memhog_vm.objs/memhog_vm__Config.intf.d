@@ -1,0 +1,1 @@
+lib/vm/config.mli: Format Memhog_sim

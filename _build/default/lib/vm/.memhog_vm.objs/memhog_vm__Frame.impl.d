@@ -1,0 +1,1 @@
+lib/vm/frame.ml: Format Vm_stats

@@ -1,0 +1,1 @@
+lib/vm/free_list.mli: Frame

@@ -1,0 +1,1 @@
+lib/vm/os.ml: Account Address_space Array Condition Config Engine Frame Free_list Hashtbl Ivar List Mailbox Memhog_disk Memhog_sim Semaphore Tlb Vm_stats

@@ -1,0 +1,1 @@
+lib/vm/os.mli: Address_space Config Memhog_disk Memhog_sim Vm_stats

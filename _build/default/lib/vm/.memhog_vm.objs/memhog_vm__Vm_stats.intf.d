@@ -1,0 +1,1 @@
+lib/vm/vm_stats.mli: Format

@@ -1,0 +1,104 @@
+open Memhog_sim
+
+type pte =
+  | Untouched
+  | Resident of int
+  | On_free_list of int
+  | Swapped
+  | In_transit of unit Ivar.t
+
+type segment = {
+  seg_name : string;
+  base_vpn : int;
+  npages : int;
+  swap_base : int;
+  ptes : pte array;
+  bits : Bytes.t;
+  mutable pm_attached : bool;
+}
+
+type t = {
+  pid : int;
+  as_name : string;
+  as_lock : Semaphore.t;
+  tlb : Tlb.t;
+  mutable segments : segment list;
+  mutable rss : int;
+  stats : Vm_stats.proc;
+  mutable current_usage : int;
+  mutable upper_limit : int;
+  mutable next_vpn : int;
+}
+
+let create ?(tlb_entries = 64) ~pid ~name () =
+  {
+    pid;
+    as_name = name;
+    as_lock = Semaphore.create ~name:(Printf.sprintf "as-lock:%s" name) 1;
+    tlb = Tlb.create ~entries:tlb_entries;
+    segments = [];
+    rss = 0;
+    stats = Vm_stats.create_proc ();
+    current_usage = 0;
+    upper_limit = max_int;
+    next_vpn = 0;
+  }
+
+let add_segment t ~name ~npages ~swap_base ~on_swap =
+  if npages <= 0 then invalid_arg "Address_space.add_segment: npages <= 0";
+  let seg =
+    {
+      seg_name = name;
+      base_vpn = t.next_vpn;
+      npages;
+      swap_base;
+      ptes = Array.make npages (if on_swap then Swapped else Untouched);
+      bits = Bytes.make ((npages + 7) / 8) '\000';
+      pm_attached = false;
+    }
+  in
+  t.next_vpn <- t.next_vpn + npages;
+  t.segments <- t.segments @ [ seg ];
+  seg
+
+let attach_pm _t seg = seg.pm_attached <- true
+
+let find_segment t ~vpn =
+  let rec go = function
+    | [] -> raise Not_found
+    | seg :: rest ->
+        if vpn >= seg.base_vpn && vpn < seg.base_vpn + seg.npages then seg
+        else go rest
+  in
+  go t.segments
+
+let off seg vpn =
+  let o = vpn - seg.base_vpn in
+  if o < 0 || o >= seg.npages then
+    invalid_arg
+      (Printf.sprintf "Address_space: vpn %d outside segment %s" vpn seg.seg_name);
+  o
+
+let get_pte seg ~vpn = seg.ptes.(off seg vpn)
+let set_pte seg ~vpn pte = seg.ptes.(off seg vpn) <- pte
+let swap_page seg ~vpn = seg.swap_base + off seg vpn
+
+let bit seg ~vpn =
+  let o = off seg vpn in
+  Char.code (Bytes.get seg.bits (o / 8)) land (1 lsl (o mod 8)) <> 0
+
+let set_bit seg ~vpn value =
+  let o = off seg vpn in
+  let byte = Char.code (Bytes.get seg.bits (o / 8)) in
+  let mask = 1 lsl (o mod 8) in
+  let byte = if value then byte lor mask else byte land lnot mask in
+  Bytes.set seg.bits (o / 8) (Char.chr byte)
+
+let resident_pages t =
+  List.fold_left
+    (fun acc seg ->
+      Array.fold_left
+        (fun acc pte ->
+          match pte with Resident _ -> acc + 1 | _ -> acc)
+        acc seg.ptes)
+    0 t.segments

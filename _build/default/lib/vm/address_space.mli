@@ -1,0 +1,66 @@
+(** Per-process virtual address space: segments, page-table entries, and the
+    PagingDirected shared page (residency bitmap + usage words).
+
+    A process's data lives in named segments (one per application array in
+    practice), each a contiguous range of virtual pages backed by a
+    contiguous range of swap pages.  The "shared page" of section 3.1.1 is
+    modelled by per-segment bit vectors plus the [current_usage] /
+    [upper_limit] words; the OS updates them, applications (the run-time
+    layer) read them. *)
+
+type pte =
+  | Untouched            (** never referenced: zero-filled on first touch *)
+  | Resident of int      (** frame index *)
+  | On_free_list of int  (** freed, but contents still intact in this frame *)
+  | Swapped              (** contents only on swap *)
+  | In_transit of unit Memhog_sim.Ivar.t
+      (** a hard fault or prefetch is bringing the page in; other accessors
+          wait on the ivar *)
+
+type segment = {
+  seg_name : string;
+  base_vpn : int;
+  npages : int;
+  swap_base : int;
+  ptes : pte array;
+  bits : Bytes.t;             (** residency bitmap (shared page) *)
+  mutable pm_attached : bool; (** PagingDirected policy module connected *)
+}
+
+type t = {
+  pid : int;
+  as_name : string;
+  as_lock : Memhog_sim.Semaphore.t;
+  tlb : Tlb.t;
+  mutable segments : segment list;  (** sorted by [base_vpn] *)
+  mutable rss : int;                (** resident pages *)
+  stats : Vm_stats.proc;
+  mutable current_usage : int;      (** shared-page word, updated lazily *)
+  mutable upper_limit : int;        (** shared-page word, updated lazily *)
+  mutable next_vpn : int;
+}
+
+val create : ?tlb_entries:int -> pid:int -> name:string -> unit -> t
+
+val add_segment :
+  t -> name:string -> npages:int -> swap_base:int -> on_swap:bool -> segment
+(** Allocate [npages] of fresh virtual address space.  [on_swap] marks the
+    pages as having initial contents on swap (out-of-core input data);
+    otherwise first touch zero-fills. *)
+
+val attach_pm : t -> segment -> unit
+
+val find_segment : t -> vpn:int -> segment
+(** Raises [Not_found] for an unmapped page. *)
+
+val get_pte : segment -> vpn:int -> pte
+val set_pte : segment -> vpn:int -> pte -> unit
+val swap_page : segment -> vpn:int -> int
+
+val bit : segment -> vpn:int -> bool
+val set_bit : segment -> vpn:int -> bool -> unit
+
+val resident_pages : t -> int
+(** Recount of [Resident] PTEs (for invariant checks; [rss] is the running
+    counter).  [In_transit] pages are not counted: a frame is charged to
+    the resident set only once it is installed. *)

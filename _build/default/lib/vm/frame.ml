@@ -1,0 +1,49 @@
+type t = {
+  idx : int;
+  mutable owner : int;
+  mutable vpn : int;
+  mutable dirty : bool;
+  mutable valid : bool;
+  mutable referenced : bool;
+  mutable prefetched : bool;
+  mutable release_invalidated : bool;
+  mutable age : int;
+  mutable freed_by : Vm_stats.freer option;
+  mutable next : int;
+  mutable prev : int;
+  mutable on_free_list : bool;
+}
+
+let make idx =
+  {
+    idx;
+    owner = -1;
+    vpn = -1;
+    dirty = false;
+    valid = false;
+    referenced = false;
+    prefetched = false;
+    release_invalidated = false;
+    age = 0;
+    freed_by = None;
+    next = -1;
+    prev = -1;
+    on_free_list = false;
+  }
+
+let reset_association t =
+  t.owner <- -1;
+  t.vpn <- -1;
+  t.dirty <- false;
+  t.valid <- false;
+  t.referenced <- false;
+  t.prefetched <- false;
+  t.release_invalidated <- false;
+  t.age <- 0;
+  t.freed_by <- None
+
+let pp fmt t =
+  Format.fprintf fmt "frame%d(owner=%d vpn=%d%s%s%s)" t.idx t.owner t.vpn
+    (if t.dirty then " dirty" else "")
+    (if t.valid then " valid" else "")
+    (if t.on_free_list then " free" else "")

@@ -1,0 +1,32 @@
+(** Physical page frame metadata.
+
+    A frame that is on the free list may still remember which (process,
+    virtual page) last occupied it; until the frame is reallocated, that
+    page can be "rescued" — returned to its process without I/O.  The
+    [valid] flag is the software reference-bit proxy: the paging daemon
+    clears it to sample references (the MIPS TLB has no reference bit), and
+    a subsequent touch incurs a soft fault that sets it again. *)
+
+type t = {
+  idx : int;
+  mutable owner : int;  (** owning pid, or [-1] when free and disassociated *)
+  mutable vpn : int;    (** owning virtual page number, or [-1] *)
+  mutable dirty : bool;
+  mutable valid : bool; (** software ref-bit proxy (PTE/TLB validity) *)
+  mutable referenced : bool; (** hardware ref bit, used when [hw_ref_bits] *)
+  mutable prefetched : bool; (** resident but never touched: not validated *)
+  mutable release_invalidated : bool;
+      (** mapping invalidated by a release request rather than the daemon *)
+  mutable age : int;    (** daemon visits since last (re)validation *)
+  mutable freed_by : Vm_stats.freer option; (** set while on the free list *)
+  mutable next : int;   (** free-list link, or [-1] *)
+  mutable prev : int;   (** free-list link, or [-1] *)
+  mutable on_free_list : bool;
+}
+
+val make : int -> t
+
+val reset_association : t -> unit
+(** Forget owner/vpn and all page state (used on reallocation). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+type t = {
+  frames : Frame.t array;
+  mutable head : int;
+  mutable tail : int;
+  mutable length : int;
+}
+
+let create frames = { frames; head = -1; tail = -1; length = 0 }
+
+let length t = t.length
+let is_empty t = t.length = 0
+let mem _t (f : Frame.t) = f.on_free_list
+
+let push_tail t (f : Frame.t) =
+  if f.on_free_list then invalid_arg "Free_list.push_tail: already free";
+  f.prev <- t.tail;
+  f.next <- -1;
+  f.on_free_list <- true;
+  if t.tail >= 0 then t.frames.(t.tail).next <- f.idx else t.head <- f.idx;
+  t.tail <- f.idx;
+  t.length <- t.length + 1
+
+let unlink t (f : Frame.t) =
+  if not f.on_free_list then invalid_arg "Free_list.unlink: not on free list";
+  if f.prev >= 0 then t.frames.(f.prev).next <- f.next else t.head <- f.next;
+  if f.next >= 0 then t.frames.(f.next).prev <- f.prev else t.tail <- f.prev;
+  f.prev <- -1;
+  f.next <- -1;
+  f.on_free_list <- false;
+  t.length <- t.length - 1
+
+let pop_head t =
+  if t.head < 0 then None
+  else begin
+    let f = t.frames.(t.head) in
+    unlink t f;
+    Some f
+  end
+
+let remove t f = unlink t f
+
+let iter t fn =
+  let rec go idx =
+    if idx >= 0 then begin
+      let f = t.frames.(idx) in
+      let next = f.next in
+      fn f;
+      go next
+    end
+  in
+  go t.head

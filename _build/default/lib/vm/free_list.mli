@@ -1,0 +1,31 @@
+(** The free list: an intrusive doubly-linked queue of frames.
+
+    Pages are freed to the {e tail} (both by the paging daemon and by the
+    releaser — section 3.1.2: "released pages are placed at the end of the
+    free list, giving pages that were released too early a chance to be
+    rescued") and allocated from the head, so a freed page survives as long
+    as possible before its contents are lost.  Rescue removes a frame from
+    the middle in O(1). *)
+
+type t
+
+val create : Frame.t array -> t
+(** The free list operates over the given frame table; frames are referred
+    to by index. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val push_tail : t -> Frame.t -> unit
+(** Requires the frame not to be on the list already. *)
+
+val pop_head : t -> Frame.t option
+
+val remove : t -> Frame.t -> unit
+(** Rescue path: unlink the frame wherever it is.  Requires it to be on the
+    list. *)
+
+val mem : t -> Frame.t -> bool
+
+val iter : t -> (Frame.t -> unit) -> unit
+(** Head-to-tail iteration (for tests and invariant checks). *)

@@ -1,0 +1,790 @@
+open Memhog_sim
+module As = Address_space
+module Swap = Memhog_disk.Swap
+
+type touch_result =
+  | Fast
+  | Soft
+  | Validated
+  | Hard
+  | Zero_filled
+  | Rescued of Vm_stats.freer
+
+type prefetch_result = P_fetched | P_rescued | P_already | P_dropped
+
+type release_req = { req_as : As.t; req_vpns : int array }
+
+type t = {
+  config : Config.t;
+  engine : Engine.t;
+  swap : Swap.t;
+  frames : Frame.t array;
+  free : Free_list.t;
+  free_cond : Condition.t;
+  memory_lock : Semaphore.t;
+  cpus : Semaphore.t;
+  spaces : (int, As.t) Hashtbl.t;
+  mutable space_list : As.t list;
+  releaser_box : release_req Mailbox.t;
+  gstats : Vm_stats.global;
+  mutable clock_hand : int;
+  mutable next_pid : int;
+  mutable next_swap_page : int;
+  advisors : (int, unit -> int option) Hashtbl.t;
+      (* reactive eviction (section 2.2): per-process callbacks that name a
+         page the application prefers to surrender *)
+  mutable stop : bool;
+}
+
+let config t = t.config
+let engine t = t.engine
+let swap t = t.swap
+let global_stats t = t.gstats
+let free_pages t = Free_list.length t.free
+let cpus t = t.cpus
+let address_spaces t = List.rev t.space_list
+
+let sys_delay t d = ignore t; Engine.delay ~cat:Account.System d
+
+(* Equation 1: the recommended upper limit on memory usage. *)
+let update_limits t (asp : As.t) =
+  asp.current_usage <- asp.rss;
+  let free = Free_list.length t.free in
+  let limit = asp.rss + free - t.config.min_freemem in
+  asp.upper_limit <- max 0 (min t.config.maxrss limit)
+
+let shared_current_usage t asp =
+  ignore t;
+  asp.As.current_usage
+
+let shared_upper_limit t asp =
+  ignore t;
+  asp.As.upper_limit
+
+let page_resident (asp : As.t) ~vpn =
+  match As.find_segment asp ~vpn with
+  | seg -> As.bit seg ~vpn
+  | exception Not_found -> false
+
+(* ------------------------------------------------------------------ *)
+(* Frame allocation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Break a free frame's association with its previous page: the previous
+   owner loses its chance to rescue.  Caller holds [memory_lock]. *)
+let disassociate t (f : Frame.t) =
+  if f.owner >= 0 then begin
+    (match Hashtbl.find_opt t.spaces f.owner with
+    | Some victim -> (
+        (match f.freed_by with
+        | Some Vm_stats.Daemon ->
+            victim.As.stats.lost_daemon <- victim.As.stats.lost_daemon + 1
+        | Some Vm_stats.Releaser ->
+            victim.As.stats.lost_releaser <- victim.As.stats.lost_releaser + 1
+        | None -> ());
+        match As.find_segment victim ~vpn:f.vpn with
+        | seg -> (
+            match As.get_pte seg ~vpn:f.vpn with
+            | As.On_free_list idx when idx = f.idx ->
+                As.set_pte seg ~vpn:f.vpn As.Swapped
+            | _ -> ())
+        | exception Not_found -> ())
+    | None -> ());
+    Frame.reset_association f
+  end
+
+(* Pop a frame from the free list, blocking until one is available.
+   Returns with no locks held. *)
+let rec alloc_frame_blocking t ~(for_ : As.t) =
+  Semaphore.acquire t.memory_lock;
+  match Free_list.pop_head t.free with
+  | Some f ->
+      disassociate t f;
+      t.gstats.allocations <- t.gstats.allocations + 1;
+      Semaphore.release t.memory_lock;
+      f
+  | None ->
+      t.gstats.allocation_waits <- t.gstats.allocation_waits + 1;
+      Semaphore.release t.memory_lock;
+      Condition.wait t.free_cond;
+      alloc_frame_blocking t ~for_
+
+(* Non-blocking variant for prefetch: section 3.1.2 — "if there is no free
+   memory, the request is discarded immediately". *)
+let alloc_frame_opt t =
+  Semaphore.acquire t.memory_lock;
+  let result =
+    match Free_list.pop_head t.free with
+    | Some f ->
+        disassociate t f;
+        t.gstats.allocations <- t.gstats.allocations + 1;
+        Some f
+    | None -> None
+  in
+  Semaphore.release t.memory_lock;
+  result
+
+(* Put a frame on the free list tail, remembering the page it held so it can
+   be rescued.  Caller holds [memory_lock] and the owner's as_lock, and has
+   already updated the PTE to [On_free_list]. *)
+let free_frame_locked t (f : Frame.t) ~(freer : Vm_stats.freer) =
+  f.valid <- false;
+  if not t.config.rescue_from_free_list then disassociate t f;
+  f.prefetched <- false;
+  f.referenced <- false;
+  f.age <- 0;
+  f.freed_by <- Some freer;
+  Free_list.push_tail t.free f;
+  Condition.broadcast t.free_cond
+
+(* With rescue disabled, a page whose writeback is still in flight cannot
+   be reclaimed by its owner: the toucher abandons it (PTE -> Swapped, frame
+   disassociated but still marked freed so the writeback fiber returns it to
+   the free list) and demand-fetches a fresh copy.  Caller holds the
+   owner's as_lock. *)
+let abandon_in_writeback t seg ~vpn fidx =
+  let f = t.frames.(fidx) in
+  let freer = f.Frame.freed_by in
+  Frame.reset_association f;
+  f.Frame.freed_by <- freer;
+  As.set_pte seg ~vpn As.Swapped
+
+(* ------------------------------------------------------------------ *)
+(* Process setup                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let new_process t ~name =
+  let asp = As.create ~tlb_entries:t.config.tlb_entries ~pid:t.next_pid ~name () in
+  t.next_pid <- t.next_pid + 1;
+  Hashtbl.replace t.spaces asp.As.pid asp;
+  t.space_list <- asp :: t.space_list;
+  asp
+
+let map_segment t asp ~name ~bytes ~on_swap =
+  let npages = (bytes + t.config.page_bytes - 1) / t.config.page_bytes in
+  let swap_base = t.next_swap_page in
+  t.next_swap_page <- t.next_swap_page + npages;
+  As.add_segment asp ~name ~npages ~swap_base ~on_swap
+
+let attach_paging_directed t asp seg =
+  ignore t;
+  As.attach_pm asp seg
+
+(* ------------------------------------------------------------------ *)
+(* Fault handling                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let install_frame t (asp : As.t) seg ~vpn (f : Frame.t) ~write ~prefetched =
+  f.owner <- asp.As.pid;
+  f.vpn <- vpn;
+  f.dirty <- write;
+  f.valid <- not prefetched;
+  f.referenced <- not prefetched;
+  f.prefetched <- prefetched;
+  f.age <- 0;
+  f.freed_by <- None;
+  As.set_pte seg ~vpn (As.Resident f.idx);
+  asp.As.rss <- asp.As.rss + 1;
+  As.set_bit seg ~vpn true;
+  (* a demand-installed page enters the TLB; a prefetched page does so only
+     when section 3.1.2's no-TLB-entry feature is disabled *)
+  if (not prefetched) || t.config.prefetch_fills_tlb then
+    Tlb.insert asp.As.tlb ~vpn;
+  update_limits t asp
+
+let rec touch t (asp : As.t) ~vpn ~write =
+  let seg = As.find_segment asp ~vpn in
+  match As.get_pte seg ~vpn with
+  | As.Resident fidx
+    when
+      let f = t.frames.(fidx) in
+      f.valid && not f.prefetched ->
+      let f = t.frames.(fidx) in
+      f.referenced <- true;
+      if write then f.dirty <- true;
+      (* the MIPS TLB is refilled in software: a miss on a mapped, valid
+         page still costs a trap *)
+      if not (Tlb.access asp.As.tlb ~vpn) then
+        Engine.delay ~cat:Account.System t.config.tlb_refill_ns;
+      Fast
+  | _ -> fault t asp seg ~vpn ~write
+
+and fault t asp seg ~vpn ~write =
+  let cfg = t.config in
+  let stats = asp.As.stats in
+  Semaphore.acquire asp.As.as_lock;
+  (* Re-examine under the lock: the world may have changed while waiting. *)
+  let result =
+    match As.get_pte seg ~vpn with
+    | As.Resident fidx ->
+        let f = t.frames.(fidx) in
+        if f.prefetched then begin
+          (* First touch of a prefetched page: cheap validation fault. *)
+          f.prefetched <- false;
+          f.valid <- true;
+          f.referenced <- true;
+          f.age <- 0;
+          if write then f.dirty <- true;
+          stats.validation_faults <- stats.validation_faults + 1;
+          As.set_bit seg ~vpn true;
+          Tlb.insert asp.As.tlb ~vpn;
+          sys_delay t cfg.validation_fault_ns;
+          Semaphore.release asp.As.as_lock;
+          Validated
+        end
+        else if not f.valid then begin
+          (* Soft fault: revalidate after an invalidation (by the daemon's
+             reference sampling, or by a release request). *)
+          f.valid <- true;
+          f.referenced <- true;
+          f.age <- 0;
+          if write then f.dirty <- true;
+          stats.soft_faults <- stats.soft_faults + 1;
+          if not f.release_invalidated then
+            stats.soft_faults_daemon <- stats.soft_faults_daemon + 1;
+          f.release_invalidated <- false;
+          As.set_bit seg ~vpn true;
+          Tlb.insert asp.As.tlb ~vpn;
+          sys_delay t cfg.soft_fault_ns;
+          Semaphore.release asp.As.as_lock;
+          Soft
+        end
+        else begin
+          (* Lost the race benignly: page became valid while we waited. *)
+          f.referenced <- true;
+          if write then f.dirty <- true;
+          Semaphore.release asp.As.as_lock;
+          Fast
+        end
+    | As.On_free_list fidx when not cfg.rescue_from_free_list ->
+        (* Rescue disabled: the only way a PTE still points at a freed frame
+           is a writeback in flight.  Abandon it and demand-fetch. *)
+        abandon_in_writeback t seg ~vpn fidx;
+        Semaphore.release asp.As.as_lock;
+        touch t asp ~vpn ~write
+    | As.On_free_list fidx ->
+        (* Rescue path. *)
+        Semaphore.acquire t.memory_lock;
+        (match As.get_pte seg ~vpn with
+        | As.On_free_list fidx' when fidx' = fidx ->
+            let f = t.frames.(fidx) in
+            let freer =
+              match f.freed_by with Some w -> w | None -> Vm_stats.Daemon
+            in
+            if f.on_free_list then Free_list.remove t.free f;
+            (* else: writeback still pending; the writer re-checks the PTE
+               before pushing, so claiming the frame here is safe. *)
+            (match freer with
+            | Vm_stats.Daemon -> stats.rescued_daemon <- stats.rescued_daemon + 1
+            | Vm_stats.Releaser ->
+                stats.rescued_releaser <- stats.rescued_releaser + 1);
+            install_frame t asp seg ~vpn f ~write ~prefetched:false;
+            sys_delay t cfg.rescue_ns;
+            Semaphore.release t.memory_lock;
+            Semaphore.release asp.As.as_lock;
+            Rescued freer
+        | _ ->
+            (* The frame was reallocated while we took the lock: retry. *)
+            Semaphore.release t.memory_lock;
+            Semaphore.release asp.As.as_lock;
+            touch t asp ~vpn ~write)
+    | As.In_transit ivar ->
+        (* Someone (prefetch thread or another fault) is bringing it in. *)
+        Semaphore.release asp.As.as_lock;
+        Ivar.read ~cat:Account.Io_stall ivar;
+        touch t asp ~vpn ~write
+    | (As.Swapped | As.Untouched) as prev ->
+        let zero = prev = As.Untouched in
+        let ivar = Ivar.create () in
+        As.set_pte seg ~vpn (As.In_transit ivar);
+        Semaphore.release asp.As.as_lock;
+        let f = alloc_frame_blocking t ~for_:asp in
+        sys_delay t cfg.hard_fault_cpu_ns;
+        if zero then begin
+          stats.zero_fills <- stats.zero_fills + 1;
+          sys_delay t cfg.zero_fill_ns
+        end
+        else begin
+          stats.hard_faults <- stats.hard_faults + 1;
+          Swap.read_page t.swap ~page:(As.swap_page seg ~vpn)
+        end;
+        Semaphore.acquire asp.As.as_lock;
+        (* A zero-filled page is dirty from birth: its contents exist
+           nowhere else. *)
+        install_frame t asp seg ~vpn f ~write:(write || zero) ~prefetched:false;
+        Ivar.fill ivar ();
+        Semaphore.release asp.As.as_lock;
+        if zero then Zero_filled else Hard
+  in
+  result
+
+(* ------------------------------------------------------------------ *)
+(* PagingDirected requests                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec prefetch t (asp : As.t) ~vpn =
+  let cfg = t.config in
+  let stats = asp.As.stats in
+  sys_delay t cfg.pm_call_ns;
+  match As.find_segment asp ~vpn with
+  | exception Not_found -> P_already
+  | seg -> (
+      Semaphore.acquire asp.As.as_lock;
+      match As.get_pte seg ~vpn with
+      | As.Resident _ | As.In_transit _ ->
+          stats.prefetches_useless <- stats.prefetches_useless + 1;
+          Semaphore.release asp.As.as_lock;
+          update_limits t asp;
+          P_already
+      | As.On_free_list fidx when not cfg.rescue_from_free_list ->
+          abandon_in_writeback t seg ~vpn fidx;
+          Semaphore.release asp.As.as_lock;
+          prefetch t asp ~vpn
+      | As.On_free_list fidx ->
+          Semaphore.acquire t.memory_lock;
+          let result =
+            match As.get_pte seg ~vpn with
+            | As.On_free_list fidx' when fidx' = fidx ->
+                let f = t.frames.(fidx) in
+                if f.on_free_list then Free_list.remove t.free f;
+                stats.prefetch_rescues <- stats.prefetch_rescues + 1;
+                (match f.freed_by with
+                | Some Vm_stats.Daemon ->
+                    stats.rescued_daemon <- stats.rescued_daemon + 1
+                | Some Vm_stats.Releaser ->
+                    stats.rescued_releaser <- stats.rescued_releaser + 1
+                | None -> ());
+                install_frame t asp seg ~vpn f ~write:false ~prefetched:true;
+                P_rescued
+            | _ -> P_already
+          in
+          Semaphore.release t.memory_lock;
+          Semaphore.release asp.As.as_lock;
+          update_limits t asp;
+          result
+      | (As.Swapped | As.Untouched) as prev -> (
+          match
+            (if t.config.drop_prefetch_when_low then alloc_frame_opt t
+             else begin
+               Semaphore.release asp.As.as_lock;
+               let f = alloc_frame_blocking t ~for_:asp in
+               Semaphore.acquire asp.As.as_lock;
+               Some f
+             end)
+          with
+          | None ->
+              stats.prefetches_dropped <- stats.prefetches_dropped + 1;
+              Semaphore.release asp.As.as_lock;
+              update_limits t asp;
+              P_dropped
+          | Some f ->
+              let zero = prev = As.Untouched in
+              let ivar = Ivar.create () in
+              As.set_pte seg ~vpn (As.In_transit ivar);
+              Semaphore.release asp.As.as_lock;
+              stats.prefetches_issued <- stats.prefetches_issued + 1;
+              sys_delay t cfg.hard_fault_cpu_ns;
+              if zero then sys_delay t cfg.zero_fill_ns
+              else Swap.read_page t.swap ~page:(As.swap_page seg ~vpn);
+              Semaphore.acquire asp.As.as_lock;
+              install_frame t asp seg ~vpn f ~write:zero ~prefetched:true;
+              Ivar.fill ivar ();
+              Semaphore.release asp.As.as_lock;
+              update_limits t asp;
+              P_fetched))
+
+let release_request t (asp : As.t) ~vpns =
+  let stats = asp.As.stats in
+  sys_delay t t.config.pm_call_ns;
+  stats.releases_requested <- stats.releases_requested + Array.length vpns;
+  (* The PM clears the residency bits at request time (section 3.1.2); any
+     re-reference before the releaser acts will set them again and veto the
+     release.  For the kernel to *observe* a re-reference of a still-mapped
+     page, the mapping must be invalidated here: the re-reference then traps
+     (a soft fault) and restores the bit.  This is also why releasing pages
+     that are still in active use is not free. *)
+  Array.iter
+    (fun vpn ->
+      match As.find_segment asp ~vpn with
+      | seg ->
+          As.set_bit seg ~vpn false;
+          (match As.get_pte seg ~vpn with
+          | As.Resident fidx ->
+              let f = t.frames.(fidx) in
+              if f.valid then begin
+                f.valid <- false;
+                f.release_invalidated <- true;
+                Tlb.invalidate asp.As.tlb ~vpn
+              end
+          | _ -> ())
+      | exception Not_found -> ())
+    vpns;
+  Mailbox.send t.releaser_box { req_as = asp; req_vpns = vpns };
+  update_limits t asp
+
+(* ------------------------------------------------------------------ *)
+(* Releaser daemon                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Write back a batch of stolen/released dirty pages asynchronously (one
+   fiber per page, so the striped disks all work and the daemon/releaser is
+   never gated on write latency), moving each frame to the free list as its
+   write completes — unless it was rescued during the write. *)
+let writeback_and_free t writebacks =
+  List.iter
+    (fun (seg, vpn, (f : Frame.t)) ->
+      ignore
+        (Engine.spawn_child ~name:"writeback" (fun () ->
+             Swap.write_page t.swap ~page:(As.swap_page seg ~vpn);
+             Semaphore.acquire t.memory_lock;
+             (* Still marked freed and not yet listed: return it.  A rescue
+                during the write clears the marker (install_frame). *)
+             (if f.freed_by <> None && not f.on_free_list then begin
+                Free_list.push_tail t.free f;
+                if not t.config.rescue_from_free_list then disassociate t f;
+                Condition.broadcast t.free_cond
+              end);
+             Semaphore.release t.memory_lock)))
+    writebacks
+
+
+
+let releaser_process_batch t (asp : As.t) (vpns : int array) =
+  let cfg = t.config in
+  (* Phase A: under locks, identify pages that are still resident and have
+     not been re-referenced (residency bit still clear), detach the clean
+     ones to the free list, and collect dirty ones for writeback. *)
+  Semaphore.acquire asp.As.as_lock;
+  Semaphore.acquire t.memory_lock;
+  let writebacks = ref [] in
+  let freed = ref 0 in
+  Array.iter
+    (fun vpn ->
+      match As.find_segment asp ~vpn with
+      | exception Not_found -> ()
+      | seg -> (
+          if As.bit seg ~vpn then
+            (* Re-referenced (or re-fetched) since the request: skip. *)
+            asp.As.stats.releases_skipped <- asp.As.stats.releases_skipped + 1
+          else
+            match As.get_pte seg ~vpn with
+            | As.Resident fidx ->
+                let f = t.frames.(fidx) in
+                As.set_pte seg ~vpn (As.On_free_list fidx);
+                asp.As.rss <- asp.As.rss - 1;
+                asp.As.stats.freed_by_releaser <-
+                  asp.As.stats.freed_by_releaser + 1;
+                t.gstats.releaser_pages_freed <- t.gstats.releaser_pages_freed + 1;
+                incr freed;
+                if f.dirty then begin
+                  f.dirty <- false;
+                  f.valid <- false;
+                  f.prefetched <- false;
+                  f.referenced <- false;
+                  f.freed_by <- Some Vm_stats.Releaser;
+                  asp.As.stats.writebacks <- asp.As.stats.writebacks + 1;
+                  writebacks := (seg, vpn, f) :: !writebacks
+                end
+                else free_frame_locked t f ~freer:Vm_stats.Releaser
+            | As.Untouched | As.Swapped | As.On_free_list _ | As.In_transit _
+              ->
+                asp.As.stats.releases_skipped <- asp.As.stats.releases_skipped + 1)
+      )
+    vpns;
+  (* The releaser is specialized: little per-page work while locks are
+     held. *)
+  sys_delay t (cfg.releaser_page_ns * Array.length vpns);
+  Semaphore.release t.memory_lock;
+  Semaphore.release asp.As.as_lock;
+  t.gstats.releaser_batches <- t.gstats.releaser_batches + 1;
+  (* Phase B: write back dirty pages in parallel without holding locks,
+     then put the frames on the free list (unless rescued meanwhile). *)
+  writeback_and_free t (List.rev !writebacks);
+  update_limits t asp
+
+let releaser_loop t () =
+  while not t.stop do
+    let req = Mailbox.recv t.releaser_box in
+    let n = Array.length req.req_vpns in
+    let batch = t.config.releaser_batch in
+    let i = ref 0 in
+    while !i < n do
+      let len = min batch (n - !i) in
+      releaser_process_batch t req.req_as (Array.sub req.req_vpns !i len);
+      i := !i + len
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Paging daemon                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let over_rss t =
+  Hashtbl.fold
+    (fun _ asp acc -> acc || asp.As.rss > t.config.maxrss)
+    t.spaces false
+
+let memory_pressure t = Free_list.length t.free < t.config.min_freemem || over_rss t
+
+let reached_target t = Free_list.length t.free >= t.config.desfree && not (over_rss t)
+
+(* Process one frame under the owner's locks; returns a pending writeback if
+   the frame was stolen dirty. *)
+let rec daemon_visit_frame t (asp : As.t) (f : Frame.t) ~free_shortage =
+  let cfg = t.config in
+  let stats = asp.As.stats in
+  t.gstats.daemon_frames_scanned <- t.gstats.daemon_frames_scanned + 1;
+  let referenced_since_last_visit =
+    if cfg.hw_ref_bits then begin
+      let r = f.referenced in
+      f.referenced <- false;
+      r
+    end
+    else f.valid
+  in
+  if referenced_since_last_visit && not f.prefetched then begin
+    (* Sample the reference: with software bits this *invalidates* the page,
+       and the next touch will take a soft fault. *)
+    if not cfg.hw_ref_bits then begin
+      f.valid <- false;
+      f.release_invalidated <- false;
+      Tlb.invalidate asp.As.tlb ~vpn:f.vpn;
+      stats.invalidations <- stats.invalidations + 1;
+      t.gstats.daemon_invalidations <- t.gstats.daemon_invalidations + 1
+    end;
+    f.age <- 0;
+    None
+  end
+  else begin
+    f.age <- f.age + 1;
+    let eligible = free_shortage || asp.As.rss > cfg.maxrss in
+    if f.age >= cfg.clock_ages_to_steal && eligible then begin
+      (* Steal: the application may have registered a reactive eviction
+         advisor (section 2.2) naming a page it would rather surrender;
+         otherwise the clock's choice stands. *)
+      let victim =
+        match Hashtbl.find_opt t.advisors asp.As.pid with
+        | Some advise -> (
+            let rec pick budget =
+              if budget = 0 then f
+              else
+                match advise () with
+                | None -> f
+                | Some vpn -> (
+                    match As.find_segment asp ~vpn with
+                    | exception Not_found -> pick (budget - 1)
+                    | seg -> (
+                        match As.get_pte seg ~vpn with
+                        | As.Resident fidx -> t.frames.(fidx)
+                        | _ -> pick (budget - 1)))
+            in
+            pick 8)
+        | None -> f
+      in
+      daemon_steal t asp victim
+    end
+    else None
+  end
+
+(* Detach [f] from its owner to the free list on the daemon's behalf.
+   Caller holds the owner's as_lock and the memory lock.  Returns a pending
+   writeback when the page was dirty. *)
+and daemon_steal t (asp : As.t) (f : Frame.t) =
+  let stats = asp.As.stats in
+  let seg = As.find_segment asp ~vpn:f.vpn in
+  As.set_pte seg ~vpn:f.vpn (As.On_free_list f.idx);
+  As.set_bit seg ~vpn:f.vpn false;
+  Tlb.invalidate asp.As.tlb ~vpn:f.vpn;
+  asp.As.rss <- asp.As.rss - 1;
+  stats.freed_by_daemon <- stats.freed_by_daemon + 1;
+  t.gstats.daemon_pages_stolen <- t.gstats.daemon_pages_stolen + 1;
+  if f.dirty then begin
+    f.dirty <- false;
+    f.valid <- false;
+    f.prefetched <- false;
+    f.referenced <- false;
+    f.freed_by <- Some Vm_stats.Daemon;
+    stats.writebacks <- stats.writebacks + 1;
+    Some (seg, f.vpn, f)
+  end
+  else begin
+    free_frame_locked t f ~freer:Vm_stats.Daemon;
+    None
+  end
+
+(* Scan up to [daemon_batch] frames from the clock hand.  Frames are grouped
+   by owner: the daemon holds the owner's address-space lock (and the memory
+   lock) for the whole run of consecutive same-owner frames, which is what
+   starves fault handling under memory pressure. *)
+let daemon_scan_batch t =
+  let cfg = t.config in
+  let nframes = Array.length t.frames in
+  let free_shortage = Free_list.length t.free < cfg.desfree in
+  let writebacks = ref [] in
+  let scanned = ref 0 in
+  while !scanned < cfg.daemon_batch do
+    let f = t.frames.(t.clock_hand) in
+    t.clock_hand <- (t.clock_hand + 1) mod nframes;
+    if (not f.on_free_list) && f.owner >= 0 && f.freed_by = None then begin
+      match Hashtbl.find_opt t.spaces f.owner with
+      | None -> incr scanned
+      | Some asp ->
+          (* Gather the run of frames with the same owner. *)
+          Semaphore.acquire asp.As.as_lock;
+          Semaphore.acquire t.memory_lock;
+          let run = ref 0 in
+          let continue_run = ref true in
+          let current = ref f in
+          while !continue_run do
+            let fr = !current in
+            if
+              (not fr.on_free_list)
+              && fr.owner = asp.As.pid
+              && fr.freed_by = None
+            then begin
+              (match daemon_visit_frame t asp fr ~free_shortage with
+              | Some wb -> writebacks := wb :: !writebacks
+              | None -> ());
+              incr run;
+              incr scanned;
+              if !scanned >= cfg.daemon_batch then continue_run := false
+              else begin
+                let next = t.frames.(t.clock_hand) in
+                if (not next.on_free_list) && next.owner = asp.As.pid then begin
+                  t.clock_hand <- (t.clock_hand + 1) mod nframes;
+                  current := next
+                end
+                else continue_run := false
+              end
+            end
+            else continue_run := false
+          done;
+          (* Long lock hold: per-page processing cost for the whole run.
+             Sampling a hardware reference bit is far cheaper than
+             invalidating a mapping (no TLB shootdown IPIs). *)
+          let per_page =
+            if cfg.hw_ref_bits then cfg.daemon_page_scan_ns / 8
+            else cfg.daemon_page_scan_ns
+          in
+          sys_delay t (per_page * max 1 !run);
+          Semaphore.release t.memory_lock;
+          Semaphore.release asp.As.as_lock
+    end
+    else incr scanned
+  done;
+  (* Writebacks happen without locks, in parallel; frames reach the free
+     list as each write completes. *)
+  writeback_and_free t (List.rev !writebacks)
+
+(* The daemon is paced like IRIX's vhand: it wakes at a fixed interval and,
+   while memory pressure persists, advances the clock hand by one batch per
+   wakeup.  Pacing matters: the gap between the invalidation pass and the
+   stealing pass over a frame is what gives processes a chance to
+   re-reference (soft fault) pages still in their working set, and it makes
+   the hand's cycle time scale with memory size — the property that lets an
+   idle interactive task keep its pages for a while (Figure 1). *)
+let paging_daemon_loop t () =
+  let cfg = t.config in
+  let active = ref false in
+  while not t.stop do
+    Engine.delay ~cat:Account.Sleep cfg.daemon_interval_ns;
+    if !active then begin
+      if reached_target t then active := false
+      else begin
+        daemon_scan_batch t;
+        (* Under severe shortage (free list near empty, allocators possibly
+           blocked), scan harder within the tick, like vhand under
+           pressure. *)
+        let extra = ref 0 in
+        while Free_list.length t.free < cfg.min_freemem && !extra < 4 do
+          incr extra;
+          daemon_scan_batch t
+        done
+      end
+    end
+    else if memory_pressure t then begin
+      active := true;
+      t.gstats.daemon_activations <- t.gstats.daemon_activations + 1;
+      daemon_scan_batch t
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ?swap_config ~config:(cfg : Config.t) ~engine () =
+  let swap =
+    Swap.create
+      ?config:swap_config
+      ~page_bytes:cfg.page_bytes ()
+  in
+  let frames = Array.init cfg.total_frames Frame.make in
+  let free = Free_list.create frames in
+  Array.iter (fun f -> Free_list.push_tail free f) frames;
+  let t =
+    {
+      config = cfg;
+      engine;
+      swap;
+      frames;
+      free;
+      free_cond = Condition.create ~name:"free-memory" ();
+      memory_lock = Semaphore.create ~name:"memory-lock" 1;
+      cpus = Semaphore.create ~name:"cpus" cfg.num_cpus;
+      spaces = Hashtbl.create 16;
+      space_list = [];
+      releaser_box = Mailbox.create ~name:"releaser" ();
+      gstats = Vm_stats.create_global ();
+      advisors = Hashtbl.create 4;
+      clock_hand = 0;
+      next_pid = 0;
+      next_swap_page = 0;
+      stop = false;
+    }
+  in
+  ignore (Engine.spawn engine ~name:"paging-daemon" (paging_daemon_loop t));
+  ignore (Engine.spawn engine ~name:"releaser-daemon" (releaser_loop t));
+  t
+
+let shutdown t = t.stop <- true
+
+let set_eviction_advisor t (asp : As.t) advise =
+  Hashtbl.replace t.advisors asp.As.pid advise
+
+(* ------------------------------------------------------------------ *)
+(* Invariants                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_invariants t =
+  let ok_free_count =
+    let n = ref 0 in
+    Array.iter (fun (f : Frame.t) -> if f.on_free_list then incr n) t.frames;
+    !n = Free_list.length t.free
+  in
+  let ok_frame_pte =
+    Array.for_all
+      (fun (f : Frame.t) ->
+        if f.owner < 0 then true
+        else
+          match Hashtbl.find_opt t.spaces f.owner with
+          | None -> false
+          | Some asp -> (
+              match As.find_segment asp ~vpn:f.vpn with
+              | exception Not_found -> false
+              | seg -> (
+                  match As.get_pte seg ~vpn:f.vpn with
+                  | As.Resident i | As.On_free_list i -> i = f.idx
+                  | _ -> false)))
+      t.frames
+  in
+  let ok_rss =
+    Hashtbl.fold
+      (fun _ asp acc -> acc && As.resident_pages asp = asp.As.rss)
+      t.spaces true
+  in
+  [
+    ("free-list count matches frame flags", ok_free_count);
+    ("owned frames agree with PTEs", ok_frame_pte);
+    ("rss counters match page tables", ok_rss);
+  ]

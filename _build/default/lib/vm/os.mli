@@ -1,0 +1,111 @@
+(** The kernel: global frame pool, fault handler, paging daemon, releaser
+    daemon, and the PagingDirected request interface (section 3.1).
+
+    Everything here runs inside simulated processes.  Time is charged to the
+    calling process: kernel CPU work as [System], disk waits as [Io_stall],
+    lock and memory waits as [Resource_stall].
+
+    Locking follows IRIX's coarse two-lock structure as described in the
+    paper: a per-address-space lock serializes fault handling against the
+    paging daemon's scans and the releaser (section 4.3: "the paging daemon
+    ... holds locks on the address spaces of the processes from which pages
+    are being stolen.  During this time, page faults for these virtual
+    memory regions cannot be serviced"), and a global memory lock protects
+    the free list.  The daemon holds the locks for long stretches (it
+    scans and invalidates in bulk); the releaser is specialized and holds
+    them only for small batches — reproducing the contention asymmetry the
+    paper measures. *)
+
+type t
+
+type touch_result =
+  | Fast              (** page resident and valid: no kernel involvement *)
+  | Soft              (** revalidated after a daemon invalidation *)
+  | Validated         (** first touch of a prefetched page *)
+  | Hard              (** read from swap *)
+  | Zero_filled       (** first touch of a fresh page *)
+  | Rescued of Vm_stats.freer  (** recovered from the free list *)
+
+type prefetch_result =
+  | P_fetched       (** I/O performed; page now resident (unvalidated) *)
+  | P_rescued       (** satisfied from the free list *)
+  | P_already       (** already resident or in transit *)
+  | P_dropped       (** discarded: no free memory (section 3.1.2) *)
+
+val create :
+  ?swap_config:Memhog_disk.Swap.config ->
+  config:Config.t ->
+  engine:Memhog_sim.Engine.t ->
+  unit ->
+  t
+(** Build the kernel state and spawn the paging daemon and releaser daemon
+    processes. *)
+
+val config : t -> Config.t
+val engine : t -> Memhog_sim.Engine.t
+val swap : t -> Memhog_disk.Swap.t
+val global_stats : t -> Vm_stats.global
+val free_pages : t -> int
+val cpus : t -> Memhog_sim.Semaphore.t
+(** Counting semaphore with one unit per CPU; application compute bursts
+    acquire it. *)
+
+(** {1 Process and memory setup} *)
+
+val new_process : t -> name:string -> Address_space.t
+val address_spaces : t -> Address_space.t list
+
+val map_segment :
+  t ->
+  Address_space.t ->
+  name:string ->
+  bytes:int ->
+  on_swap:bool ->
+  Address_space.segment
+(** Allocate a segment of the given size (rounded up to whole pages),
+    backed by freshly assigned swap space. *)
+
+val attach_paging_directed : t -> Address_space.t -> Address_space.segment -> unit
+
+(** {1 Memory operations (called from process context)} *)
+
+val touch : t -> Address_space.t -> vpn:int -> write:bool -> touch_result
+(** Reference one virtual page, faulting as needed. *)
+
+val prefetch : t -> Address_space.t -> vpn:int -> prefetch_result
+(** PagingDirected prefetch request: like a fault, except it is discarded
+    when memory is exhausted, and the page is left unvalidated (no TLB
+    entry) so it cannot displace active mappings. *)
+
+val release_request : t -> Address_space.t -> vpns:int array -> unit
+(** PagingDirected release request: clears the residency bits and posts the
+    pages to the releaser daemon's work queue.  Non-blocking apart from the
+    trap cost. *)
+
+(** {1 Shared-page information (read-only to applications)} *)
+
+val shared_current_usage : t -> Address_space.t -> int
+val shared_upper_limit : t -> Address_space.t -> int
+(** Equation 1: [min maxrss (current + free - min_freemem)], as of the last
+    memory activity of this process. *)
+
+val page_resident : Address_space.t -> vpn:int -> bool
+(** Read the shared-page residency bit. *)
+
+val set_eviction_advisor : t -> Address_space.t -> (unit -> int option) -> unit
+(** Register a {e reactive} eviction advisor for the process (the VINO-style
+    alternative of section 2.2): when the paging daemon decides to steal one
+    of this process's pages, it first asks the advisor which page the
+    application would rather surrender.  Section 2.2's argument — that a
+    reactive scheme improves the application's own replacement but cannot
+    protect other applications — is demonstrated by
+    [bench/main.exe ext-reactive]. *)
+
+(** {1 Control} *)
+
+val shutdown : t -> unit
+(** Ask the daemons to exit at their next wakeup. *)
+
+val check_invariants : t -> (string * bool) list
+(** Structural invariants (for tests): frame/PTE agreement, free-list
+    consistency, rss counters. *)

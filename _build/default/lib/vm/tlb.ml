@@ -1,0 +1,38 @@
+type t = {
+  slots : int array; (* vpn per slot, -1 = empty *)
+  mask : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ~entries =
+  if entries <= 0 || entries land (entries - 1) <> 0 then
+    invalid_arg "Tlb.create: entries must be a positive power of two";
+  { slots = Array.make entries (-1); mask = entries - 1; hit_count = 0; miss_count = 0 }
+
+let entries t = Array.length t.slots
+
+let hit t ~vpn = t.slots.(vpn land t.mask) = vpn
+
+let insert t ~vpn = t.slots.(vpn land t.mask) <- vpn
+
+let access t ~vpn =
+  let slot = vpn land t.mask in
+  if t.slots.(slot) = vpn then begin
+    t.hit_count <- t.hit_count + 1;
+    true
+  end
+  else begin
+    t.miss_count <- t.miss_count + 1;
+    t.slots.(slot) <- vpn;
+    false
+  end
+
+let invalidate t ~vpn =
+  let slot = vpn land t.mask in
+  if t.slots.(slot) = vpn then t.slots.(slot) <- -1
+
+let flush t = Array.fill t.slots 0 (Array.length t.slots) (-1)
+
+let misses t = t.miss_count
+let hits t = t.hit_count

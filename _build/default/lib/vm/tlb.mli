@@ -1,0 +1,36 @@
+(** Per-process TLB model.
+
+    The MIPS R10000's TLB (64 entries) has no hardware reference bit and is
+    refilled by software, which is why the paging daemon must sample
+    references by invalidating mappings (section 4.3) and why TLB refills
+    have a visible cost.  Section 3.1.2's second PagingDirected feature is
+    that a completed prefetch makes {e no} TLB entry, "to prevent mappings
+    for prefetched pages from displacing TLB entries which are still in
+    use"; the [prefetch_fills_tlb] ablation flag in {!Config.t} lets the
+    harness measure what that feature is worth.
+
+    The model is direct-mapped on the virtual page number: accurate enough
+    to capture conflict behaviour at page granularity while costing O(1)
+    per reference. *)
+
+type t
+
+val create : entries:int -> t
+
+val entries : t -> int
+
+val hit : t -> vpn:int -> bool
+(** Probe without refill. *)
+
+val access : t -> vpn:int -> bool
+(** Probe and refill on miss; returns whether it was a hit. *)
+
+val insert : t -> vpn:int -> unit
+
+val invalidate : t -> vpn:int -> unit
+(** Drop the mapping if present (page invalidated, stolen or released). *)
+
+val flush : t -> unit
+
+val misses : t -> int
+val hits : t -> int

@@ -1,0 +1,123 @@
+type freer = Daemon | Releaser
+
+let freer_name = function Daemon -> "daemon" | Releaser -> "releaser"
+
+type proc = {
+  mutable hard_faults : int;
+  mutable soft_faults : int;
+  mutable soft_faults_daemon : int;
+  mutable validation_faults : int;
+  mutable zero_fills : int;
+  mutable rescued_daemon : int;
+  mutable rescued_releaser : int;
+  mutable lost_daemon : int;
+  mutable lost_releaser : int;
+  mutable freed_by_daemon : int;
+  mutable freed_by_releaser : int;
+  mutable releases_requested : int;
+  mutable releases_skipped : int;
+  mutable prefetches_issued : int;
+  mutable prefetches_dropped : int;
+  mutable prefetches_useless : int;
+  mutable prefetch_rescues : int;
+  mutable writebacks : int;
+  mutable invalidations : int;
+}
+
+let create_proc () =
+  {
+    hard_faults = 0;
+    soft_faults = 0;
+    soft_faults_daemon = 0;
+    validation_faults = 0;
+    zero_fills = 0;
+    rescued_daemon = 0;
+    rescued_releaser = 0;
+    lost_daemon = 0;
+    lost_releaser = 0;
+    freed_by_daemon = 0;
+    freed_by_releaser = 0;
+    releases_requested = 0;
+    releases_skipped = 0;
+    prefetches_issued = 0;
+    prefetches_dropped = 0;
+    prefetches_useless = 0;
+    prefetch_rescues = 0;
+    writebacks = 0;
+    invalidations = 0;
+  }
+
+let add_proc dst src =
+  dst.hard_faults <- dst.hard_faults + src.hard_faults;
+  dst.soft_faults <- dst.soft_faults + src.soft_faults;
+  dst.soft_faults_daemon <- dst.soft_faults_daemon + src.soft_faults_daemon;
+  dst.validation_faults <- dst.validation_faults + src.validation_faults;
+  dst.zero_fills <- dst.zero_fills + src.zero_fills;
+  dst.rescued_daemon <- dst.rescued_daemon + src.rescued_daemon;
+  dst.rescued_releaser <- dst.rescued_releaser + src.rescued_releaser;
+  dst.lost_daemon <- dst.lost_daemon + src.lost_daemon;
+  dst.lost_releaser <- dst.lost_releaser + src.lost_releaser;
+  dst.freed_by_daemon <- dst.freed_by_daemon + src.freed_by_daemon;
+  dst.freed_by_releaser <- dst.freed_by_releaser + src.freed_by_releaser;
+  dst.releases_requested <- dst.releases_requested + src.releases_requested;
+  dst.releases_skipped <- dst.releases_skipped + src.releases_skipped;
+  dst.prefetches_issued <- dst.prefetches_issued + src.prefetches_issued;
+  dst.prefetches_dropped <- dst.prefetches_dropped + src.prefetches_dropped;
+  dst.prefetches_useless <- dst.prefetches_useless + src.prefetches_useless;
+  dst.prefetch_rescues <- dst.prefetch_rescues + src.prefetch_rescues;
+  dst.writebacks <- dst.writebacks + src.writebacks;
+  dst.invalidations <- dst.invalidations + src.invalidations
+
+let total_faults p = p.hard_faults + p.soft_faults + p.validation_faults
+
+let rescued p = function
+  | Daemon -> p.rescued_daemon
+  | Releaser -> p.rescued_releaser
+
+let freed_by p = function
+  | Daemon -> p.freed_by_daemon
+  | Releaser -> p.freed_by_releaser
+
+type global = {
+  mutable daemon_activations : int;
+  mutable daemon_pages_stolen : int;
+  mutable daemon_frames_scanned : int;
+  mutable daemon_invalidations : int;
+  mutable releaser_batches : int;
+  mutable releaser_pages_freed : int;
+  mutable allocations : int;
+  mutable allocation_waits : int;
+}
+
+let create_global () =
+  {
+    daemon_activations = 0;
+    daemon_pages_stolen = 0;
+    daemon_frames_scanned = 0;
+    daemon_invalidations = 0;
+    releaser_batches = 0;
+    releaser_pages_freed = 0;
+    allocations = 0;
+    allocation_waits = 0;
+  }
+
+let pp_proc fmt p =
+  Format.fprintf fmt
+    "@[<v>faults: hard=%d soft=%d valid=%d zero=%d@,\
+     freed: daemon=%d releaser=%d@,\
+     rescued: daemon=%d releaser=%d  lost: daemon=%d releaser=%d@,\
+     releases: req=%d skipped=%d  prefetch: ok=%d drop=%d useless=%d rescue=%d@,\
+     writebacks=%d invalidations=%d@]"
+    p.hard_faults p.soft_faults p.validation_faults p.zero_fills
+    p.freed_by_daemon p.freed_by_releaser p.rescued_daemon p.rescued_releaser
+    p.lost_daemon p.lost_releaser p.releases_requested p.releases_skipped
+    p.prefetches_issued p.prefetches_dropped p.prefetches_useless
+    p.prefetch_rescues p.writebacks p.invalidations
+
+let pp_global fmt g =
+  Format.fprintf fmt
+    "@[<v>daemon: activations=%d stolen=%d scanned=%d invalidations=%d@,\
+     releaser: batches=%d freed=%d@,allocations=%d (blocked %d)@]"
+    g.daemon_activations g.daemon_pages_stolen g.daemon_frames_scanned
+    g.daemon_invalidations g.releaser_batches g.releaser_pages_freed
+    g.allocations g.allocation_waits

@@ -1,0 +1,1 @@
+lib/workloads/buk.ml: Ir Memhog_compiler

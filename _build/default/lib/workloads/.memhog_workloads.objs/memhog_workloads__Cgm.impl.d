@@ -1,0 +1,1 @@
+lib/workloads/cgm.ml: Ir Memhog_compiler

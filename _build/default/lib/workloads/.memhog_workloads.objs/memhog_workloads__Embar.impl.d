@@ -1,0 +1,1 @@
+lib/workloads/embar.ml: Ir Memhog_compiler

@@ -1,0 +1,1 @@
+lib/workloads/fftpde.ml: Ir Memhog_compiler

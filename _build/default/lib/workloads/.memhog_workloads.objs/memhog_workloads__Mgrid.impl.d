@@ -1,0 +1,1 @@
+lib/workloads/mgrid.ml: Float Ir List Memhog_compiler

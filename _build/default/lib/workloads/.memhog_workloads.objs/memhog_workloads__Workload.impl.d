@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Buk Cgm Embar Fftpde List Matvec Memhog_compiler Mgrid String

@@ -1,0 +1,59 @@
+(* BUK: the NAS integer ("bucket") sort, out-of-core version.
+
+   Two very large sequentially-accessed arrays (keys in, ranks out) and a
+   third large randomly-accessed array (the buckets), reached through
+   indirect references a[keys[i]].  The loop bounds are unknown to the
+   compiler.  It releases the two sequential arrays but cannot reason about
+   the random one, so it leaves it alone — and, as the paper observes, the
+   demand for fresh pages is satisfied by the sequential arrays' releases,
+   letting the bucket array stay mostly in memory: the compiler improves on
+   the replacement policy without any run-time cleverness. *)
+
+open Memhog_compiler
+
+let make ~mem_bytes ~page_bytes =
+  ignore page_bytes;
+  let k = mem_bytes * 15 / 10 / 8 in
+  let b = mem_bytes * 60 / 100 / 8 in
+  let arrays =
+    [
+      Ir.array_decl "keys" ~size:(Ir.param "K");
+      Ir.array_decl "rank" ~size:(Ir.param "K");
+      Ir.array_decl "buckets" ~size:(Ir.param "B");
+    ]
+  in
+  let count_pass =
+    Ir.loop ~known:false ~var:"i" ~lo:(Ir.cst 0) ~hi:(Ir.param "K")
+      (Ir.S_body
+         {
+           Ir.refs =
+             [
+               Ir.direct "keys" [ ("i", Ir.C_const 1) ] ~write:false;
+               Ir.indirect ~every:48 "buckets" ~via:"keys" ~write:true;
+             ];
+           work_ns_per_iter = 40;
+         })
+  in
+  let rank_pass =
+    Ir.loop ~known:false ~var:"i2" ~lo:(Ir.cst 0) ~hi:(Ir.param "K")
+      (Ir.S_body
+         {
+           Ir.refs =
+             [
+               Ir.direct "keys" [ ("i2", Ir.C_const 1) ] ~write:false;
+               Ir.indirect ~every:48 "buckets" ~via:"keys" ~write:false;
+               Ir.direct "rank" [ ("i2", Ir.C_const 1) ] ~write:true;
+             ];
+           work_ns_per_iter = 40;
+         })
+  in
+  let prog =
+    {
+      Ir.prog_name = "buk";
+      arrays;
+      assumptions = [ ("K", None); ("B", None) ];
+      procs = [];
+      main = Ir.S_seq [ count_pass; rank_pass ];
+    }
+  in
+  (prog, [ ("K", k); ("B", b) ])

@@ -1,0 +1,71 @@
+(* CGM: the NAS conjugate-gradient kernel, out-of-core version.
+
+   Sparse matrix-vector products: the value and column-index arrays stream
+   sequentially, but the inner loop over a row's nonzeros has bounds the
+   compiler cannot see, and the source vector is reached indirectly through
+   the column indices.  The compiler cannot reason about the small loops,
+   so it floods the run-time layer with unnecessary prefetch and release
+   requests that must be filtered — the visible user-time overhead in
+   Figure 7. *)
+
+open Memhog_compiler
+
+let nnz_per_row = 24
+
+let make ~mem_bytes ~page_bytes =
+  ignore page_bytes;
+  let nnz = mem_bytes * 22 / 10 / 8 in
+  let nrows = nnz / nnz_per_row in
+  let arrays =
+    [
+      Ir.array_decl "aval" ~size:(Ir.param "NNZ");
+      Ir.array_decl "colidx" ~size:(Ir.param "NNZ");
+      Ir.array_decl "xvec" ~size:(Ir.param "NROWS");
+      Ir.array_decl "pvec" ~size:(Ir.param "NROWS");
+      Ir.array_decl "qvec" ~size:(Ir.param "NROWS");
+      Ir.array_decl "rvec" ~size:(Ir.param "NROWS");
+    ]
+  in
+  let spmv =
+    Ir.loop ~known:false ~var:"row" ~lo:(Ir.cst 0) ~hi:(Ir.param "NROWS")
+      (Ir.loop ~known:false ~var:"k" ~lo:(Ir.cst 0) ~hi:(Ir.param "NNZROW")
+         (Ir.S_body
+            {
+              Ir.refs =
+                [
+                  Ir.direct "aval"
+                    [ ("row", Ir.C_param "NNZROW"); ("k", Ir.C_const 1) ]
+                    ~write:false;
+                  Ir.direct "colidx"
+                    [ ("row", Ir.C_param "NNZROW"); ("k", Ir.C_const 1) ]
+                    ~write:false;
+                  Ir.indirect ~every:8 "xvec" ~via:"colidx" ~write:false;
+                  Ir.direct "qvec" [ ("row", Ir.C_const 1) ] ~write:true;
+                ];
+              work_ns_per_iter = 50;
+            }))
+  in
+  let vector_update =
+    Ir.loop ~known:false ~var:"r2" ~lo:(Ir.cst 0) ~hi:(Ir.param "NROWS")
+      (Ir.S_body
+         {
+           Ir.refs =
+             [
+               Ir.direct "pvec" [ ("r2", Ir.C_const 1) ] ~write:false;
+               Ir.direct "qvec" [ ("r2", Ir.C_const 1) ] ~write:false;
+               Ir.direct "rvec" [ ("r2", Ir.C_const 1) ] ~write:true;
+               Ir.direct "xvec" [ ("r2", Ir.C_const 1) ] ~write:true;
+             ];
+           work_ns_per_iter = 35;
+         })
+  in
+  let prog =
+    {
+      Ir.prog_name = "cgm";
+      arrays;
+      assumptions = [ ("NNZ", None); ("NROWS", None); ("NNZROW", None) ];
+      procs = [];
+      main = Ir.S_seq [ spmv; vector_update ];
+    }
+  in
+  (prog, [ ("NNZ", nnz); ("NROWS", nrows); ("NNZROW", nnz_per_row) ])

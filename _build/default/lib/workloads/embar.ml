@@ -1,0 +1,50 @@
+(* EMBAR: the NAS "embarrassingly parallel" kernel, out-of-core version.
+
+   One-dimensional loops with known bounds: a large array of Gaussian
+   deviates is generated, then consumed by a tallying pass into a tiny sums
+   table.  The compiler's analysis is "essentially perfect" here; the big
+   array streams through memory once per pass and every page can be
+   released right after its last use. *)
+
+open Memhog_compiler
+
+let make ~mem_bytes ~page_bytes =
+  ignore page_bytes;
+  let m = mem_bytes * 42 / 10 / 8 in
+  let arrays =
+    [
+      (* generated in place: first touch zero-fills, no input read *)
+      Ir.array_decl "pairs" ~size:(Ir.param "M") ~on_swap:false;
+      Ir.array_decl "sums" ~size:(Ir.cst 512) ~on_swap:false;
+    ]
+  in
+  let generate =
+    Ir.loop ~var:"i" ~lo:(Ir.cst 0) ~hi:(Ir.param "M")
+      (Ir.S_body
+         {
+           Ir.refs = [ Ir.direct "pairs" [ ("i", Ir.C_const 1) ] ~write:true ];
+           work_ns_per_iter = 160 (* random-number generation is compute-heavy *);
+         })
+  in
+  let tally =
+    Ir.loop ~var:"i2" ~lo:(Ir.cst 0) ~hi:(Ir.param "M")
+      (Ir.S_body
+         {
+           Ir.refs =
+             [
+               Ir.direct "pairs" [ ("i2", Ir.C_const 1) ] ~write:false;
+               Ir.direct "sums" [] ~write:true (* annulus counters: invariant *);
+             ];
+           work_ns_per_iter = 90;
+         })
+  in
+  let prog =
+    {
+      Ir.prog_name = "embar";
+      arrays;
+      assumptions = [ ("M", Some m) ];
+      procs = [];
+      main = Ir.S_seq [ generate; tally ];
+    }
+  in
+  (prog, [ ("M", m) ])

@@ -1,0 +1,123 @@
+(* FFTPDE: the NAS 3-D FFT PDE kernel, out-of-core version.
+
+   Alternating contiguous butterfly passes and transposes.  The transpose's
+   access stride lives in a runtime variable that changes between phases,
+   which hides the dependence on the loop induction variable from the
+   compiler ("making it seem as though the access is not dependent on the
+   loop induction variable", section 4.2): releases of the transposed array
+   are tagged with temporal reuse that does not exist, so the buffered
+   run-time policy wrongly retains those pages — B fails to release enough
+   memory, the paper's one negative result (Figure 10(b)). *)
+
+open Memhog_compiler
+
+let make ~mem_bytes ~page_bytes =
+  ignore page_bytes;
+  let runlen = 4096 in
+  let align = runlen * 64 in
+  let m = mem_bytes * 2 / 8 / align * align in
+  let nblk = m / runlen in
+  let arrays =
+    [
+      Ir.array_decl "a" ~size:(Ir.param "M");
+      Ir.array_decl "b" ~size:(Ir.param "M");
+    ]
+  in
+  let butterfly src dst =
+    {
+      Ir.p_name = "pass_" ^ src;
+      p_body =
+        Ir.loop ~var:"i" ~lo:(Ir.cst 0) ~hi:(Ir.param "M")
+          (Ir.S_body
+             {
+               Ir.refs =
+                 [
+                   Ir.direct src [ ("i", Ir.C_const 1) ] ~write:false;
+                   Ir.direct dst [ ("i", Ir.C_const 1) ] ~write:true;
+                 ];
+               work_ns_per_iter = 70;
+             });
+    }
+  in
+  (* Transpose: reads [src] in runs of RUNLEN placed STRIDE apart (covering
+     the array exactly: rep*RUNLEN + blk*STRIDE + e), writes [dst] in read
+     order.  STRIDE is a runtime value the compiler cannot see (opaque): the
+     blk-term is invisible to dependence analysis, so the src reference
+     appears to have temporal reuse along blk. *)
+  let transpose src dst =
+    {
+      Ir.p_name = "trans_" ^ src;
+      p_body =
+        Ir.loop ~var:"rep" ~lo:(Ir.cst 0) ~hi:(Ir.param "REPS")
+          (Ir.loop ~var:"blk" ~lo:(Ir.cst 0) ~hi:(Ir.param "NBLK")
+             (Ir.loop ~var:"e" ~lo:(Ir.cst 0) ~hi:(Ir.param "RUNLEN")
+                (Ir.S_body
+                   {
+                     Ir.refs =
+                       [
+                         Ir.direct src
+                           [
+                             ("rep", Ir.C_param "RUNLEN");
+                             ("blk", Ir.C_opaque "STRIDE");
+                             ("e", Ir.C_const 1);
+                           ]
+                           ~write:false;
+                         Ir.direct dst
+                           [
+                             ("rep", Ir.C_param "DSTREP");
+                             ("blk", Ir.C_param "RUNLEN");
+                             ("e", Ir.C_const 1);
+                           ]
+                           ~write:true;
+                       ];
+                     work_ns_per_iter = 55;
+                   })));
+    }
+  in
+  let call name binds = Ir.S_call (name, binds) in
+  let trans_binds stride =
+    [
+      ("STRIDE", Ir.cst stride);
+      ("REPS", Ir.cst (stride / runlen));
+      ("NBLK", Ir.cst (m / stride));
+      ("DSTREP", Ir.cst (m / stride * runlen));
+    ]
+  in
+  let prog =
+    {
+      Ir.prog_name = "fftpde";
+      arrays;
+      assumptions =
+        [
+          ("M", Some m);
+          ("RUNLEN", Some runlen);
+          (* the per-phase values are unknown to the compiler *)
+          ("STRIDE", None);
+          ("REPS", None);
+          ("NBLK", None);
+          ("DSTREP", None);
+        ];
+      procs =
+        [ butterfly "a" "b"; butterfly "b" "a"; transpose "b" "a"; transpose "a" "b" ];
+      main =
+        Ir.S_seq
+          [
+            call "pass_a" [];
+            (* stride changes between the transpose phases *)
+            call "trans_b" (trans_binds (runlen * 4));
+            call "pass_a" [];
+            call "trans_b" (trans_binds (runlen * 16));
+            call "pass_a" [];
+            call "trans_b" (trans_binds (runlen * 64));
+          ];
+    }
+  in
+  ( prog,
+    [
+      ("M", m);
+      ("RUNLEN", runlen);
+      ("STRIDE", runlen);
+      ("REPS", 1);
+      ("NBLK", nblk);
+      ("DSTREP", runlen);
+    ] )

@@ -1,0 +1,53 @@
+(* MATVEC: dense matrix-vector multiplication, y = A x (Figure 5).
+
+   The matrix is ~5.3x physical memory (400 MB against 75 MB in the paper);
+   the vector is a few pages and is re-read on every row.  Both are released
+   by the aggressive compiler; the vector's releases carry priority 1
+   (temporal reuse across the outer loop, equation 2), so the buffered
+   run-time policy retains it while the aggressive policy thrashes it —
+   the paper's central R-vs-B contrast. *)
+
+open Memhog_compiler
+
+let isqrt n =
+  let r = int_of_float (sqrt (float_of_int n)) in
+  let rec fix r = if r * r > n then fix (r - 1) else r in
+  fix (r + 1)
+
+let make ~mem_bytes ~page_bytes =
+  ignore page_bytes;
+  let n = isqrt (mem_bytes * 53 / 10 / 8) in
+  let arrays =
+    [
+      Ir.array_decl "A" ~size:(Ir.param "NN");
+      Ir.array_decl "x" ~size:(Ir.param "N");
+      Ir.array_decl "y" ~size:(Ir.param "N");
+    ]
+  in
+  let body =
+    Ir.S_body
+      {
+        Ir.refs =
+          [
+            Ir.direct "A" [ ("i", Ir.C_param "N"); ("j", Ir.C_const 1) ] ~write:false;
+            Ir.direct "x" [ ("j", Ir.C_const 1) ] ~write:false;
+            Ir.direct "y" [ ("i", Ir.C_const 1) ] ~write:true;
+          ];
+        work_ns_per_iter = 45;
+      }
+  in
+  let main =
+    Ir.loop ~var:"i" ~lo:(Ir.cst 0) ~hi:(Ir.param "N")
+      (Ir.loop ~var:"j" ~lo:(Ir.cst 0) ~hi:(Ir.param "N") body)
+  in
+  let prog =
+    {
+      Ir.prog_name = "matvec";
+      arrays;
+      (* Bounds are known to the compiler (Table 2). *)
+      assumptions = [ ("N", Some n); ("NN", Some (n * n)) ];
+      procs = [];
+      main;
+    }
+  in
+  (prog, [ ("N", n); ("NN", n * n) ])

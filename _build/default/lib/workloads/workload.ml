@@ -1,0 +1,72 @@
+type t = {
+  w_name : string;
+  w_description : string;
+  w_traits : string;
+  w_iterations : int;
+  w_make :
+    mem_bytes:int -> page_bytes:int -> Memhog_compiler.Ir.program * (string * int) list;
+}
+
+let all =
+  [
+    {
+      w_name = "EMBAR";
+      w_description = "NAS EP: tabulation of Gaussian random deviates";
+      w_traits = "one-dimensional loops, known bounds; pure streaming";
+      w_iterations = 2;
+      w_make = (fun ~mem_bytes ~page_bytes -> Embar.make ~mem_bytes ~page_bytes);
+    };
+    {
+      w_name = "MATVEC";
+      w_description = "dense matrix-vector multiplication (y = A x)";
+      w_traits = "multi-dimensional loops, known bounds; vector has temporal reuse";
+      w_iterations = 3;
+      w_make = (fun ~mem_bytes ~page_bytes -> Matvec.make ~mem_bytes ~page_bytes);
+    };
+    {
+      w_name = "BUK";
+      w_description = "NAS IS: integer bucket sort";
+      w_traits = "unknown bounds; indirect refs to a large randomly-accessed array";
+      w_iterations = 2;
+      w_make = (fun ~mem_bytes ~page_bytes -> Buk.make ~mem_bytes ~page_bytes);
+    };
+    {
+      w_name = "CGM";
+      w_description = "NAS CG: conjugate gradient, sparse matrix-vector products";
+      w_traits = "unknown (small) inner bounds; indirect refs through column indices";
+      w_iterations = 2;
+      w_make = (fun ~mem_bytes ~page_bytes -> Cgm.make ~mem_bytes ~page_bytes);
+    };
+    {
+      w_name = "MGRID";
+      w_description = "NAS MG: multigrid V-cycle on 3-D grids";
+      w_traits = "bounds change across calls to the same procedures; inter-nest reuse";
+      w_iterations = 2;
+      w_make = (fun ~mem_bytes ~page_bytes -> Mgrid.make ~mem_bytes ~page_bytes);
+    };
+    {
+      w_name = "FFTPDE";
+      w_description = "NAS FT: 3-D FFT PDE solver (butterfly passes + transposes)";
+      w_traits = "stride changes within loops: false temporal reuse detected";
+      w_iterations = 2;
+      w_make = (fun ~mem_bytes ~page_bytes -> Fftpde.make ~mem_bytes ~page_bytes);
+    };
+  ]
+
+let names = List.map (fun w -> w.w_name) all
+
+let find name =
+  let target = String.uppercase_ascii name in
+  match List.find_opt (fun w -> w.w_name = target) all with
+  | Some w -> w
+  | None -> raise Not_found
+
+let data_set_bytes w ~mem_bytes ~page_bytes =
+  let prog, params = w.w_make ~mem_bytes ~page_bytes in
+  let env = Memhog_compiler.Ir.env_of_list params in
+  List.fold_left
+    (fun acc (a : Memhog_compiler.Ir.array_decl) ->
+      acc
+      + Memhog_compiler.Ir.eval_bound env a.Memhog_compiler.Ir.a_size_elems
+        * a.Memhog_compiler.Ir.a_elem_bytes)
+    0 prog.Memhog_compiler.Ir.arrays

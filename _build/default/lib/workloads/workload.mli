@@ -1,0 +1,44 @@
+(** The benchmark suite: out-of-core versions of five NAS kernels plus the
+    MATVEC kernel (Table 2).
+
+    Each workload builds a loop-nest program whose data set is sized
+    relative to the machine's memory (the paper grew the NAS data sets
+    beyond the 75 MB available), together with the runtime parameter values
+    the compiled executable runs under.  The traits named in Table 2 are
+    encoded structurally:
+
+    - EMBAR: one-dimensional loops, known bounds — analysis essentially
+      perfect;
+    - MATVEC: multi-dimensional loops with known bounds — analysis
+      essentially perfect, but the temporally-reused vector is still
+      released aggressively and must be saved by run-time buffering;
+    - BUK: unknown bounds and an indirect (randomly accessed) array that is
+      prefetched but never released;
+    - CGM: unknown (small) inner loop bounds and indirect references —
+      floods of unnecessary hints that the run-time layer must filter;
+    - MGRID: procedures called repeatedly with different grid sizes — a
+      single compiled version cannot release optimally, and reuse between
+      independent loop nests is invisible to the compiler;
+    - FFTPDE: runtime-varying strides that hide the dependence on the loop
+      variable, so releases are tagged with reuse that does not exist. *)
+
+type t = {
+  w_name : string;
+  w_description : string;   (** Table 2: what the program computes *)
+  w_traits : string;        (** Table 2: access-pattern characteristics *)
+  w_iterations : int;       (** repetitions of the main computation per run *)
+  w_make :
+    mem_bytes:int -> page_bytes:int -> Memhog_compiler.Ir.program * (string * int) list;
+}
+
+val all : t list
+(** EMBAR, MATVEC, BUK, CGM, MGRID, FFTPDE — the order of the paper's
+    figures. *)
+
+val find : string -> t
+(** Case-insensitive lookup; raises [Not_found]. *)
+
+val names : string list
+
+val data_set_bytes : t -> mem_bytes:int -> page_bytes:int -> int
+(** Total bytes across the program's arrays (the out-of-core data set). *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Format List Memhog_compiler Memhog_core Memhog_sim Memhog_vm Memhog_workloads String

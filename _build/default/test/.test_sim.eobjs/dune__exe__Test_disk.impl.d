@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Array Engine List Memhog_disk Memhog_sim Printf QCheck QCheck_alcotest

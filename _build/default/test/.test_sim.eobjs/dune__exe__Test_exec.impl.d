@@ -1,0 +1,1 @@
+test/test_exec.ml: Account Alcotest Engine Format Fun List Memhog_compiler Memhog_disk Memhog_exec Memhog_runtime Memhog_sim Memhog_vm Printexc QCheck QCheck_alcotest Time_ns

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Engine Lazy List Memhog_compiler Memhog_core Memhog_exec Memhog_sim Memhog_vm Memhog_workloads Option Printf Time_ns

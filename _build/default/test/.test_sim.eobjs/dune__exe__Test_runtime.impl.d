@@ -1,0 +1,1 @@
+test/test_runtime.ml: Account Alcotest Array Engine Fun Gen Hashtbl List Memhog_runtime Memhog_sim Memhog_vm Printexc QCheck QCheck_alcotest Time_ns

@@ -1,0 +1,1 @@
+test/test_sim.ml: Account Alcotest Condition Engine Gen Heap Ivar List Mailbox Memhog_sim Option Printf QCheck QCheck_alcotest Rng Semaphore Series String Time_ns

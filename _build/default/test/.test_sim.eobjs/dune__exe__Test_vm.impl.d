@@ -1,0 +1,1 @@
+test/test_vm.ml: Account Alcotest Array Engine Fun List Memhog_disk Memhog_sim Memhog_vm Printexc QCheck QCheck_alcotest Time_ns

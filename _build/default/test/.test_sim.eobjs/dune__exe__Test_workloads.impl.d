@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Memhog_compiler Memhog_workloads Printf QCheck QCheck_alcotest String

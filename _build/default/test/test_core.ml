@@ -1,0 +1,144 @@
+(* Tests for the experiment-harness core: report formatting, machine
+   descriptions, and the figure generators' static parts. *)
+
+module Report = Memhog_core.Report
+module Machine = Memhog_core.Machine
+module Figures = Memhog_core.Figures
+module E = Memhog_core.Experiment
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let render_table ?title ~header ~rows () =
+  Format.asprintf "@[<v>%t@]" (fun fmt -> Report.table ?title ~header ~rows fmt ())
+
+let test_table_layout () =
+  let s =
+    render_table ~title:"T" ~header:[ "name"; "value" ]
+      ~rows:[ [ "a"; "1" ]; [ "longer"; "22" ] ]
+      ()
+  in
+  check_bool "title" true (contains s "T");
+  check_bool "header" true (contains s "name");
+  (* all rows padded to the same width *)
+  let lines = String.split_on_char '\n' s in
+  let widths =
+    List.filter_map
+      (fun l -> if String.length l > 0 then Some (String.length l) else None)
+      (List.tl lines)
+  in
+  check_bool "aligned" true (List.length (List.sort_uniq compare widths) = 1)
+
+let test_table_rejects_ragged_rows () =
+  Alcotest.check_raises "row width" (Invalid_argument "Report.table: row width mismatch")
+    (fun () -> ignore (render_table ~header:[ "a"; "b" ] ~rows:[ [ "1" ] ] ()))
+
+let test_formatters () =
+  check_str "count separators" "1,234,567" (Report.count 1234567);
+  check_str "small count" "999" (Report.count 999);
+  check_str "ratio" "1.37" (Report.ratio 1.3749);
+  check_str "pct" "42.3%" (Report.pct 0.4231);
+  check_str "ns opt none" "-" (Report.ns_opt None);
+  check_str "ns opt some" "2.00ms" (Report.ns_opt (Some (Memhog_sim.Time_ns.ms 2)))
+
+(* ------------------------------------------------------------------ *)
+(* Machine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_paper_machine () =
+  let m = Machine.paper in
+  check_int "75 MB of memory" (75 * 1024 * 1024) (Machine.mem_bytes m);
+  let latency = Machine.fault_latency_ns m in
+  (* seek + rotation + transfer of one 16 KB page: around 12 ms *)
+  check_bool "latency plausible" true
+    (latency > 10_000_000 && latency < 15_000_000);
+  let target = Machine.compiler_target m in
+  check_int "target sees all frames" 4800
+    target.Memhog_compiler.Analysis.memory_pages
+
+let test_quick_machine_scaled () =
+  let q = Machine.quick in
+  check_bool "smaller memory" true (Machine.mem_bytes q < Machine.mem_bytes Machine.paper);
+  check_bool "keeps prefetch headroom" true
+    (q.Machine.m_config.Memhog_vm.Config.desfree >= 96)
+
+(* ------------------------------------------------------------------ *)
+(* Figures (static parts only; the dynamic ones run in bench)          *)
+(* ------------------------------------------------------------------ *)
+
+let test_table1_renders () =
+  let s = Figures.table1 () in
+  check_bool "mentions the machine" true (contains s "SGI Origin 200");
+  check_bool "mentions disks" true (contains s "Cheetah")
+
+let test_table2_renders () =
+  let s = Figures.table2 () in
+  List.iter
+    (fun name -> check_bool name true (contains s name))
+    [ "EMBAR"; "MATVEC"; "BUK"; "CGM"; "MGRID"; "FFTPDE" ];
+  check_bool "sizes in MB" true (contains s "MB")
+
+(* ------------------------------------------------------------------ *)
+(* Experiment plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_variant_mapping () =
+  Alcotest.(check (list string))
+    "names" [ "O"; "P"; "R"; "B" ]
+    (List.map E.variant_name E.all_variants)
+
+let test_breakdown_total () =
+  let b =
+    { E.b_user = 10; b_system = 20; b_io_stall = 30; b_resource_stall = 40 }
+  in
+  check_int "sum" 100 (E.breakdown_total b)
+
+let test_run_produces_telemetry () =
+  let wl = Memhog_workloads.Workload.find "EMBAR" in
+  let r =
+    E.run (E.setup ~machine:Machine.quick ~workload:wl ~variant:E.O ~iterations:1 ())
+  in
+  check_bool "free series sampled" true
+    (match List.assoc_opt "free" r.E.r_series with
+    | Some s -> Memhog_sim.Series.length s > 10
+    | None -> false);
+  check_bool "rss series sampled" true (List.mem_assoc "app-rss" r.E.r_series);
+  check_bool "no interactive series without the task" true
+    (not (List.mem_assoc "inter-rss" r.E.r_series))
+
+let () =
+  Alcotest.run "memhog_core"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "table layout" `Quick test_table_layout;
+          Alcotest.test_case "ragged rows" `Quick test_table_rejects_ragged_rows;
+          Alcotest.test_case "formatters" `Quick test_formatters;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "paper machine" `Quick test_paper_machine;
+          Alcotest.test_case "quick machine" `Quick test_quick_machine_scaled;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "table1" `Quick test_table1_renders;
+          Alcotest.test_case "table2" `Quick test_table2_renders;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "variants" `Quick test_variant_mapping;
+          Alcotest.test_case "breakdown" `Quick test_breakdown_total;
+          Alcotest.test_case "telemetry" `Quick test_run_produces_telemetry;
+        ] );
+    ]

@@ -1,0 +1,229 @@
+(* Tests for the disk and striped-swap models. *)
+
+open Memhog_sim
+module Disk = Memhog_disk.Disk
+module Swap = Memhog_disk.Swap
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run_sim f =
+  let e = Engine.create () in
+  ignore (Engine.spawn e ~name:"t" f);
+  Engine.run e;
+  e
+
+let test_random_read_cost () =
+  let d = Disk.create ~id:0 () in
+  let elapsed = ref 0 in
+  let _ =
+    run_sim (fun () ->
+        Disk.read d ~block:100 ~bytes:16_384;
+        elapsed := Engine.now ())
+  in
+  (* overhead + seek + rotation + 16 KB transfer *)
+  let p = Disk.cheetah_4lp in
+  let expect =
+    p.Disk.overhead_ns + p.Disk.seek_ns + p.Disk.rotation_ns
+    + (16 * p.Disk.transfer_ns_per_kb)
+  in
+  check_int "random read cost" expect !elapsed
+
+let test_sequential_read_cheaper () =
+  let d = Disk.create ~id:0 () in
+  let t_first = ref 0 and t_second = ref 0 in
+  let _ =
+    run_sim (fun () ->
+        Disk.read d ~block:10 ~bytes:16_384;
+        t_first := Engine.now ();
+        Disk.read d ~block:11 ~bytes:16_384;
+        t_second := Engine.now () - !t_first)
+  in
+  check_bool "sequential faster" true (!t_second < !t_first / 5);
+  check_int "seq hit recorded" 1 (Disk.sequential_hits d)
+
+let test_disk_serializes_requests () =
+  let d = Disk.create ~id:0 () in
+  let finish_times = ref [] in
+  let e = Engine.create () in
+  for i = 0 to 2 do
+    ignore
+      (Engine.spawn e ~name:(Printf.sprintf "r%d" i) (fun () ->
+           Disk.read d ~block:(1000 * i) ~bytes:16_384;
+           finish_times := Engine.now () :: !finish_times))
+  done;
+  Engine.run e;
+  (match List.sort_uniq compare !finish_times with
+  | [ _; _; _ ] -> ()
+  | _ -> Alcotest.fail "requests should serialize to distinct completion times");
+  check_int "all served" 3 (Disk.reads d)
+
+let test_swap_striping_layout () =
+  let e = Engine.create () in
+  let sw = Swap.create ~page_bytes:16_384 () in
+  ignore
+    (Engine.spawn e ~name:"t" (fun () ->
+         for page = 0 to 19 do
+           Swap.read_page sw ~page
+         done));
+  Engine.run e;
+  check_int "ten disks" 10 (Swap.num_disks sw);
+  Array.iter
+    (fun d -> check_int (Printf.sprintf "disk %d reads" (Disk.id d)) 2 (Disk.reads d))
+    (Swap.disks sw);
+  check_int "page reads" 20 (Swap.page_reads sw)
+
+let test_swap_parallelism () =
+  (* 10 sequentially-numbered pages fetched by 10 concurrent processes land
+     on 10 distinct disks: positioning fully overlaps, and the only
+     serialization left is the two transfers sharing each SCSI adapter. *)
+  let sw = Swap.create ~page_bytes:16_384 () in
+  let e = Engine.create () in
+  let t_done = ref 0 in
+  let remaining = ref 10 in
+  for page = 0 to 9 do
+    ignore
+      (Engine.spawn e ~name:(Printf.sprintf "p%d" page) (fun () ->
+           Swap.read_page sw ~page;
+           decr remaining;
+           if !remaining = 0 then t_done := Engine.now ()))
+  done;
+  Engine.run e;
+  let p = Disk.cheetah_4lp in
+  let expected =
+    p.Disk.overhead_ns + p.Disk.seek_ns + p.Disk.rotation_ns
+    + (2 * 16 * p.Disk.transfer_ns_per_kb)
+  in
+  check_int "parallel fetch = positioning + two bus transfers" expected !t_done
+
+let test_bus_serializes_controller_pairs () =
+  (* pages 0 and 1 live on disks 0 and 1, which share adapter 0: their
+     transfers serialize; pages 0 and 2 (disks 0 and 2) are on different
+     adapters and fully overlap. *)
+  let p = Disk.cheetah_4lp in
+  let one = p.Disk.overhead_ns + p.Disk.seek_ns + p.Disk.rotation_ns
+            + (16 * p.Disk.transfer_ns_per_kb) in
+  let run pages =
+    let sw = Swap.create ~page_bytes:16_384 () in
+    let e = Engine.create () in
+    let t_done = ref 0 in
+    let remaining = ref (List.length pages) in
+    List.iter
+      (fun page ->
+        ignore
+          (Engine.spawn e ~name:(Printf.sprintf "p%d" page) (fun () ->
+               Swap.read_page sw ~page;
+               decr remaining;
+               if !remaining = 0 then t_done := Engine.now ())))
+      pages;
+    Engine.run e;
+    !t_done
+  in
+  check_int "same adapter: one extra transfer"
+    (one + (16 * p.Disk.transfer_ns_per_kb))
+    (run [ 0; 1 ]);
+  check_int "different adapters: full overlap" one (run [ 0; 2 ])
+
+let test_swap_serial_when_same_disk () =
+  (* pages 0, 10, 20 all live on disk 0: service serializes. *)
+  let sw = Swap.create ~page_bytes:16_384 () in
+  let e = Engine.create () in
+  let t_done = ref 0 in
+  let remaining = ref 3 in
+  List.iter
+    (fun page ->
+      ignore
+        (Engine.spawn e ~name:(Printf.sprintf "p%d" page) (fun () ->
+             Swap.read_page sw ~page;
+             decr remaining;
+             if !remaining = 0 then t_done := Engine.now ())))
+    [ 0; 20000; 40000 ];
+  Engine.run e;
+  let p = Disk.cheetah_4lp in
+  let one_random =
+    p.Disk.overhead_ns + p.Disk.seek_ns + p.Disk.rotation_ns
+    + (16 * p.Disk.transfer_ns_per_kb)
+  in
+  check_bool "serialized" true (!t_done >= 2 * one_random)
+
+let test_write_behind () =
+  (* writes pay streaming cost only and do not move the read head *)
+  let d = Disk.create ~id:0 () in
+  let p = Disk.cheetah_4lp in
+  let t_write = ref 0 and t_read = ref 0 in
+  let _ =
+    run_sim (fun () ->
+        Disk.read d ~block:100 ~bytes:16_384;
+        let t0 = Engine.now () in
+        (* a write far away from the head *)
+        Disk.write d ~block:90_000 ~bytes:16_384;
+        t_write := Engine.now () - t0;
+        let t1 = Engine.now () in
+        (* the read stream continues sequentially despite the write *)
+        Disk.read d ~block:101 ~bytes:16_384;
+        t_read := Engine.now () - t1)
+  in
+  check_int "write = overhead + transfer" (p.Disk.overhead_ns + (16 * p.Disk.transfer_ns_per_kb))
+    !t_write;
+  check_int "read stream still sequential"
+    (p.Disk.overhead_ns + (16 * p.Disk.transfer_ns_per_kb))
+    !t_read
+
+let test_near_skip () =
+  let d = Disk.create ~id:0 () in
+  let p = Disk.cheetah_4lp in
+  let t_skip = ref 0 in
+  let _ =
+    run_sim (fun () ->
+        Disk.read d ~block:10 ~bytes:16_384;
+        let t0 = Engine.now () in
+        Disk.read d ~block:14 ~bytes:16_384;
+        t_skip := Engine.now () - t0)
+  in
+  check_int "short forward skip pays track cost"
+    (p.Disk.overhead_ns + p.Disk.near_skip_ns + (16 * p.Disk.transfer_ns_per_kb))
+    !t_skip;
+  check_int "near hit recorded" 1 (Disk.near_hits d)
+
+let test_write_counted () =
+  let sw = Swap.create ~page_bytes:16_384 () in
+  let _ =
+    run_sim (fun () ->
+        Swap.write_page sw ~page:3;
+        Swap.write_page sw ~page:4)
+  in
+  check_int "writes" 2 (Swap.page_writes sw);
+  check_bool "busy time accrued" true (Swap.total_busy_time sw > 0)
+
+let prop_stripe_covers_all_disks =
+  QCheck.Test.make ~name:"any run of n pages covers all n disks" ~count:100
+    QCheck.(int_bound 10_000)
+    (fun start ->
+      let seen = Array.make 10 false in
+      for p = start to start + 9 do
+        seen.(p mod 10) <- true
+      done;
+      Array.for_all (fun x -> x) seen)
+
+let () =
+  Alcotest.run "memhog_disk"
+    [
+      ( "disk",
+        [
+          Alcotest.test_case "random read cost" `Quick test_random_read_cost;
+          Alcotest.test_case "sequential cheaper" `Quick test_sequential_read_cheaper;
+          Alcotest.test_case "serializes" `Quick test_disk_serializes_requests;
+        ] );
+      ( "swap",
+        [
+          Alcotest.test_case "striping layout" `Quick test_swap_striping_layout;
+          Alcotest.test_case "parallel across disks" `Quick test_swap_parallelism;
+          Alcotest.test_case "serial on one disk" `Quick test_swap_serial_when_same_disk;
+          Alcotest.test_case "write counted" `Quick test_write_counted;
+          Alcotest.test_case "write behind" `Quick test_write_behind;
+          Alcotest.test_case "controller bus" `Quick test_bus_serializes_controller_pairs;
+          Alcotest.test_case "near skip" `Quick test_near_skip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_stripe_covers_all_disks ] );
+    ]

@@ -1,0 +1,283 @@
+(* Tests for the run-time layer: the priority release buffer, the request
+   filters, and the two release policies. *)
+
+open Memhog_sim
+module Vm = Memhog_vm
+module Os = Vm.Os
+module As = Vm.Address_space
+module Runtime = Memhog_runtime.Runtime
+module Release_buffer = Memhog_runtime.Release_buffer
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Release buffer                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_buffer_lowest_priority_first () =
+  let b = Release_buffer.create () in
+  Release_buffer.add b ~tag:1 ~priority:2 ~vpn:100;
+  Release_buffer.add b ~tag:2 ~priority:1 ~vpn:200;
+  Release_buffer.add b ~tag:1 ~priority:2 ~vpn:101;
+  Release_buffer.add b ~tag:2 ~priority:1 ~vpn:201;
+  check_int "total" 4 (Release_buffer.total b);
+  check_bool "lowest" true (Release_buffer.lowest_priority b = Some 1);
+  let first = Release_buffer.pop_lowest b ~max:2 in
+  Alcotest.(check (array int)) "priority-1 pages first" [| 200; 201 |] first;
+  let second = Release_buffer.pop_lowest b ~max:10 in
+  Alcotest.(check (array int)) "then priority-2 pages" [| 100; 101 |] second;
+  check_int "drained" 0 (Release_buffer.total b)
+
+let test_buffer_round_robin_same_priority () =
+  let b = Release_buffer.create () in
+  (* two tags at the same priority: drain alternates between them *)
+  List.iter (fun v -> Release_buffer.add b ~tag:1 ~priority:1 ~vpn:v) [ 10; 11; 12 ];
+  List.iter (fun v -> Release_buffer.add b ~tag:2 ~priority:1 ~vpn:v) [ 20; 21; 22 ];
+  let out = Release_buffer.pop_lowest b ~max:4 in
+  Alcotest.(check (array int)) "round robin" [| 10; 20; 11; 21 |] out
+
+let test_buffer_respects_max () =
+  let b = Release_buffer.create () in
+  for v = 0 to 99 do
+    Release_buffer.add b ~tag:(v mod 3) ~priority:((v mod 3) + 1) ~vpn:v
+  done;
+  let out = Release_buffer.pop_lowest b ~max:10 in
+  check_int "max respected" 10 (Array.length out);
+  check_int "rest stays" 90 (Release_buffer.total b)
+
+let test_buffer_rejects_zero_priority () =
+  let b = Release_buffer.create () in
+  Alcotest.check_raises "zero priority"
+    (Invalid_argument "Release_buffer.add: priority must be > 0") (fun () ->
+      Release_buffer.add b ~tag:1 ~priority:0 ~vpn:1)
+
+let prop_buffer_conserves_pages =
+  QCheck.Test.make ~name:"buffer: pages in = pages out" ~count:100
+    QCheck.(list (pair (int_bound 7) (int_bound 1000)))
+    (fun adds ->
+      let b = Release_buffer.create () in
+      let n = ref 0 in
+      List.iter
+        (fun (tag, vpn) ->
+          Release_buffer.add b ~tag ~priority:((tag mod 3) + 1) ~vpn;
+          incr n)
+        adds;
+      let out = ref [] in
+      let rec drain () =
+        let batch = Release_buffer.pop_lowest b ~max:7 in
+        if Array.length batch > 0 then begin
+          out := Array.to_list batch @ !out;
+          drain ()
+        end
+      in
+      drain ();
+      List.length !out = !n && Release_buffer.total b = 0)
+
+let prop_buffer_priority_order =
+  QCheck.Test.make ~name:"buffer: drain priority never decreases" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 300) (int_range 1 5))
+    (fun priorities ->
+      (* the int_range shrinker can wander outside its bounds *)
+      QCheck.assume (List.for_all (fun p -> p >= 1 && p <= 5) priorities);
+      let b = Release_buffer.create () in
+      let prio_of = Hashtbl.create 16 in
+      List.iteri
+        (fun i priority ->
+          (* the index is the page: one unique vpn per entry; tag =
+             priority so tags never span priorities *)
+          let vpn = i in
+          Hashtbl.replace prio_of vpn priority;
+          Release_buffer.add b ~tag:priority ~priority ~vpn)
+        priorities;
+      let order = ref [] in
+      let rec drain () =
+        let batch = Release_buffer.pop_lowest b ~max:3 in
+        if Array.length batch > 0 then begin
+          Array.iter (fun v -> order := Hashtbl.find prio_of v :: !order) batch;
+          drain ()
+        end
+      in
+      drain ();
+      let priorities = List.rev !order in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+        | _ -> true
+      in
+      nondecreasing priorities)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime filters and policies (against a live VM)                    *)
+(* ------------------------------------------------------------------ *)
+
+let small_config =
+  { Vm.Config.default with Vm.Config.total_frames = 64; min_freemem = 4; desfree = 8 }
+
+let with_rt ?(policy = Runtime.Aggressive) f =
+  let engine = Engine.create ~max_time:(Time_ns.sec 3600) () in
+  let os = Os.create ~config:small_config ~engine () in
+  let asp = Os.new_process os ~name:"app" in
+  let seg = Os.map_segment os asp ~name:"data" ~bytes:(32 * 16384) ~on_swap:true in
+  Os.attach_paging_directed os asp seg;
+  let rt = Runtime.create ~os ~asp ~policy () in
+  ignore
+    (Engine.spawn engine ~name:"main" (fun () ->
+         Fun.protect ~finally:Engine.stop (fun () ->
+             Runtime.start rt;
+             f os asp seg rt)));
+  Engine.run engine;
+  (match Engine.crashes engine with
+  | [] -> ()
+  | (name, e) :: _ ->
+      if name = "main" then raise e
+      else Alcotest.failf "%s crashed: %s" name (Printexc.to_string e));
+  rt
+
+let settle () = Engine.delay ~cat:Account.Sleep (Time_ns.ms 100)
+
+let test_prefetch_filter_resident () =
+  let rt =
+    with_rt (fun os asp seg rt ->
+        ignore (Os.touch os asp ~vpn:seg.As.base_vpn ~write:false);
+        Runtime.prefetch_page rt ~vpn:seg.As.base_vpn;
+        settle ())
+  in
+  let s = Runtime.stats rt in
+  check_int "filtered as resident" 1 s.Runtime.rt_prefetch_filtered;
+  check_int "nothing enqueued" 0 s.Runtime.rt_prefetch_enqueued
+
+let test_prefetch_through_pool () =
+  let rt =
+    with_rt (fun os asp seg rt ->
+        Runtime.prefetch_page rt ~vpn:seg.As.base_vpn;
+        settle ();
+        check_bool "page arrived" true (Os.page_resident asp ~vpn:seg.As.base_vpn);
+        (* first real touch validates without I/O *)
+        check_bool "validated" true
+          (Os.touch os asp ~vpn:seg.As.base_vpn ~write:false = Os.Validated))
+  in
+  check_int "enqueued once" 1 (Runtime.stats rt).Runtime.rt_prefetch_enqueued
+
+let test_release_one_behind () =
+  (* Releases trail by one request per tag: same page repeated is dropped,
+     a new page flushes the previous one. *)
+  let rt =
+    with_rt (fun os asp seg rt ->
+        for i = 0 to 3 do
+          ignore (Os.touch os asp ~vpn:(seg.As.base_vpn + i) ~write:false)
+        done;
+        let vpn0 = seg.As.base_vpn in
+        Runtime.release_page rt ~vpn:vpn0 ~priority:0 ~tag:7;
+        settle ();
+        check_bool "first request only recorded" true (Os.page_resident asp ~vpn:vpn0);
+        (* same page again: dropped *)
+        Runtime.release_page rt ~vpn:vpn0 ~priority:0 ~tag:7;
+        settle ();
+        check_bool "still resident" true (Os.page_resident asp ~vpn:vpn0);
+        (* different page: the recorded one is now handled *)
+        Runtime.release_page rt ~vpn:(vpn0 + 1) ~priority:0 ~tag:7;
+        settle ();
+        check_bool "previous page released" false (Os.page_resident asp ~vpn:vpn0);
+        check_bool "new page still resident" true
+          (Os.page_resident asp ~vpn:(vpn0 + 1)))
+  in
+  let s = Runtime.stats rt in
+  check_int "same-page drop counted" 1 s.Runtime.rt_release_filtered_same;
+  check_int "one release issued" 1 s.Runtime.rt_release_issued
+
+let test_release_bitmap_filter () =
+  let rt =
+    with_rt (fun _os _asp seg rt ->
+        (* page never touched: not resident *)
+        Runtime.release_page rt ~vpn:seg.As.base_vpn ~priority:0 ~tag:1;
+        settle ())
+  in
+  check_int "filtered by bitmap" 1
+    (Runtime.stats rt).Runtime.rt_release_filtered_bitmap
+
+let test_buffered_policy_retains_until_pressure () =
+  let rt =
+    with_rt ~policy:Runtime.Buffered (fun os asp seg rt ->
+        for i = 0 to 7 do
+          ignore (Os.touch os asp ~vpn:(seg.As.base_vpn + i) ~write:false)
+        done;
+        for i = 0 to 6 do
+          Runtime.release_page rt ~vpn:(seg.As.base_vpn + i) ~priority:1 ~tag:3
+        done;
+        settle ();
+        (* memory is ample: nothing should be issued *)
+        check_bool "pages retained under no pressure" true
+          (Os.page_resident asp ~vpn:seg.As.base_vpn);
+        check_bool "buffered" true (Runtime.buffered_pages rt > 0);
+        (* at exit, drain flushes the buffer *)
+        Runtime.drain rt;
+        settle ();
+        check_bool "drained on exit" false
+          (Os.page_resident asp ~vpn:seg.As.base_vpn))
+  in
+  let s = Runtime.stats rt in
+  check_bool "buffer was used" true (s.Runtime.rt_release_buffered > 0)
+
+let test_aggressive_policy_issues_immediately () =
+  let rt =
+    with_rt ~policy:Runtime.Aggressive (fun os asp seg rt ->
+        for i = 0 to 7 do
+          ignore (Os.touch os asp ~vpn:(seg.As.base_vpn + i) ~write:false)
+        done;
+        for i = 0 to 6 do
+          Runtime.release_page rt ~vpn:(seg.As.base_vpn + i) ~priority:1 ~tag:3
+        done;
+        settle ();
+        (* all but the last (still recorded) are gone, despite priority>0 *)
+        check_bool "issued despite priority" false
+          (Os.page_resident asp ~vpn:seg.As.base_vpn))
+  in
+  check_int "nothing buffered" 0 (Runtime.stats rt).Runtime.rt_release_buffered
+
+let test_zero_priority_bypasses_buffer () =
+  let rt =
+    with_rt ~policy:Runtime.Buffered (fun os asp seg rt ->
+        for i = 0 to 3 do
+          ignore (Os.touch os asp ~vpn:(seg.As.base_vpn + i) ~write:false)
+        done;
+        for i = 0 to 2 do
+          Runtime.release_page rt ~vpn:(seg.As.base_vpn + i) ~priority:0 ~tag:9
+        done;
+        settle ();
+        check_bool "zero-priority issued immediately" false
+          (Os.page_resident asp ~vpn:seg.As.base_vpn))
+  in
+  check_int "buffer untouched" 0 (Runtime.stats rt).Runtime.rt_release_buffered
+
+let () =
+  Alcotest.run "memhog_runtime"
+    [
+      ( "release-buffer",
+        [
+          Alcotest.test_case "lowest priority first" `Quick
+            test_buffer_lowest_priority_first;
+          Alcotest.test_case "round robin" `Quick test_buffer_round_robin_same_priority;
+          Alcotest.test_case "max respected" `Quick test_buffer_respects_max;
+          Alcotest.test_case "zero priority rejected" `Quick
+            test_buffer_rejects_zero_priority;
+        ] );
+      ( "filters",
+        [
+          Alcotest.test_case "prefetch filter" `Quick test_prefetch_filter_resident;
+          Alcotest.test_case "prefetch via pool" `Quick test_prefetch_through_pool;
+          Alcotest.test_case "one-behind" `Quick test_release_one_behind;
+          Alcotest.test_case "bitmap filter" `Quick test_release_bitmap_filter;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "buffered retains" `Quick
+            test_buffered_policy_retains_until_pressure;
+          Alcotest.test_case "aggressive issues" `Quick
+            test_aggressive_policy_issues_immediately;
+          Alcotest.test_case "zero priority bypasses" `Quick
+            test_zero_priority_bypasses_buffer;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_buffer_conserves_pages; prop_buffer_priority_order ] );
+    ]

@@ -1,0 +1,567 @@
+(* Tests for the discrete-event simulation kernel. *)
+
+open Memhog_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  Heap.add h ~key:5 ~seq:1 "c";
+  Heap.add h ~key:1 ~seq:2 "a";
+  Heap.add h ~key:3 ~seq:3 "b";
+  let pop () =
+    match Heap.pop_min h with Some (_, _, v) -> v | None -> "?"
+  in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ]
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 1 to 100 do
+    Heap.add h ~key:7 ~seq:i i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop_min h with
+    | Some (_, _, v) ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo on equal keys" (List.init 100 (fun i -> i + 1))
+    (List.rev !out)
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  check_bool "empty" true (Heap.is_empty h);
+  check_bool "pop none" true (Heap.pop_min h = None);
+  Heap.add h ~key:1 ~seq:1 ();
+  check_int "len" 1 (Heap.length h);
+  Heap.clear h;
+  check_bool "cleared" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in nondecreasing key order" ~count:200
+    QCheck.(list (pair small_int small_int))
+    (fun pairs ->
+      let h = Heap.create () in
+      List.iteri (fun i (k, v) -> Heap.add h ~key:k ~seq:i v) pairs;
+      let rec drain acc =
+        match Heap.pop_min h with
+        | Some (k, _, _) -> drain (k :: acc)
+        | None -> List.rev acc
+      in
+      let keys = drain [] in
+      List.sort compare keys = keys)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.bits64 a = Rng.bits64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:1 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check_bool "streams diverge" true (!same < 4)
+
+let prop_rng_float_range =
+  QCheck.Test.make ~name:"rng float stays in [0,bound)" ~count:500
+    QCheck.(pair small_int (float_bound_exclusive 1000.0))
+    (fun (seed, bound) ->
+      QCheck.assume (bound > 0.0);
+      let r = Rng.create ~seed in
+      let v = Rng.float r bound in
+      v >= 0.0 && v < bound)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_delay_advances_clock () =
+  let e = Engine.create () in
+  let final = ref (-1) in
+  ignore
+    (Engine.spawn e ~name:"p" (fun () ->
+         Engine.delay ~cat:Account.User (Time_ns.ms 5);
+         Engine.delay ~cat:Account.System (Time_ns.ms 2);
+         final := Engine.now ()));
+  Engine.run e;
+  check_int "clock" (Time_ns.ms 7) !final;
+  check_int "engine clock" (Time_ns.ms 7) (Engine.now_of e)
+
+let test_accounting () =
+  let e = Engine.create () in
+  let proc =
+    Engine.spawn e ~name:"p" (fun () ->
+        Engine.delay ~cat:Account.User 100;
+        Engine.delay ~cat:Account.System 30;
+        Engine.delay ~cat:Account.Io_stall 7;
+        Engine.delay ~cat:Account.User 1)
+  in
+  Engine.run e;
+  check_int "user" 101 (Account.get proc.Engine.account Account.User);
+  check_int "system" 30 (Account.get proc.Engine.account Account.System);
+  check_int "io" 7 (Account.get proc.Engine.account Account.Io_stall);
+  check_int "total" 138 (Account.total proc.Engine.account)
+
+let test_interleaving_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let say s = log := s :: !log in
+  ignore
+    (Engine.spawn e ~name:"a" (fun () ->
+         say "a0";
+         Engine.delay ~cat:Account.User 10;
+         say "a10";
+         Engine.delay ~cat:Account.User 20;
+         say "a30"));
+  ignore
+    (Engine.spawn e ~name:"b" (fun () ->
+         say "b0";
+         Engine.delay ~cat:Account.User 15;
+         say "b15"));
+  Engine.run e;
+  Alcotest.(check (list string))
+    "event order" [ "a0"; "b0"; "a10"; "b15"; "a30" ] (List.rev !log)
+
+let test_spawn_child_and_self () =
+  let e = Engine.create () in
+  let names = ref [] in
+  ignore
+    (Engine.spawn e ~name:"parent" (fun () ->
+         names := (Engine.self ()).Engine.name :: !names;
+         let _child =
+           Engine.spawn_child ~name:"child" (fun () ->
+               names := (Engine.self ()).Engine.name :: !names)
+         in
+         Engine.delay ~cat:Account.User 1));
+  Engine.run e;
+  Alcotest.(check (list string)) "both ran" [ "parent"; "child" ] (List.rev !names)
+
+let test_stop_halts () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  ignore
+    (Engine.spawn e ~name:"ticker" (fun () ->
+         while true do
+           incr count;
+           Engine.delay ~cat:Account.User 10
+         done));
+  ignore
+    (Engine.spawn e ~name:"stopper" (fun () ->
+         Engine.delay ~cat:Account.User 100;
+         Engine.stop ()));
+  Engine.run e;
+  check_bool "stopped" true (Engine.stopped e);
+  check_bool "ticker bounded" true (!count <= 12)
+
+let test_crash_recorded () =
+  let e = Engine.create () in
+  ignore (Engine.spawn e ~name:"bad" (fun () -> failwith "boom"));
+  ignore (Engine.spawn e ~name:"good" (fun () -> Engine.delay ~cat:Account.User 1));
+  Engine.run e;
+  match Engine.crashes e with
+  | [ (name, Failure msg) ] ->
+      Alcotest.(check string) "name" "bad" name;
+      Alcotest.(check string) "msg" "boom" msg
+  | _ -> Alcotest.fail "expected exactly one crash"
+
+let test_not_in_simulation () =
+  Alcotest.check_raises "now outside" Engine.Not_in_simulation (fun () ->
+      ignore (Engine.now ()))
+
+let test_max_time_cap () =
+  let e = Engine.create ~max_time:(Time_ns.ms 1) () in
+  let count = ref 0 in
+  ignore
+    (Engine.spawn e ~name:"runaway" (fun () ->
+         while true do
+           incr count;
+           Engine.delay ~cat:Account.User (Time_ns.us 100)
+         done));
+  Engine.run e;
+  check_bool "capped" true (!count <= 11)
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~name:"identical runs produce identical schedules" ~count:50
+    QCheck.(pair small_int (list (int_bound 50)))
+    (fun (nprocs, delays) ->
+      QCheck.assume (nprocs >= 1 && nprocs <= 8);
+      let run () =
+        let e = Engine.create () in
+        let log = ref [] in
+        for p = 0 to nprocs - 1 do
+          ignore
+            (Engine.spawn e ~name:(string_of_int p) (fun () ->
+                 List.iter
+                   (fun d ->
+                     Engine.delay ~cat:Account.User ((d + p) mod 17);
+                     log := (p, Engine.now ()) :: !log)
+                   delays))
+        done;
+        Engine.run e;
+        !log
+      in
+      run () = run ())
+
+(* ------------------------------------------------------------------ *)
+(* Semaphore                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_semaphore_mutual_exclusion () =
+  let e = Engine.create () in
+  let sem = Semaphore.create 1 in
+  let inside = ref 0 and max_inside = ref 0 in
+  for i = 0 to 4 do
+    ignore
+      (Engine.spawn e ~name:(Printf.sprintf "w%d" i) (fun () ->
+           Semaphore.acquire sem;
+           incr inside;
+           if !inside > !max_inside then max_inside := !inside;
+           Engine.delay ~cat:Account.User 10;
+           decr inside;
+           Semaphore.release sem))
+  done;
+  Engine.run e;
+  check_int "never two inside" 1 !max_inside
+
+let test_semaphore_fifo () =
+  let e = Engine.create () in
+  let sem = Semaphore.create 1 in
+  let order = ref [] in
+  ignore
+    (Engine.spawn e ~name:"holder" (fun () ->
+         Semaphore.acquire sem;
+         Engine.delay ~cat:Account.User 100;
+         Semaphore.release sem));
+  for i = 1 to 3 do
+    ignore
+      (Engine.spawn e ~name:(Printf.sprintf "w%d" i) (fun () ->
+           (* stagger arrivals *)
+           Engine.delay ~cat:Account.User (i * 10);
+           Semaphore.acquire sem;
+           order := i :: !order;
+           Engine.delay ~cat:Account.User 5;
+           Semaphore.release sem))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !order)
+
+let test_semaphore_wait_accounting () =
+  let e = Engine.create () in
+  let sem = Semaphore.create 1 in
+  let waiter = ref None in
+  ignore
+    (Engine.spawn e ~name:"holder" (fun () ->
+         Semaphore.acquire sem;
+         Engine.delay ~cat:Account.User 100;
+         Semaphore.release sem));
+  ignore
+    (Engine.spawn e ~name:"waiter" (fun () ->
+         waiter := Some (Engine.self ());
+         Semaphore.acquire sem;
+         Semaphore.release sem));
+  Engine.run e;
+  let p = Option.get !waiter in
+  check_int "resource stall measured" 100
+    (Account.get p.Engine.account Account.Resource_stall);
+  check_int "sem total wait" 100 (Semaphore.total_wait sem);
+  check_int "contended count" 1 (Semaphore.contended_acquisitions sem)
+
+let test_semaphore_counting () =
+  let e = Engine.create () in
+  let sem = Semaphore.create 3 in
+  let concurrent = ref 0 and peak = ref 0 in
+  for i = 0 to 9 do
+    ignore
+      (Engine.spawn e ~name:(Printf.sprintf "c%d" i) (fun () ->
+           Semaphore.acquire sem;
+           incr concurrent;
+           if !concurrent > !peak then peak := !concurrent;
+           Engine.delay ~cat:Account.User 10;
+           decr concurrent;
+           Semaphore.release sem))
+  done;
+  Engine.run e;
+  check_int "peak is capacity" 3 !peak
+
+let test_semaphore_over_release () =
+  let sem = Semaphore.create 1 in
+  Alcotest.check_raises "over release"
+    (Invalid_argument "Semaphore.release(sem): over-release") (fun () ->
+      Semaphore.release sem)
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox / Condition / Ivar                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_mailbox_fifo () =
+  let e = Engine.create () in
+  let box = Mailbox.create () in
+  let got = ref [] in
+  ignore
+    (Engine.spawn e ~name:"recv" (fun () ->
+         for _ = 1 to 3 do
+           got := Mailbox.recv box :: !got
+         done));
+  ignore
+    (Engine.spawn e ~name:"send" (fun () ->
+         Engine.delay ~cat:Account.User 10;
+         Mailbox.send box 1;
+         Mailbox.send box 2;
+         Engine.delay ~cat:Account.User 10;
+         Mailbox.send box 3));
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_nonblocking_when_full () =
+  let e = Engine.create () in
+  let box = Mailbox.create () in
+  ignore
+    (Engine.spawn e ~name:"p" (fun () ->
+         Mailbox.send box "x";
+         check_bool "try_recv" true (Mailbox.try_recv box = Some "x");
+         check_bool "empty now" true (Mailbox.try_recv box = None)));
+  Engine.run e
+
+let test_condition_broadcast () =
+  let e = Engine.create () in
+  let cond = Condition.create () in
+  let woke = ref 0 in
+  for i = 0 to 2 do
+    ignore
+      (Engine.spawn e ~name:(Printf.sprintf "w%d" i) (fun () ->
+           Condition.wait cond;
+           incr woke))
+  done;
+  ignore
+    (Engine.spawn e ~name:"b" (fun () ->
+         Engine.delay ~cat:Account.User 50;
+         Condition.broadcast cond));
+  Engine.run e;
+  check_int "all woke" 3 !woke
+
+let test_condition_signal_wakes_one () =
+  let e = Engine.create () in
+  let cond = Condition.create () in
+  let woke = ref 0 in
+  for i = 0 to 2 do
+    ignore
+      (Engine.spawn e ~name:(Printf.sprintf "w%d" i) (fun () ->
+           Condition.wait cond;
+           incr woke))
+  done;
+  ignore
+    (Engine.spawn e ~name:"s" (fun () ->
+         Engine.delay ~cat:Account.User 50;
+         Condition.signal cond;
+         Engine.delay ~cat:Account.User 50;
+         Engine.stop ()));
+  Engine.run e;
+  check_int "one woke" 1 !woke
+
+let test_ivar () =
+  let e = Engine.create () in
+  let iv = Ivar.create () in
+  let got = ref 0 in
+  ignore (Engine.spawn e ~name:"reader" (fun () -> got := Ivar.read iv));
+  ignore
+    (Engine.spawn e ~name:"writer" (fun () ->
+         Engine.delay ~cat:Account.User 30;
+         Ivar.fill iv 42));
+  Engine.run e;
+  check_int "read value" 42 !got;
+  check_bool "filled" true (Ivar.is_filled iv);
+  Alcotest.check_raises "double fill" (Invalid_argument "Ivar.fill: already filled")
+    (fun () -> Ivar.fill iv 1)
+
+let test_ivar_read_after_fill_is_immediate () =
+  let e = Engine.create () in
+  let iv = Ivar.create () in
+  ignore
+    (Engine.spawn e ~name:"p" (fun () ->
+         Ivar.fill iv "v";
+         let t0 = Engine.now () in
+         let v = Ivar.read iv in
+         Alcotest.(check string) "value" "v" v;
+         check_int "no time passed" t0 (Engine.now ())));
+  Engine.run e
+
+(* ------------------------------------------------------------------ *)
+(* Time / Account                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Time_ns.us 1);
+  check_int "ms" 1_000_000 (Time_ns.ms 1);
+  check_int "sec" 1_000_000_000 (Time_ns.sec 1);
+  Alcotest.(check (float 1e-9)) "to_sec" 1.5 (Time_ns.to_sec_f (Time_ns.ms 1500));
+  Alcotest.(check string) "pp ms" "2.00ms" (Time_ns.to_string (Time_ns.ms 2))
+
+let test_account_rejects_negative () =
+  let a = Account.create () in
+  Alcotest.check_raises "negative duration"
+    (Invalid_argument "Account.add: negative duration") (fun () ->
+      Account.add a Account.User (-1))
+
+let test_time_pp_units () =
+  Alcotest.(check string) "ns" "17ns" (Time_ns.to_string 17);
+  Alcotest.(check string) "us" "4.20us" (Time_ns.to_string 4200);
+  Alcotest.(check string) "s" "1.500s" (Time_ns.to_string (Time_ns.ms 1500))
+
+let test_series_single_sample () =
+  let s = Series.create ~name:"one" in
+  Series.add s ~time:5 ~value:42.0;
+  check_bool "renders" true (String.length (Series.sparkline s) > 0);
+  check_bool "mean = value" true (Series.mean s = Some 42.0)
+
+let test_account_busy_total () =
+  let a = Account.create () in
+  Account.add a Account.User 10;
+  Account.add a Account.Sleep 100;
+  Account.add a Account.Io_stall 5;
+  check_int "total" 115 (Account.total a);
+  check_int "busy excludes sleep" 15 (Account.busy_total a);
+  Account.reset a;
+  check_int "reset" 0 (Account.total a)
+
+(* ------------------------------------------------------------------ *)
+(* Series                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_series_stats () =
+  let s = Series.create ~name:"free" in
+  check_bool "empty" true (Series.is_empty s);
+  check_bool "no min" true (Series.min_value s = None);
+  Series.add s ~time:0 ~value:10.0;
+  Series.add s ~time:100 ~value:30.0;
+  Series.add s ~time:200 ~value:20.0;
+  check_int "length" 3 (Series.length s);
+  check_bool "min" true (Series.min_value s = Some 10.0);
+  check_bool "max" true (Series.max_value s = Some 30.0);
+  check_bool "mean" true (Series.mean s = Some 20.0);
+  check_bool "last" true (Series.last s = Some 20.0)
+
+let test_series_ordering_enforced () =
+  let s = Series.create ~name:"x" in
+  Series.add s ~time:100 ~value:1.0;
+  Alcotest.check_raises "backwards time"
+    (Invalid_argument "Series.add: time went backwards") (fun () ->
+      Series.add s ~time:50 ~value:2.0)
+
+let test_series_sparkline () =
+  let s = Series.create ~name:"x" in
+  check_bool "empty render" true (Series.sparkline s = "(no samples)");
+  for i = 0 to 99 do
+    Series.add s ~time:(i * 10) ~value:(float_of_int i)
+  done;
+  let line = Series.sparkline ~width:10 s in
+  check_bool "nonempty" true (String.length line > 0);
+  (* a rising series renders with the last bucket at full height *)
+  let is_suffix suffix str =
+    let ls = String.length suffix and l = String.length str in
+    l >= ls && String.sub str (l - ls) ls = suffix
+  in
+  check_bool "rises to full block" true (is_suffix "\xe2\x96\x88" line)
+
+let prop_series_mean_bounded =
+  QCheck.Test.make ~name:"series mean lies between min and max" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_bound_inclusive 1000.0))
+    (fun values ->
+      let s = Series.create ~name:"p" in
+      List.iteri (fun i v -> Series.add s ~time:i ~value:v) values;
+      match (Series.min_value s, Series.mean s, Series.max_value s) with
+      | Some mn, Some av, Some mx -> mn <= av +. 1e-9 && av <= mx +. 1e-9
+      | _ -> false)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "memhog_sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "delay advances clock" `Quick test_delay_advances_clock;
+          Alcotest.test_case "accounting" `Quick test_accounting;
+          Alcotest.test_case "interleaving" `Quick test_interleaving_order;
+          Alcotest.test_case "spawn child, self" `Quick test_spawn_child_and_self;
+          Alcotest.test_case "stop" `Quick test_stop_halts;
+          Alcotest.test_case "crash recorded" `Quick test_crash_recorded;
+          Alcotest.test_case "not in simulation" `Quick test_not_in_simulation;
+          Alcotest.test_case "max time cap" `Quick test_max_time_cap;
+        ] );
+      ( "semaphore",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_semaphore_mutual_exclusion;
+          Alcotest.test_case "fifo" `Quick test_semaphore_fifo;
+          Alcotest.test_case "wait accounting" `Quick test_semaphore_wait_accounting;
+          Alcotest.test_case "counting" `Quick test_semaphore_counting;
+          Alcotest.test_case "over-release" `Quick test_semaphore_over_release;
+        ] );
+      ( "mailbox-cond-ivar",
+        [
+          Alcotest.test_case "mailbox fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "mailbox try_recv" `Quick test_mailbox_nonblocking_when_full;
+          Alcotest.test_case "condition broadcast" `Quick test_condition_broadcast;
+          Alcotest.test_case "condition signal" `Quick test_condition_signal_wakes_one;
+          Alcotest.test_case "ivar" `Quick test_ivar;
+          Alcotest.test_case "ivar immediate" `Quick test_ivar_read_after_fill_is_immediate;
+        ] );
+      ( "time-account",
+        [
+          Alcotest.test_case "time units" `Quick test_time_units;
+          Alcotest.test_case "account busy" `Quick test_account_busy_total;
+          Alcotest.test_case "account negative" `Quick test_account_rejects_negative;
+          Alcotest.test_case "time pp" `Quick test_time_pp_units;
+          Alcotest.test_case "series single" `Quick test_series_single_sample;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "stats" `Quick test_series_stats;
+          Alcotest.test_case "ordering" `Quick test_series_ordering_enforced;
+          Alcotest.test_case "sparkline" `Quick test_series_sparkline;
+        ] );
+      qsuite "properties"
+        [
+          prop_heap_sorts;
+          prop_rng_float_range;
+          prop_engine_deterministic;
+          prop_series_mean_bounded;
+        ];
+    ]

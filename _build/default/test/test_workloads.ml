@@ -1,0 +1,231 @@
+(* Tests that the benchmark programs encode the Table 2 traits the paper's
+   evaluation depends on. *)
+
+module Ir = Memhog_compiler.Ir
+module Analysis = Memhog_compiler.Analysis
+module Compile = Memhog_compiler.Compile
+module Pir = Memhog_compiler.Pir
+module Workload = Memhog_workloads.Workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mem_bytes = 75 * 1024 * 1024
+let page_bytes = 16384
+
+let target =
+  {
+    Analysis.memory_pages = mem_bytes / page_bytes;
+    page_bytes;
+    fault_latency_ns = 12_000_000;
+  }
+
+let make name =
+  let w = Workload.find name in
+  w.Workload.w_make ~mem_bytes ~page_bytes
+
+let analyze name =
+  let prog, _ = make name in
+  Analysis.analyze ~target prog
+
+let test_registry () =
+  check_int "six workloads" 6 (List.length Workload.all);
+  Alcotest.(check (list string))
+    "paper order"
+    [ "EMBAR"; "MATVEC"; "BUK"; "CGM"; "MGRID"; "FFTPDE" ]
+    Workload.names;
+  check_bool "case-insensitive lookup" true
+    ((Workload.find "matvec").Workload.w_name = "MATVEC");
+  Alcotest.check_raises "unknown workload" Not_found (fun () ->
+      ignore (Workload.find "nope"))
+
+let test_all_out_of_core () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let bytes = Workload.data_set_bytes w ~mem_bytes ~page_bytes in
+      check_bool
+        (Printf.sprintf "%s larger than memory (%d MB)" w.Workload.w_name
+           (bytes / 1024 / 1024))
+        true
+        (bytes > 3 * mem_bytes / 2))
+    Workload.all
+
+let test_all_validate () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let prog, params = w.Workload.w_make ~mem_bytes ~page_bytes in
+      (match Ir.validate prog with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s: %s" w.Workload.w_name e);
+      (* array sizes must be evaluable under the runtime parameters
+         (procedure-local parameters are bound at call sites instead) *)
+      let env = Ir.env_of_list params in
+      List.iter
+        (fun (a : Ir.array_decl) ->
+          check_bool
+            (Printf.sprintf "%s: array %s sized" w.Workload.w_name a.Ir.a_name)
+            true
+            (Ir.eval_bound env a.Ir.a_size_elems > 0))
+        prog.Ir.arrays)
+    Workload.all
+
+let test_embar_matvec_fully_known () =
+  List.iter
+    (fun name ->
+      let prog, _ = make name in
+      List.iter
+        (fun (p, v) ->
+          check_bool (Printf.sprintf "%s: %s known" name p) true (v <> None))
+        prog.Ir.assumptions;
+      let t = analyze name in
+      check_int
+        (Printf.sprintf "%s: no unknown-bound loops" name)
+        0 t.Analysis.ap_stats.Analysis.st_unknown_bound_loops)
+    [ "EMBAR"; "MATVEC" ]
+
+let test_buk_cgm_unknown_bounds_and_indirect () =
+  List.iter
+    (fun name ->
+      let t = analyze name in
+      check_bool
+        (Printf.sprintf "%s: unknown bounds" name)
+        true
+        (t.Analysis.ap_stats.Analysis.st_unknown_bound_loops > 0);
+      check_bool
+        (Printf.sprintf "%s: indirect refs" name)
+        true
+        (t.Analysis.ap_stats.Analysis.st_indirect_refs > 0))
+    [ "BUK"; "CGM" ]
+
+let test_fftpde_false_temporal () =
+  let t = analyze "FFTPDE" in
+  check_bool "opaque strides create false temporal reuse" true
+    (t.Analysis.ap_stats.Analysis.st_false_temporal > 0)
+
+let test_mgrid_procedures_multiple_sizes () =
+  let prog, _ = make "MGRID" in
+  check_bool "two sweep procedures" true (List.length prog.Ir.procs >= 2);
+  (* collect the distinct N bindings across calls *)
+  let rec calls acc = function
+    | Ir.S_seq ss -> List.fold_left calls acc ss
+    | Ir.S_call (_, binds) -> (
+        match List.assoc_opt "N" binds with
+        | Some b -> b.Ir.bc :: acc
+        | None -> acc)
+    | Ir.S_loop l -> calls acc l.Ir.l_body
+    | Ir.S_body _ -> acc
+  in
+  let sizes = List.sort_uniq compare (calls [] prog.Ir.main) in
+  check_bool "at least four distinct grid sizes" true (List.length sizes >= 4);
+  (* and no assumption can cover them: N is unknown to the compiler *)
+  check_bool "N unassumed" true (List.assoc "N" prog.Ir.assumptions = None)
+
+let test_mgrid_stencil_groups () =
+  let t = analyze "MGRID" in
+  (* the 7-point stencils must collapse into single groups with distinct
+     leader and trailer *)
+  let rec bodies acc = function
+    | Analysis.A_body b -> b :: acc
+    | Analysis.A_loop (_, s) -> bodies acc s
+    | Analysis.A_seq ss -> List.fold_left bodies acc ss
+    | Analysis.A_call _ -> acc
+  in
+  let all_bodies =
+    List.fold_left
+      (fun acc (_, ann) -> bodies acc ann)
+      (bodies [] t.Analysis.ap_main)
+      t.Analysis.ap_procs
+  in
+  check_bool "some bodies found" true (all_bodies <> []);
+  List.iter
+    (fun (b : Analysis.body_ann) ->
+      let stencil_refs =
+        List.filter
+          (fun (ra : Analysis.ref_ann) ->
+            (not ra.Analysis.ra_is_leader) && not ra.Analysis.ra_is_trailer)
+          b.Analysis.ba_refs
+      in
+      (* 7-point stencil: 7 refs in one group means 5 pure members *)
+      check_bool "stencil members grouped" true (List.length stencil_refs >= 5))
+    all_bodies
+
+let test_matvec_vector_is_multiple_pages () =
+  (* The MATVEC R-vs-B contrast depends on the vector spanning several
+     pages (releases of a single-page vector would be one-behind
+     filtered). *)
+  let _, params = make "MATVEC" in
+  let n = List.assoc "N" params in
+  check_bool "vector spans >= 3 pages" true (n * 8 / page_bytes >= 3)
+
+let test_buk_bucket_array_fits_memory () =
+  let _, params = make "BUK" in
+  let b = List.assoc "B" params in
+  let k = List.assoc "K" params in
+  check_bool "bucket array below memory" true (b * 8 < mem_bytes);
+  check_bool "but sequential arrays exceed it" true (k * 8 > mem_bytes)
+
+let test_fftpde_transposes_cover_array () =
+  let prog, params = make "FFTPDE" in
+  let m = List.assoc "M" params in
+  (* for every transpose call: REPS*RUNLEN + NBLK*STRIDE spans exactly M *)
+  let rec calls acc = function
+    | Ir.S_seq ss -> List.fold_left calls acc ss
+    | Ir.S_call (name, binds) when String.length name >= 5 && String.sub name 0 5 = "trans"
+      ->
+        binds :: acc
+    | _ -> acc
+  in
+  let transposes = calls [] prog.Ir.main in
+  check_bool "several transpose phases" true (List.length transposes >= 3);
+  let strides =
+    List.sort_uniq compare
+      (List.map (fun binds -> (List.assoc "STRIDE" binds).Ir.bc) transposes)
+  in
+  check_bool "strides change across phases" true (List.length strides >= 3);
+  let runlen = List.assoc "RUNLEN" params in
+  List.iter
+    (fun binds ->
+      let get p = (List.assoc p binds).Ir.bc in
+      check_int "blocks cover the array" m (get "NBLK" * get "STRIDE");
+      check_int "reps cover one stride" (get "STRIDE") (get "REPS" * runlen))
+    transposes
+
+let prop_sizes_scale_with_memory =
+  QCheck.Test.make ~name:"data sets scale with memory size" ~count:20
+    QCheck.(int_range 16 256)
+    (fun mb ->
+      let mem = mb * 1024 * 1024 in
+      List.for_all
+        (fun (w : Workload.t) ->
+          let bytes = Workload.data_set_bytes w ~mem_bytes:mem ~page_bytes in
+          bytes > mem && bytes < 32 * mem)
+        Workload.all)
+
+let () =
+  Alcotest.run "memhog_workloads"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "all out of core" `Quick test_all_out_of_core;
+          Alcotest.test_case "all validate" `Quick test_all_validate;
+        ] );
+      ( "traits",
+        [
+          Alcotest.test_case "EMBAR/MATVEC known bounds" `Quick
+            test_embar_matvec_fully_known;
+          Alcotest.test_case "BUK/CGM unknown+indirect" `Quick
+            test_buk_cgm_unknown_bounds_and_indirect;
+          Alcotest.test_case "FFTPDE false temporal" `Quick test_fftpde_false_temporal;
+          Alcotest.test_case "MGRID multi-size procs" `Quick
+            test_mgrid_procedures_multiple_sizes;
+          Alcotest.test_case "MGRID stencil groups" `Quick test_mgrid_stencil_groups;
+          Alcotest.test_case "MATVEC vector pages" `Quick
+            test_matvec_vector_is_multiple_pages;
+          Alcotest.test_case "BUK bucket sizing" `Quick test_buk_bucket_array_fits_memory;
+          Alcotest.test_case "FFTPDE transpose coverage" `Quick
+            test_fftpde_transposes_cover_array;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_sizes_scale_with_memory ] );
+    ]
