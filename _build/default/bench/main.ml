@@ -5,42 +5,133 @@
      bench/main.exe                      run everything
      bench/main.exe fig7 table3 ...      run selected experiments
      bench/main.exe --quick ...          use the shrunk machine
+     bench/main.exe --jobs N ...         run independent simulations on N
+                                         worker domains (default: the
+                                         machine's recommended domain
+                                         count; results are bit-identical
+                                         to --jobs 1 — each cell owns its
+                                         engine, OS and RNG)
+     bench/main.exe --json ...           write BENCH_matrix.json: the
+                                         experiment matrix's wall-clock
+                                         per cell, total, jobs used, and
+                                         speedup vs the serial estimate
+     bench/main.exe smoke --quick ...    one-workload mini matrix (CI
+                                         smoke test; see @bench-smoke)
      bench/main.exe microbench           bechamel microbenchmarks of the
-                                         simulator primitives
+                                         simulator primitives (--smoke for
+                                         a CI-safe short run)
+
+   BENCH_matrix.json schema (schema_version 1):
+     { "schema_version": 1,
+       "machine": <machine name>,
+       "jobs": <worker domains>,
+       "total_wall_s": <wall-clock for the whole matrix>,
+       "serial_estimate_s": <sum of per-cell wall-clocks>,
+       "speedup_vs_serial": <serial_estimate_s / total_wall_s>,
+       "cells": [ { "label": "WORKLOAD/VARIANT", "wall_s": <float> }, ... ] }
 
    Experiment ids: table1 table2 fig1 fig7 fig8 table3 fig9 fig10a fig10b
    fig10c ablation-batch ablation-hwbits ablation-conservative
    ablation-rescue ablation-drop ablation-tlb ext-freemem ext-reactive
-   ext-two-hogs
-   microbench *)
+   ext-two-hogs smoke microbench *)
 
 open Memhog_core
 
 let t0 = Unix.gettimeofday ()
 
-let log msg = Printf.eprintf "  [%7.1fs] %s\n%!" (Unix.gettimeofday () -. t0) msg
+(* Jobs log from worker domains; keep lines whole. *)
+let log_mutex = Mutex.create ()
+
+let log msg =
+  Mutex.lock log_mutex;
+  Printf.eprintf "  [%7.1fs] %s\n%!" (Unix.gettimeofday () -. t0) msg;
+  Mutex.unlock log_mutex
 
 let print_section s =
   Printf.printf "\n%s\n%s\n%s\n%!" (String.make 72 '=') s (String.make 72 '=')
 
 (* The matrix (all workloads x O/P/R/B next to the 5 s interactive task) is
-   shared by fig7, fig8, table3, fig9, fig10b and fig10c. *)
+   shared by fig7, fig8, table3, fig9, fig10b and fig10c.  The cache lives
+   in the main domain only: run_matrix parallelizes internally, so no
+   worker ever touches this ref. *)
 let matrix_cache : Figures.matrix option ref = ref None
 
-let get_matrix ~machine () =
+(* Most recent matrix of any shape (full or smoke), for --json. *)
+let last_matrix : Figures.matrix option ref = ref None
+
+let get_matrix ~machine ~jobs () =
   match !matrix_cache with
   | Some m -> m
   | None ->
-      log "building experiment matrix (6 workloads x O/P/R/B + interactive)";
-      let m = Figures.run_matrix ~machine ~log () in
+      log
+        (Printf.sprintf
+           "building experiment matrix (6 workloads x O/P/R/B + interactive, \
+            %d jobs)"
+           jobs);
+      let m = Figures.run_matrix ~machine ~jobs ~log () in
       matrix_cache := Some m;
+      last_matrix := Some m;
       m
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_matrix.json                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_matrix_json ~path (m : Figures.matrix) =
+  let serial_estimate =
+    List.fold_left
+      (fun acc c -> acc +. c.Figures.ct_wall_s)
+      0.0 m.Figures.mx_cells
+  in
+  let speedup =
+    if m.Figures.mx_wall_s > 0.0 then serial_estimate /. m.Figures.mx_wall_s
+    else 1.0
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n";
+      Printf.fprintf oc "  \"schema_version\": 1,\n";
+      Printf.fprintf oc "  \"machine\": \"%s\",\n"
+        (json_escape m.Figures.mx_machine.Machine.m_name);
+      Printf.fprintf oc "  \"jobs\": %d,\n" m.Figures.mx_jobs;
+      Printf.fprintf oc "  \"total_wall_s\": %.6f,\n" m.Figures.mx_wall_s;
+      Printf.fprintf oc "  \"serial_estimate_s\": %.6f,\n" serial_estimate;
+      Printf.fprintf oc "  \"speedup_vs_serial\": %.3f,\n" speedup;
+      Printf.fprintf oc "  \"cells\": [\n";
+      let n = List.length m.Figures.mx_cells in
+      List.iteri
+        (fun i (c : Figures.cell_timing) ->
+          Printf.fprintf oc "    { \"label\": \"%s\", \"wall_s\": %.6f }%s\n"
+            (json_escape c.Figures.ct_label)
+            c.Figures.ct_wall_s
+            (if i = n - 1 then "" else ","))
+        m.Figures.mx_cells;
+      Printf.fprintf oc "  ]\n";
+      Printf.fprintf oc "}\n");
+  log (Printf.sprintf "wrote %s (%d cells, %.2fs wall, %.2fx vs serial)" path
+         (List.length m.Figures.mx_cells) m.Figures.mx_wall_s speedup)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the substrate                            *)
 (* ------------------------------------------------------------------ *)
 
-let microbench () =
+let microbench ~smoke () =
   let open Bechamel in
   let open Toolkit in
   let sim_spin n =
@@ -89,17 +180,36 @@ let microbench () =
         in
         drain ())
   in
+  let release_churn n =
+    Staged.stage (fun () ->
+        let b = Memhog_runtime.Release_buffer.create () in
+        for i = 0 to n - 1 do
+          let tag = i mod 97 in
+          Memhog_runtime.Release_buffer.add b ~tag ~priority:((tag mod 3) + 1)
+            ~vpn:i
+        done;
+        let rec drain () =
+          if Array.length (Memhog_runtime.Release_buffer.pop_lowest b ~max:100)
+             > 0
+          then drain ()
+        in
+        drain ())
+  in
   let test =
     Test.make_grouped ~name:"memhog"
       [
         Test.make ~name:"engine: 10k events" (sim_spin 10_000);
         Test.make ~name:"vm: 10k warm touches" (vm_touch 10_000);
         Test.make ~name:"heap: 10k push/pop" (heap_churn 10_000);
+        Test.make ~name:"release buffer: 10k pages" (release_churn 10_000);
       ]
   in
   let benchmark () =
     let instances = Instance.[ monotonic_clock ] in
-    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) () in
+    let cfg =
+      if smoke then Benchmark.cfg ~limit:20 ~quota:(Time.second 0.2) ()
+      else Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) ()
+    in
     Benchmark.all cfg instances test
   in
   let results = benchmark () in
@@ -108,7 +218,9 @@ let microbench () =
       (Instance.monotonic_clock :> Measure.witness)
       results
   in
-  print_section "Microbenchmarks (bechamel, monotonic clock, ns/run)";
+  print_section
+    (if smoke then "Microbenchmarks (smoke mode, ns/run)"
+     else "Microbenchmarks (bechamel, monotonic clock, ns/run)");
   Hashtbl.iter
     (fun name result ->
       match Analyze.OLS.estimates result with
@@ -117,44 +229,93 @@ let microbench () =
     results_analyzed
 
 (* ------------------------------------------------------------------ *)
+(* CI smoke: a one-workload mini matrix                                 *)
+(* ------------------------------------------------------------------ *)
+
+let smoke ~machine ~jobs () =
+  log (Printf.sprintf "smoke: MATVEC x O/P/R/B + interactive, %d jobs" jobs);
+  let m = Figures.run_matrix ~machine ~workloads:[ "MATVEC" ] ~jobs ~log () in
+  last_matrix := Some m;
+  Figures.fig7 m
+
+(* ------------------------------------------------------------------ *)
 (* Experiment registry                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let experiments ~machine =
+let experiments ~machine ~jobs =
   [
     ("table1", fun () -> Figures.table1 ~machine ());
     ("table2", fun () -> Figures.table2 ~machine ());
-    ("fig1", fun () -> Figures.fig1 ~machine ~log ());
-    ("fig7", fun () -> Figures.fig7 (get_matrix ~machine ()));
-    ("fig8", fun () -> Figures.fig8 (get_matrix ~machine ()));
-    ("table3", fun () -> Figures.table3 (get_matrix ~machine ()));
-    ("fig9", fun () -> Figures.fig9 (get_matrix ~machine ()));
-    ("fig10a", fun () -> Figures.fig10a ~machine ~log ());
-    ("fig10b", fun () -> Figures.fig10b (get_matrix ~machine ()));
-    ("fig10c", fun () -> Figures.fig10c (get_matrix ~machine ()));
-    ("ablation-batch", fun () -> Figures.ablation_batch ~machine ~log ());
-    ("ablation-hwbits", fun () -> Figures.ablation_hwbits ~machine ~log ());
+    ("fig1", fun () -> Figures.fig1 ~machine ~jobs ~log ());
+    ("fig7", fun () -> Figures.fig7 (get_matrix ~machine ~jobs ()));
+    ("fig8", fun () -> Figures.fig8 (get_matrix ~machine ~jobs ()));
+    ("table3", fun () -> Figures.table3 (get_matrix ~machine ~jobs ()));
+    ("fig9", fun () -> Figures.fig9 (get_matrix ~machine ~jobs ()));
+    ("fig10a", fun () -> Figures.fig10a ~machine ~jobs ~log ());
+    ("fig10b", fun () -> Figures.fig10b (get_matrix ~machine ~jobs ()));
+    ("fig10c", fun () -> Figures.fig10c (get_matrix ~machine ~jobs ()));
+    ("ablation-batch", fun () -> Figures.ablation_batch ~machine ~jobs ~log ());
+    ("ablation-hwbits", fun () -> Figures.ablation_hwbits ~machine ~jobs ~log ());
     ( "ablation-conservative",
-      fun () -> Figures.ablation_conservative ~machine ~log () );
-    ("ablation-rescue", fun () -> Figures.ablation_rescue ~machine ~log ());
-    ("ablation-drop", fun () -> Figures.ablation_drop ~machine ~log ());
-    ("ablation-tlb", fun () -> Figures.ablation_tlb ~machine ~log ());
-    ("ext-freemem", fun () -> Figures.ext_freemem ~machine ~log ());
-    ("ext-reactive", fun () -> Figures.ext_reactive ~machine ~log ());
-    ("ext-two-hogs", fun () -> Figures.ext_two_hogs ~machine ~log ());
+      fun () -> Figures.ablation_conservative ~machine ~jobs ~log () );
+    ("ablation-rescue", fun () -> Figures.ablation_rescue ~machine ~jobs ~log ());
+    ("ablation-drop", fun () -> Figures.ablation_drop ~machine ~jobs ~log ());
+    ("ablation-tlb", fun () -> Figures.ablation_tlb ~machine ~jobs ~log ());
+    ("ext-freemem", fun () -> Figures.ext_freemem ~machine ~jobs ~log ());
+    ("ext-reactive", fun () -> Figures.ext_reactive ~machine ~jobs ~log ());
+    ("ext-two-hogs", fun () -> Figures.ext_two_hogs ~machine ~jobs ~log ());
+    ("smoke", fun () -> smoke ~machine ~jobs ());
   ]
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--quick] [--jobs N] [--json] [--smoke] [EXPERIMENT ...]\n"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let quick = List.mem "--quick" args in
-  let machine = if quick then Machine.quick else Machine.paper in
-  let selected = List.filter (fun a -> a <> "--quick") args in
+  let jobs = ref (Pool.default_jobs ()) in
+  let quick = ref false in
+  let json = ref false in
+  let smoke_micro = ref false in
+  let selected = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--smoke" :: rest ->
+        smoke_micro := true;
+        parse rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse rest
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+            usage ();
+            exit 2)
+    | "--jobs" :: [] ->
+        Printf.eprintf "--jobs expects an argument\n";
+        usage ();
+        exit 2
+    | a :: rest ->
+        selected := a :: !selected;
+        parse rest
+  in
+  parse args;
+  let selected = List.rev !selected in
+  let machine = if !quick then Machine.quick else Machine.paper in
+  let jobs = !jobs in
   let run_micro = List.mem "microbench" selected in
   let selected = List.filter (fun a -> a <> "microbench") selected in
-  let registry = experiments ~machine in
+  let registry = experiments ~machine ~jobs in
   let to_run =
     match selected with
-    | [] -> registry
+    | [] -> List.filter (fun (n, _) -> n <> "smoke") registry
     | names ->
         List.map
           (fun n ->
@@ -166,6 +327,7 @@ let () =
                 exit 2)
           names
   in
+  log (Printf.sprintf "machine: %s | jobs: %d" machine.Machine.m_name jobs);
   List.iter
     (fun (name, f) ->
       log (Printf.sprintf "=== %s ===" name);
@@ -173,5 +335,13 @@ let () =
       print_string (f ());
       print_newline ())
     to_run;
-  if run_micro || selected = [] then microbench ();
+  if run_micro || selected = [] then microbench ~smoke:!smoke_micro ();
+  if !json then begin
+    let m =
+      match !last_matrix with
+      | Some m -> m
+      | None -> get_matrix ~machine ~jobs ()
+    in
+    write_matrix_json ~path:"BENCH_matrix.json" m
+  end;
   log "done"

@@ -267,7 +267,52 @@ let sweep_cmd =
       & info [ "sleeps" ] ~docv:"S,S,..."
           ~doc:"Sleep times (seconds) to sweep.")
   in
-  let run machine workload sleeps =
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Run the sweep's independent simulations on $(docv) worker \
+             domains.  Results are identical to --jobs 1; each cell owns \
+             its own simulation.")
+  in
+  let run machine workload sleeps jobs =
+    (* Each (sleep, variant) cell is an independent simulation; fan them
+       out over the pool and print in input order afterwards. *)
+    let specs =
+      List.concat_map
+        (fun s ->
+          (s, None)
+          :: List.map (fun v -> (s, Some v)) Experiment.all_variants)
+        sleeps
+    in
+    let cell (s, which) =
+      let sleep = Time_ns.of_sec_f s in
+      let min_sim_time = max (Time_ns.sec 45) ((8 * sleep) + Time_ns.sec 20) in
+      match which with
+      | None ->
+          let alone =
+            Experiment.run_interactive_alone ~machine ~sleep
+              ~duration:min_sim_time ()
+          in
+          (match alone.Experiment.is_avg_response with
+          | Some t -> Time_ns.to_string t
+          | None -> "-")
+      | Some variant ->
+          let r =
+            Experiment.run
+              (Experiment.setup ~machine ~interactive_sleep:sleep ~min_sim_time
+                 ~workload ~variant ())
+          in
+          (match r.Experiment.r_interactive with
+          | Some i -> (
+              match i.Experiment.is_avg_response with
+              | Some t -> Time_ns.to_string t
+              | None -> "-")
+          | None -> "-")
+    in
+    let results = List.combine specs (Pool.map ~jobs cell specs) in
     Format.printf "%-9s %10s" "sleep(s)" "alone";
     List.iter
       (fun v -> Format.printf " %10s" (Experiment.variant_name v))
@@ -275,30 +320,10 @@ let sweep_cmd =
     Format.printf "@.";
     List.iter
       (fun s ->
-        let sleep = Time_ns.of_sec_f s in
-        let min_sim_time = max (Time_ns.sec 45) ((8 * sleep) + Time_ns.sec 20) in
-        let alone =
-          Experiment.run_interactive_alone ~machine ~sleep ~duration:min_sim_time ()
-        in
-        Format.printf "%-9.1f %10s" s
-          (match alone.Experiment.is_avg_response with
-          | Some t -> Time_ns.to_string t
-          | None -> "-");
+        Format.printf "%-9.1f" s;
         List.iter
-          (fun variant ->
-            let r =
-              Experiment.run
-                (Experiment.setup ~machine ~interactive_sleep:sleep ~min_sim_time
-                   ~workload ~variant ())
-            in
-            Format.printf " %10s"
-              (match r.Experiment.r_interactive with
-              | Some i -> (
-                  match i.Experiment.is_avg_response with
-                  | Some t -> Time_ns.to_string t
-                  | None -> "-")
-              | None -> "-"))
-          Experiment.all_variants;
+          (fun ((s', _), out) -> if s' = s then Format.printf " %10s" out)
+          results;
         Format.printf "@.")
       sleeps;
     0
@@ -308,7 +333,7 @@ let sweep_cmd =
        ~doc:
          "Interactive response vs sleep time for one benchmark across all \
           four variants (Figures 1/10a for any workload).")
-    Term.(const run $ machine_term $ workload_term $ sleeps)
+    Term.(const run $ machine_term $ workload_term $ sleeps $ jobs)
 
 let () =
   let doc =

@@ -1,1 +1,1 @@
-lib/core/figures.ml: Experiment Format List Machine Memhog_compiler Memhog_exec Memhog_runtime Memhog_sim Memhog_vm Memhog_workloads Printf Report Time_ns
+lib/core/figures.ml: Experiment Format Fun List Machine Memhog_compiler Memhog_exec Memhog_runtime Memhog_sim Memhog_vm Memhog_workloads Mutex Pool Printf Report Time_ns Unix

@@ -1,0 +1,1 @@
+lib/core/pool.ml: Array Atomic Condition Domain Fun List Mutex Printexc Queue

@@ -6,45 +6,103 @@ module Compile = Memhog_compiler.Compile
 module Pir = Memhog_compiler.Pir
 module Analysis = Memhog_compiler.Analysis
 
+type cell_timing = { ct_label : string; ct_wall_s : float }
+
 type matrix = {
   mx_machine : Machine.t;
   mx_sleep : Time_ns.t;
   mx_results : (string * (E.variant * E.result) list) list;
   mx_alone : E.interactive_summary;
+  mx_jobs : int;
+  mx_wall_s : float;
+  mx_cells : cell_timing list;
 }
 
 let no_log _ = ()
 
+(* Jobs run on worker domains; serialize calls into the caller's logger. *)
+let locked_log log =
+  let m = Mutex.create () in
+  fun s ->
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> log s)
+
+(* Run each spec as an independent pool job and keep per-cell wall-clock.
+   Results come back in input order whatever the schedule, and every
+   simulation owns its engine/OS/RNG, so the output is bit-identical to the
+   serial run. *)
+let timed_pmap ~jobs ~label ~run specs =
+  Pool.map ~jobs
+    (fun spec ->
+      let t0 = Unix.gettimeofday () in
+      let r = run spec in
+      ({ ct_label = label spec; ct_wall_s = Unix.gettimeofday () -. t0 }, r))
+    specs
+
+let pmap ~jobs run specs = Pool.map ~jobs run specs
+
 let sweep_min_time ~sleep = max (Time_ns.sec 45) ((8 * sleep) + Time_ns.sec 20)
 
+type matrix_cell = Cell_run of string * E.variant | Cell_alone
+
 let run_matrix ?(machine = Machine.paper) ?(sleep = Time_ns.sec 5)
-    ?(workloads = Workload.names) ?(log = no_log) () =
+    ?(workloads = Workload.names) ?(jobs = 1) ?(log = no_log) () =
+  let log = locked_log log in
   let min_sim_time = sweep_min_time ~sleep in
+  let t_start = Unix.gettimeofday () in
+  let cells =
+    List.concat_map
+      (fun name -> List.map (fun v -> Cell_run (name, v)) E.all_variants)
+      workloads
+    @ [ Cell_alone ]
+  in
+  let label = function
+    | Cell_run (name, v) -> Printf.sprintf "%s/%s" name (E.variant_name v)
+    | Cell_alone -> "interactive-alone"
+  in
+  let run = function
+    | Cell_run (name, v) ->
+        log (Printf.sprintf "running %s/%s ..." name (E.variant_name v));
+        let wl = Workload.find name in
+        `Run
+          (E.run
+             (E.setup ~machine ~interactive_sleep:sleep ~min_sim_time
+                ~workload:wl ~variant:v ()))
+    | Cell_alone ->
+        log "running interactive task alone ...";
+        `Alone (E.run_interactive_alone ~machine ~sleep ~duration:min_sim_time ())
+  in
+  let outcomes = timed_pmap ~jobs ~label ~run cells in
+  let tagged = List.combine cells outcomes in
   let results =
     List.map
       (fun name ->
-        let wl = Workload.find name in
-        let per_variant =
-          List.map
-            (fun v ->
-              log
-                (Printf.sprintf "running %s/%s ..." name (E.variant_name v));
-              let r =
-                E.run
-                  (E.setup ~machine ~interactive_sleep:sleep ~min_sim_time
-                     ~workload:wl ~variant:v ())
-              in
-              (v, r))
-            E.all_variants
-        in
-        (name, per_variant))
+        ( name,
+          List.filter_map
+            (function
+              | Cell_run (n, v), (_, `Run r) when n = name -> Some (v, r)
+              | _ -> None)
+            tagged ))
       workloads
   in
-  log "running interactive task alone ...";
   let alone =
-    E.run_interactive_alone ~machine ~sleep ~duration:(sweep_min_time ~sleep) ()
+    match
+      List.find_map
+        (function Cell_alone, (_, `Alone a) -> Some a | _ -> None)
+        tagged
+    with
+    | Some a -> a
+    | None -> assert false
   in
-  { mx_machine = machine; mx_sleep = sleep; mx_results = results; mx_alone = alone }
+  {
+    mx_machine = machine;
+    mx_sleep = sleep;
+    mx_results = results;
+    mx_alone = alone;
+    mx_jobs = jobs;
+    mx_wall_s = Unix.gettimeofday () -. t_start;
+    mx_cells = List.map fst outcomes;
+  }
 
 let render f = Format.asprintf "@[<v>%t@]" f
 
@@ -98,26 +156,43 @@ let table2 ?(machine = Machine.paper) () =
 
 let default_sleeps = [ 0.0; 0.5; 1.0; 2.0; 5.0; 10.0; 20.0; 30.0 ]
 
-let response_sweep ~machine ~sleeps_s ~variants ~log =
+let response_sweep ~machine ~sleeps_s ~variants ~jobs ~log =
   let wl = Workload.find "MATVEC" in
+  let specs =
+    List.concat_map
+      (fun s -> (s, None) :: List.map (fun v -> (s, Some v)) variants)
+      sleeps_s
+  in
+  let run (s, which) =
+    let sleep = Time_ns.of_sec_f s in
+    let min_sim_time = sweep_min_time ~sleep in
+    match which with
+    | None ->
+        log (Printf.sprintf "sleep %.1fs ..." s);
+        `Alone (E.run_interactive_alone ~machine ~sleep ~duration:min_sim_time ())
+    | Some v ->
+        `Run
+          ( v,
+            E.run
+              (E.setup ~machine ~interactive_sleep:sleep ~min_sim_time
+                 ~workload:wl ~variant:v ()) )
+  in
+  let tagged = List.combine specs (pmap ~jobs run specs) in
   List.map
     (fun s ->
-      let sleep = Time_ns.of_sec_f s in
-      let min_sim_time = sweep_min_time ~sleep in
-      log (Printf.sprintf "sleep %.1fs ..." s);
       let alone =
-        E.run_interactive_alone ~machine ~sleep ~duration:min_sim_time ()
+        match
+          List.find_map
+            (function (s', None), `Alone a when s' = s -> Some a | _ -> None)
+            tagged
+        with
+        | Some a -> a
+        | None -> assert false
       in
       let per_variant =
-        List.map
-          (fun v ->
-            let r =
-              E.run
-                (E.setup ~machine ~interactive_sleep:sleep ~min_sim_time
-                   ~workload:wl ~variant:v ())
-            in
-            (v, r))
-          variants
+        List.filter_map
+          (function (s', Some _), `Run (v, r) when s' = s -> Some (v, r) | _ -> None)
+          tagged
       in
       (s, alone, per_variant))
     sleeps_s
@@ -135,9 +210,10 @@ let response_rows sweep =
            per_variant)
     sweep
 
-let fig1 ?(machine = Machine.paper) ?(sleeps_s = default_sleeps) ?(log = no_log)
-    () =
-  let sweep = response_sweep ~machine ~sleeps_s ~variants:[ E.O; E.P ] ~log in
+let fig1 ?(machine = Machine.paper) ?(sleeps_s = default_sleeps) ?(jobs = 1)
+    ?(log = no_log) () =
+  let log = locked_log log in
+  let sweep = response_sweep ~machine ~sleeps_s ~variants:[ E.O; E.P ] ~jobs ~log in
   render (fun fmt ->
       Report.table
         ~title:
@@ -146,10 +222,11 @@ let fig1 ?(machine = Machine.paper) ?(sleeps_s = default_sleeps) ?(log = no_log)
         ~header:[ "sleep (s)"; "alone"; "w/ original"; "w/ prefetching" ]
         ~rows:(response_rows sweep) fmt ())
 
-let fig10a ?(machine = Machine.paper) ?(sleeps_s = default_sleeps)
+let fig10a ?(machine = Machine.paper) ?(sleeps_s = default_sleeps) ?(jobs = 1)
     ?(log = no_log) () =
+  let log = locked_log log in
   let sweep =
-    response_sweep ~machine ~sleeps_s ~variants:E.all_variants ~log
+    response_sweep ~machine ~sleeps_s ~variants:E.all_variants ~jobs ~log
   in
   render (fun fmt ->
       Report.table
@@ -381,14 +458,15 @@ let fig10c (m : matrix) =
 (* ------------------------------------------------------------------ *)
 
 let ablation_batch ?(machine = Machine.paper)
-    ?(targets = [ 10; 50; 100; 400; 1600 ]) ?(log = no_log) () =
+    ?(targets = [ 10; 50; 100; 400; 1600 ]) ?(jobs = 1) ?(log = no_log) () =
   (* FFTPDE under the buffered policy keeps its whole release stream in the
      priority queues (false temporal reuse), so the drain batch size is the
      only thing between the application and the paging daemon. *)
+  let log = locked_log log in
   let wl = Workload.find "FFTPDE" in
   let sleep = Time_ns.sec 5 in
   let rows =
-    List.map
+    pmap ~jobs
       (fun target ->
         log (Printf.sprintf "release target %d ..." target);
         let r =
@@ -420,7 +498,8 @@ let ablation_batch ?(machine = Machine.paper)
           [ "batch"; "per-pass"; "drains"; "daemon stole"; "interactive" ]
         ~rows fmt ())
 
-let ablation_hwbits ?(machine = Machine.paper) ?(log = no_log) () =
+let ablation_hwbits ?(machine = Machine.paper) ?(jobs = 1) ?(log = no_log) () =
+  let log = locked_log log in
   let hw_machine =
     {
       machine with
@@ -429,26 +508,31 @@ let ablation_hwbits ?(machine = Machine.paper) ?(log = no_log) () =
       m_name = machine.Machine.m_name ^ " + hardware reference bits";
     }
   in
-  let rows =
+  let specs =
     List.concat_map
       (fun wname ->
-        let wl = Workload.find wname in
         List.concat_map
           (fun v ->
             List.map
-              (fun (label, m) ->
-                log (Printf.sprintf "%s/%s (%s) ..." wname (E.variant_name v) label);
-                let r = E.run (E.setup ~machine:m ~workload:wl ~variant:v ()) in
-                [
-                  Printf.sprintf "%s/%s" wname (E.variant_name v);
-                  label;
-                  Report.ns r.E.r_elapsed;
-                  Report.count r.E.r_app_stats.VS.soft_faults;
-                  Report.ns r.E.r_breakdown.E.b_resource_stall;
-                ])
+              (fun lm -> (wname, v, lm))
               [ ("software", machine); ("hardware", hw_machine) ])
           [ E.P; E.R ])
       [ "EMBAR"; "MATVEC" ]
+  in
+  let rows =
+    pmap ~jobs
+      (fun (wname, v, (label, m)) ->
+        log (Printf.sprintf "%s/%s (%s) ..." wname (E.variant_name v) label);
+        let wl = Workload.find wname in
+        let r = E.run (E.setup ~machine:m ~workload:wl ~variant:v ()) in
+        [
+          Printf.sprintf "%s/%s" wname (E.variant_name v);
+          label;
+          Report.ns r.E.r_elapsed;
+          Report.count r.E.r_app_stats.VS.soft_faults;
+          Report.ns r.E.r_breakdown.E.b_resource_stall;
+        ])
+      specs
   in
   render (fun fmt ->
       Report.table
@@ -458,30 +542,34 @@ let ablation_hwbits ?(machine = Machine.paper) ?(log = no_log) () =
         ~header:[ "run"; "ref bits"; "elapsed"; "soft faults"; "resource stall" ]
         ~rows fmt ())
 
-let ablation_conservative ?(machine = Machine.paper) ?(log = no_log) () =
-  let rows =
+let ablation_conservative ?(machine = Machine.paper) ?(jobs = 1) ?(log = no_log)
+    () =
+  let log = locked_log log in
+  let specs =
     List.concat_map
       (fun wname ->
-        let wl = Workload.find wname in
         List.concat_map
           (fun v ->
             List.map
-              (fun (label, conservative) ->
-                log
-                  (Printf.sprintf "%s/%s (%s) ..." wname (E.variant_name v) label);
-                let r =
-                  E.run (E.setup ~machine ~conservative ~workload:wl ~variant:v ())
-                in
-                [
-                  Printf.sprintf "%s/%s" wname (E.variant_name v);
-                  label;
-                  Report.ns r.E.r_elapsed;
-                  Report.count r.E.r_app_stats.VS.releases_requested;
-                  Report.count r.E.r_app_stats.VS.rescued_releaser;
-                ])
+              (fun lc -> (wname, v, lc))
               [ ("aggressive", false); ("conservative", true) ])
           [ E.R; E.B ])
       [ "MATVEC" ]
+  in
+  let rows =
+    pmap ~jobs
+      (fun (wname, v, (label, conservative)) ->
+        log (Printf.sprintf "%s/%s (%s) ..." wname (E.variant_name v) label);
+        let wl = Workload.find wname in
+        let r = E.run (E.setup ~machine ~conservative ~workload:wl ~variant:v ()) in
+        [
+          Printf.sprintf "%s/%s" wname (E.variant_name v);
+          label;
+          Report.ns r.E.r_elapsed;
+          Report.count r.E.r_app_stats.VS.releases_requested;
+          Report.count r.E.r_app_stats.VS.rescued_releaser;
+        ])
+      specs
   in
   render (fun fmt ->
       Report.table
@@ -491,7 +579,8 @@ let ablation_conservative ?(machine = Machine.paper) ?(log = no_log) () =
         ~header:[ "run"; "insertion"; "elapsed"; "release reqs"; "rescued" ]
         ~rows fmt ())
 
-let ablation_rescue ?(machine = Machine.paper) ?(log = no_log) () =
+let ablation_rescue ?(machine = Machine.paper) ?(jobs = 1) ?(log = no_log) () =
+  let log = locked_log log in
   let no_rescue =
     {
       machine with
@@ -503,25 +592,30 @@ let ablation_rescue ?(machine = Machine.paper) ?(log = no_log) () =
       m_name = machine.Machine.m_name ^ " - rescue disabled";
     }
   in
-  let rows =
+  let specs =
     List.concat_map
       (fun wname ->
-        let wl = Workload.find wname in
         List.map
-          (fun (label, m) ->
-            log (Printf.sprintf "%s/R (%s) ..." wname label);
-            let r = E.run (E.setup ~machine:m ~workload:wl ~variant:E.R ()) in
-            [
-              Printf.sprintf "%s/R" wname;
-              label;
-              Report.ns r.E.r_elapsed;
-              Report.count
-                (r.E.r_app_stats.VS.rescued_daemon
-                + r.E.r_app_stats.VS.rescued_releaser);
-              Report.count r.E.r_app_stats.VS.hard_faults;
-            ])
+          (fun lm -> (wname, lm))
           [ ("rescue on", machine); ("rescue off", no_rescue) ])
       [ "MATVEC"; "MGRID" ]
+  in
+  let rows =
+    pmap ~jobs
+      (fun (wname, (label, m)) ->
+        log (Printf.sprintf "%s/R (%s) ..." wname label);
+        let wl = Workload.find wname in
+        let r = E.run (E.setup ~machine:m ~workload:wl ~variant:E.R ()) in
+        [
+          Printf.sprintf "%s/R" wname;
+          label;
+          Report.ns r.E.r_elapsed;
+          Report.count
+            (r.E.r_app_stats.VS.rescued_daemon
+            + r.E.r_app_stats.VS.rescued_releaser);
+          Report.count r.E.r_app_stats.VS.hard_faults;
+        ])
+      specs
   in
   render (fun fmt ->
       Report.table
@@ -529,7 +623,8 @@ let ablation_rescue ?(machine = Machine.paper) ?(log = no_log) () =
         ~header:[ "run"; "rescue"; "elapsed"; "rescued"; "hard faults" ]
         ~rows fmt ())
 
-let ablation_drop ?(machine = Machine.paper) ?(log = no_log) () =
+let ablation_drop ?(machine = Machine.paper) ?(jobs = 1) ?(log = no_log) () =
+  let log = locked_log log in
   let no_drop =
     {
       machine with
@@ -544,7 +639,7 @@ let ablation_drop ?(machine = Machine.paper) ?(log = no_log) () =
   let wl = Workload.find "MATVEC" in
   let sleep = Time_ns.sec 5 in
   let rows =
-    List.map
+    pmap ~jobs
       (fun (label, m) ->
         log (Printf.sprintf "MATVEC/P (%s) ..." label);
         let r =
@@ -571,7 +666,8 @@ let ablation_drop ?(machine = Machine.paper) ?(log = no_log) () =
           [ "policy"; "MATVEC P elapsed"; "dropped"; "interactive response" ]
         ~rows fmt ())
 
-let ablation_tlb ?(machine = Machine.paper) ?(log = no_log) () =
+let ablation_tlb ?(machine = Machine.paper) ?(jobs = 1) ?(log = no_log) () =
+  let log = locked_log log in
   let fills =
     {
       machine with
@@ -580,22 +676,27 @@ let ablation_tlb ?(machine = Machine.paper) ?(log = no_log) () =
       m_name = machine.Machine.m_name ^ " + prefetch fills TLB";
     }
   in
-  let rows =
+  let specs =
     List.concat_map
       (fun wname ->
-        let wl = Workload.find wname in
         List.map
-          (fun (label, m) ->
-            log (Printf.sprintf "%s/P (%s) ..." wname label);
-            let r = E.run (E.setup ~machine:m ~workload:wl ~variant:E.P ()) in
-            [
-              Printf.sprintf "%s/P" wname;
-              label;
-              Report.ns (r.E.r_elapsed / r.E.r_iterations);
-              Report.count r.E.r_app_tlb_misses;
-            ])
+          (fun lm -> (wname, lm))
           [ ("no TLB entry (paper)", machine); ("fills TLB", fills) ])
       [ "MATVEC"; "CGM" ]
+  in
+  let rows =
+    pmap ~jobs
+      (fun (wname, (label, m)) ->
+        log (Printf.sprintf "%s/P (%s) ..." wname label);
+        let wl = Workload.find wname in
+        let r = E.run (E.setup ~machine:m ~workload:wl ~variant:E.P ()) in
+        [
+          Printf.sprintf "%s/P" wname;
+          label;
+          Report.ns (r.E.r_elapsed / r.E.r_iterations);
+          Report.count r.E.r_app_tlb_misses;
+        ])
+      specs
   in
   render (fun fmt ->
       Report.table
@@ -609,11 +710,12 @@ let ablation_tlb ?(machine = Machine.paper) ?(log = no_log) () =
 (* Extensions                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let ext_freemem ?(machine = Machine.paper) ?(log = no_log) () =
+let ext_freemem ?(machine = Machine.paper) ?(jobs = 1) ?(log = no_log) () =
+  let log = locked_log log in
   let wl = Workload.find "MATVEC" in
   let sleep = Time_ns.sec 5 in
   let runs =
-    List.map
+    pmap ~jobs
       (fun v ->
         log (Printf.sprintf "MATVEC/%s ..." (E.variant_name v));
         let r =
@@ -639,7 +741,8 @@ let ext_freemem ?(machine = Machine.paper) ?(log = no_log) () =
           Format.fprintf fmt "@,")
         runs)
 
-let ext_two_hogs ?(machine = Machine.paper) ?(log = no_log) () =
+let ext_two_hogs ?(machine = Machine.paper) ?(jobs = 1) ?(log = no_log) () =
+  let log = locked_log log in
   let module Os = Memhog_vm.Os in
   let module App = Memhog_exec.App in
   let run_pair variant =
@@ -681,8 +784,11 @@ let ext_two_hogs ?(machine = Machine.paper) ?(log = no_log) () =
     Memhog_sim.Engine.run engine;
     (!done_a, !done_b, (Os.global_stats os).VS.daemon_pages_stolen)
   in
-  let o_a, o_b, o_stolen = run_pair Pir.V_original in
-  let r_a, r_b, r_stolen = run_pair Pir.V_release in
+  let (o_a, o_b, o_stolen), (r_a, r_b, r_stolen) =
+    match pmap ~jobs run_pair [ Pir.V_original; Pir.V_release ] with
+    | [ o; r ] -> (o, r)
+    | _ -> assert false
+  in
   render (fun fmt ->
       Report.table
         ~title:
@@ -706,13 +812,14 @@ let ext_two_hogs ?(machine = Machine.paper) ?(log = no_log) () =
           ]
         fmt ())
 
-let ext_reactive ?(machine = Machine.paper) ?(log = no_log) () =
+let ext_reactive ?(machine = Machine.paper) ?(jobs = 1) ?(log = no_log) () =
   (* BUK is the benchmark where application knowledge beats the clock: the
      default policy evicts pages of the randomly-accessed bucket array,
      which the application knows it will need again. *)
+  let log = locked_log log in
   let wl = Workload.find "BUK" in
   let sleep = Time_ns.sec 5 in
-  let one label ~variant ~reactive =
+  let one (label, variant, reactive) =
     log (Printf.sprintf "BUK %s ..." label);
     let r =
       E.run
@@ -731,11 +838,12 @@ let ext_reactive ?(machine = Machine.paper) ?(log = no_log) () =
     ]
   in
   let rows =
-    [
-      one "prefetch only (P)" ~variant:E.P ~reactive:false;
-      one "reactive eviction (sec. 2.2)" ~variant:E.R ~reactive:true;
-      one "pro-active release (R)" ~variant:E.R ~reactive:false;
-    ]
+    pmap ~jobs one
+      [
+        ("prefetch only (P)", E.P, false);
+        ("reactive eviction (sec. 2.2)", E.R, true);
+        ("pro-active release (R)", E.R, false);
+      ]
   in
   render (fun fmt ->
       Report.table

@@ -7,23 +7,38 @@
     ways.  All output is plain text, printed in the same rows/series the
     paper reports. *)
 
+type cell_timing = {
+  ct_label : string;   (** ["WORKLOAD/VARIANT"] or ["interactive-alone"] *)
+  ct_wall_s : float;   (** wall-clock seconds spent simulating that cell *)
+}
+
 type matrix = {
   mx_machine : Machine.t;
   mx_sleep : Memhog_sim.Time_ns.t;
   mx_results : (string * (Experiment.variant * Experiment.result) list) list;
   mx_alone : Experiment.interactive_summary;
+  mx_jobs : int;       (** worker domains the matrix was built with *)
+  mx_wall_s : float;   (** wall-clock seconds for the whole matrix *)
+  mx_cells : cell_timing list;  (** per-cell wall-clock, in submission order *)
 }
 
 val run_matrix :
   ?machine:Machine.t ->
   ?sleep:Memhog_sim.Time_ns.t ->
   ?workloads:string list ->
+  ?jobs:int ->
   ?log:(string -> unit) ->
   unit ->
   matrix
 (** Runs 4 variants per workload (default: all six), each next to the
     interactive task (default sleep: 5 s, the setting of Figures 7-10b/c),
-    plus the interactive-alone baseline. *)
+    plus the interactive-alone baseline.
+
+    [jobs] (default 1) runs the matrix cells on that many worker domains
+    ({!Pool}).  Every cell is an independent simulation with its own
+    engine, OS and RNG, so [mx_results] and [mx_alone] are bit-identical
+    for any [jobs] — only [mx_wall_s]/[mx_cells] change.  [log] may be
+    called from worker domains, but calls are serialized. *)
 
 (** {1 The paper's tables and figures} *)
 
@@ -35,7 +50,12 @@ val table2 : ?machine:Machine.t -> unit -> string
     and the compiler's analysis statistics. *)
 
 val fig1 :
-  ?machine:Machine.t -> ?sleeps_s:float list -> ?log:(string -> unit) -> unit -> string
+  ?machine:Machine.t ->
+  ?sleeps_s:float list ->
+  ?jobs:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  string
 (** Interactive response time vs sleep time, out-of-core MATVEC original
     vs prefetching (section 1.1's motivating experiment). *)
 
@@ -56,7 +76,12 @@ val fig9 : matrix -> string
     many were rescued from the free list. *)
 
 val fig10a :
-  ?machine:Machine.t -> ?sleeps_s:float list -> ?log:(string -> unit) -> unit -> string
+  ?machine:Machine.t ->
+  ?sleeps_s:float list ->
+  ?jobs:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  string
 (** Interactive response vs sleep time for all four MATVEC variants. *)
 
 val fig10b : matrix -> string
@@ -68,26 +93,35 @@ val fig10c : matrix -> string
 (** {1 Ablations} *)
 
 val ablation_batch :
-  ?machine:Machine.t -> ?targets:int list -> ?log:(string -> unit) -> unit -> string
+  ?machine:Machine.t ->
+  ?targets:int list ->
+  ?jobs:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  string
 (** Sweep the run-time layer's release batch size (the paper fixes 100
     pages and notes it never varied it). *)
 
-val ablation_hwbits : ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
+val ablation_hwbits :
+  ?machine:Machine.t -> ?jobs:int -> ?log:(string -> unit) -> unit -> string
 (** Hardware vs software-simulated reference bits: does releasing still pay
     when the daemon does not need to invalidate?  (The paper's section 6
     question.) *)
 
 val ablation_conservative :
-  ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
+  ?machine:Machine.t -> ?jobs:int -> ?log:(string -> unit) -> unit -> string
 (** Aggressive insertion (paper) vs the idealized section-2.3.2 rule. *)
 
-val ablation_rescue : ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
+val ablation_rescue :
+  ?machine:Machine.t -> ?jobs:int -> ?log:(string -> unit) -> unit -> string
 (** Free-list rescue on/off: the value of freeing to the tail. *)
 
-val ablation_drop : ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
+val ablation_drop :
+  ?machine:Machine.t -> ?jobs:int -> ?log:(string -> unit) -> unit -> string
 (** Dropping prefetches when memory is low vs letting them block. *)
 
-val ablation_tlb : ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
+val ablation_tlb :
+  ?machine:Machine.t -> ?jobs:int -> ?log:(string -> unit) -> unit -> string
 (** Section 3.1.2's second PM feature: prefetched pages make no TLB entry.
     Compares TLB misses and run time when prefetches are allowed to
     displace live entries. *)
@@ -95,21 +129,21 @@ val ablation_tlb : ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
 (** {1 Extensions beyond the paper's evaluation} *)
 
 val ext_freemem :
-  ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
+  ?machine:Machine.t -> ?jobs:int -> ?log:(string -> unit) -> unit -> string
 (** Free-memory-over-time telemetry for MATVEC O/P/R/B next to the
     interactive task: makes the mechanism of Figures 1/10 visible — the
     free pool collapses under prefetching and stays healthy under
     releasing. *)
 
 val ext_reactive :
-  ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
+  ?machine:Machine.t -> ?jobs:int -> ?log:(string -> unit) -> unit -> string
 (** Section 2.2's argument, demonstrated: a reactive (VINO-style) scheme in
     which the application only surrenders pages when the OS asks improves
     its own replacement but cannot protect the interactive task, unlike
     pro-active releasing. *)
 
 val ext_two_hogs :
-  ?machine:Machine.t -> ?log:(string -> unit) -> unit -> string
+  ?machine:Machine.t -> ?jobs:int -> ?log:(string -> unit) -> unit -> string
 (** Two out-of-core applications sharing the machine (the multiprogramming
     scenario section 1 motivates but the paper's evaluation does not run):
     both original vs both prefetch+release. *)

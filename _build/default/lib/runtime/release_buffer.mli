@@ -19,7 +19,15 @@ val total : t -> int
 
 val pop_lowest : t -> max:int -> int array
 (** Remove up to [max] pages, lowest priority first, round-robin across
-    same-priority tags.  Returns the page numbers in drain order. *)
+    same-priority tags.  Returns the page numbers in drain order.
+    Appending a tag and retiring an emptied one are both O(1): tag queues
+    at one priority form a doubly-linked list in insertion order. *)
+
+val flush_tag : t -> tag:int -> int array
+(** Remove and return every buffered page of one tag, in FIFO order
+    ([ [||] ] if the tag has no buffered pages).  Used when the
+    application's plans for a tagged array change wholesale — e.g. a
+    re-touch invalidates the buffered releases. *)
 
 val queue_count : t -> int
 val lowest_priority : t -> int option

@@ -1,27 +1,49 @@
-type 'a entry = { key : int; seq : int; value : 'a }
+(* Struct-of-arrays binary min-heap.  Keys and sequence numbers live in
+   unboxed int arrays so the sift comparisons never chase a pointer; the
+   payloads sit in a parallel array of options so a popped slot can be
+   nulled out ([None]) instead of pinning the last event closure until the
+   next overwrite. *)
 
-type 'a t = { mutable arr : 'a entry array; mutable size : int }
+type 'a t = {
+  mutable keys : int array;
+  mutable seqs : int array;
+  mutable vals : 'a option array;
+  mutable size : int;
+}
 
-let create () = { arr = [||]; size = 0 }
+let create () = { keys = [||]; seqs = [||]; vals = [||]; size = 0 }
 
 let is_empty t = t.size = 0
 let length t = t.size
 
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+let less t i j =
+  t.keys.(i) < t.keys.(j) || (t.keys.(i) = t.keys.(j) && t.seqs.(i) < t.seqs.(j))
+
+let swap t i j =
+  let k = t.keys.(i) and s = t.seqs.(i) and v = t.vals.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.seqs.(i) <- t.seqs.(j);
+  t.vals.(i) <- t.vals.(j);
+  t.keys.(j) <- k;
+  t.seqs.(j) <- s;
+  t.vals.(j) <- v
 
 let grow t =
-  let cap = max 16 (2 * Array.length t.arr) in
-  let arr = Array.make cap t.arr.(0) in
-  Array.blit t.arr 0 arr 0 t.size;
-  t.arr <- arr
+  let cap = max 16 (2 * Array.length t.keys) in
+  let keys = Array.make cap 0 and seqs = Array.make cap 0 in
+  let vals = Array.make cap None in
+  Array.blit t.keys 0 keys 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.vals 0 vals 0 t.size;
+  t.keys <- keys;
+  t.seqs <- seqs;
+  t.vals <- vals
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less t.arr.(i) t.arr.(parent) then begin
-      let tmp = t.arr.(i) in
-      t.arr.(i) <- t.arr.(parent);
-      t.arr.(parent) <- tmp;
+    if less t i parent then begin
+      swap t i parent;
       sift_up t parent
     end
   end
@@ -29,35 +51,40 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && less t.arr.(l) t.arr.(!smallest) then smallest := l;
-  if r < t.size && less t.arr.(r) t.arr.(!smallest) then smallest := r;
+  if l < t.size && less t l !smallest then smallest := l;
+  if r < t.size && less t r !smallest then smallest := r;
   if !smallest <> i then begin
-    let tmp = t.arr.(i) in
-    t.arr.(i) <- t.arr.(!smallest);
-    t.arr.(!smallest) <- tmp;
+    swap t i !smallest;
     sift_down t !smallest
   end
 
 let add t ~key ~seq value =
-  let entry = { key; seq; value } in
-  if t.size = 0 && Array.length t.arr = 0 then t.arr <- Array.make 16 entry;
-  if t.size = Array.length t.arr then grow t;
-  t.arr.(t.size) <- entry;
+  if t.size = Array.length t.keys then grow t;
+  t.keys.(t.size) <- key;
+  t.seqs.(t.size) <- seq;
+  t.vals.(t.size) <- Some value;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
 let pop_min t =
   if t.size = 0 then None
   else begin
-    let min = t.arr.(0) in
+    let key = t.keys.(0) and seq = t.seqs.(0) in
+    let value = match t.vals.(0) with Some v -> v | None -> assert false in
     t.size <- t.size - 1;
     if t.size > 0 then begin
-      t.arr.(0) <- t.arr.(t.size);
+      t.keys.(0) <- t.keys.(t.size);
+      t.seqs.(0) <- t.seqs.(t.size);
+      t.vals.(0) <- t.vals.(t.size);
+      t.vals.(t.size) <- None;
       sift_down t 0
-    end;
-    Some (min.key, min.seq, min.value)
+    end
+    else t.vals.(0) <- None;
+    Some (key, seq, value)
   end
 
-let peek_key t = if t.size = 0 then None else Some (t.arr.(0).key, t.arr.(0).seq)
+let peek_key t = if t.size = 0 then None else Some (t.keys.(0), t.seqs.(0))
 
-let clear t = t.size <- 0
+let clear t =
+  Array.fill t.vals 0 t.size None;
+  t.size <- 0

@@ -3,7 +3,13 @@
     The event queue of the simulation engine needs a priority queue ordered
     first by timestamp and second by insertion sequence, so that events
     scheduled for the same instant fire in FIFO order and runs are fully
-    deterministic. *)
+    deterministic.
+
+    Keys and sequence numbers are stored in flat int arrays (no pointer
+    chasing during sifts); popped slots are nulled out so the heap never
+    retains a reference to an already-delivered payload (the engine stores
+    closures here, and a pinned closure can keep a whole simulation's state
+    alive). *)
 
 type 'a t
 
@@ -20,3 +26,4 @@ val pop_min : 'a t -> (int * int * 'a) option
 val peek_key : 'a t -> (int * int) option
 
 val clear : 'a t -> unit
+(** Empty the heap, dropping every stored payload reference. *)

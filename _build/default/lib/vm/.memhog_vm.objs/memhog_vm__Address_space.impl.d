@@ -1,1 +1,1 @@
-lib/vm/address_space.ml: Array Bytes Char Ivar List Memhog_sim Printf Semaphore Tlb Vm_stats
+lib/vm/address_space.ml: Array Bytes Char Ivar Memhog_sim Printf Semaphore Tlb Vm_stats

@@ -22,7 +22,9 @@ type t = {
   as_name : string;
   as_lock : Semaphore.t;
   tlb : Tlb.t;
-  mutable segments : segment list;
+  mutable seg_arr : segment array;
+  mutable nsegs : int;
+  mutable last_hit : int;
   mutable rss : int;
   stats : Vm_stats.proc;
   mutable current_usage : int;
@@ -30,13 +32,28 @@ type t = {
   mutable next_vpn : int;
 }
 
+(* A placeholder for unused [seg_arr] slots, so growth never retains a
+   stale segment (and all its page tables) beyond [nsegs]. *)
+let dummy_segment =
+  {
+    seg_name = "<unmapped>";
+    base_vpn = -1;
+    npages = 0;
+    swap_base = 0;
+    ptes = [||];
+    bits = Bytes.empty;
+    pm_attached = false;
+  }
+
 let create ?(tlb_entries = 64) ~pid ~name () =
   {
     pid;
     as_name = name;
     as_lock = Semaphore.create ~name:(Printf.sprintf "as-lock:%s" name) 1;
     tlb = Tlb.create ~entries:tlb_entries;
-    segments = [];
+    seg_arr = [||];
+    nsegs = 0;
+    last_hit = 0;
     rss = 0;
     stats = Vm_stats.create_proc ();
     current_usage = 0;
@@ -58,19 +75,49 @@ let add_segment t ~name ~npages ~swap_base ~on_swap =
     }
   in
   t.next_vpn <- t.next_vpn + npages;
-  t.segments <- t.segments @ [ seg ];
+  (* Amortized O(1) append; [base_vpn] is monotonically increasing, so the
+     array stays sorted by construction. *)
+  if t.nsegs = Array.length t.seg_arr then begin
+    let cap = max 8 (2 * Array.length t.seg_arr) in
+    let arr = Array.make cap dummy_segment in
+    Array.blit t.seg_arr 0 arr 0 t.nsegs;
+    t.seg_arr <- arr
+  end;
+  t.seg_arr.(t.nsegs) <- seg;
+  t.nsegs <- t.nsegs + 1;
   seg
 
 let attach_pm _t seg = seg.pm_attached <- true
 
+let segments t = Array.to_list (Array.sub t.seg_arr 0 t.nsegs)
+
+(* Every page translation funnels through here, so this is the hottest
+   lookup in the VM: check the last segment hit (sequential sweeps stay in
+   one segment for thousands of touches), then binary-search the sorted
+   array. *)
 let find_segment t ~vpn =
-  let rec go = function
-    | [] -> raise Not_found
-    | seg :: rest ->
-        if vpn >= seg.base_vpn && vpn < seg.base_vpn + seg.npages then seg
-        else go rest
-  in
-  go t.segments
+  if t.nsegs = 0 then raise Not_found;
+  let seg = t.seg_arr.(t.last_hit) in
+  if vpn >= seg.base_vpn && vpn < seg.base_vpn + seg.npages then seg
+  else begin
+    (* greatest base_vpn <= vpn *)
+    let lo = ref 0 and hi = ref (t.nsegs - 1) and found = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.seg_arr.(mid).base_vpn <= vpn then begin
+        found := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    if !found < 0 then raise Not_found;
+    let seg = t.seg_arr.(!found) in
+    if vpn < seg.base_vpn + seg.npages then begin
+      t.last_hit <- !found;
+      seg
+    end
+    else raise Not_found
+  end
 
 let off seg vpn =
   let o = vpn - seg.base_vpn in
@@ -95,10 +142,10 @@ let set_bit seg ~vpn value =
   Bytes.set seg.bits (o / 8) (Char.chr byte)
 
 let resident_pages t =
-  List.fold_left
-    (fun acc seg ->
-      Array.fold_left
-        (fun acc pte ->
-          match pte with Resident _ -> acc + 1 | _ -> acc)
-        acc seg.ptes)
-    0 t.segments
+  let acc = ref 0 in
+  for i = 0 to t.nsegs - 1 do
+    Array.iter
+      (fun pte -> match pte with Resident _ -> incr acc | _ -> ())
+      t.seg_arr.(i).ptes
+  done;
+  !acc

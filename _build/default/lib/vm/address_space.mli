@@ -32,7 +32,9 @@ type t = {
   as_name : string;
   as_lock : Memhog_sim.Semaphore.t;
   tlb : Tlb.t;
-  mutable segments : segment list;  (** sorted by [base_vpn] *)
+  mutable seg_arr : segment array;  (** sorted by [base_vpn]; [nsegs] live *)
+  mutable nsegs : int;
+  mutable last_hit : int;           (** index of the last [find_segment] hit *)
   mutable rss : int;                (** resident pages *)
   stats : Vm_stats.proc;
   mutable current_usage : int;      (** shared-page word, updated lazily *)
@@ -50,8 +52,14 @@ val add_segment :
 
 val attach_pm : t -> segment -> unit
 
+val segments : t -> segment list
+(** The mapped segments in [base_vpn] order. *)
+
 val find_segment : t -> vpn:int -> segment
-(** Raises [Not_found] for an unmapped page. *)
+(** Raises [Not_found] for an unmapped page.  O(1) when [vpn] lands in the
+    segment of the previous hit (the common case: sweeps are sequential),
+    O(log n segments) binary search otherwise — this is the per-translation
+    hot path for every touch, prefetch, release and daemon scan. *)
 
 val get_pte : segment -> vpn:int -> pte
 val set_pte : segment -> vpn:int -> pte -> unit

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Figures Fun List Machine Memhog_core Memhog_sim Pool Printf

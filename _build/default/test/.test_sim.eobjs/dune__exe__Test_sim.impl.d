@@ -1,1 +1,1 @@
-test/test_sim.ml: Account Alcotest Condition Engine Gen Heap Ivar List Mailbox Memhog_sim Option Printf QCheck QCheck_alcotest Rng Semaphore Series String Time_ns
+test/test_sim.ml: Account Alcotest Condition Engine Gc Gen Heap Ivar List Mailbox Memhog_sim Option Printf QCheck QCheck_alcotest Rng Semaphore Series String Time_ns Weak

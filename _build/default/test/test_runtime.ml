@@ -52,6 +52,20 @@ let test_buffer_rejects_zero_priority () =
     (Invalid_argument "Release_buffer.add: priority must be > 0") (fun () ->
       Release_buffer.add b ~tag:1 ~priority:0 ~vpn:1)
 
+let test_buffer_flush_tag () =
+  let b = Release_buffer.create () in
+  List.iter (fun v -> Release_buffer.add b ~tag:1 ~priority:2 ~vpn:v) [ 10; 11; 12 ];
+  List.iter (fun v -> Release_buffer.add b ~tag:2 ~priority:1 ~vpn:v) [ 20; 21 ];
+  Alcotest.(check (array int)) "flushed FIFO" [| 10; 11; 12 |]
+    (Release_buffer.flush_tag b ~tag:1);
+  check_int "others stay" 2 (Release_buffer.total b);
+  Alcotest.(check (array int)) "missing tag" [||] (Release_buffer.flush_tag b ~tag:7);
+  Alcotest.(check (array int)) "rest pops" [| 20; 21 |]
+    (Release_buffer.pop_lowest b ~max:10);
+  (* a flushed tag is fully forgotten: it may be reused at a new priority *)
+  Release_buffer.add b ~tag:1 ~priority:3 ~vpn:99;
+  check_int "tag reusable after flush" 1 (Release_buffer.total b)
+
 let prop_buffer_conserves_pages =
   QCheck.Test.make ~name:"buffer: pages in = pages out" ~count:100
     QCheck.(list (pair (int_bound 7) (int_bound 1000)))
@@ -105,6 +119,102 @@ let prop_buffer_priority_order =
         | _ -> true
       in
       nondecreasing priorities)
+
+(* Interleaved add / pop_lowest / flush_tag against a naive model.  After
+   every operation [total] must track the model, each popped batch must
+   take lowest-priority pages first (nothing cheaper left behind), stay
+   FIFO within a tag, and [flush_tag] must return exactly that tag's
+   pages in insertion order. *)
+let prop_buffer_interleaved_ops =
+  QCheck.Test.make ~name:"buffer: interleaved ops match naive model" ~count:100
+    QCheck.(list (triple (int_bound 3) (int_bound 5) (int_range 1 8)))
+    (fun ops ->
+      (* the int_range shrinker can wander outside its bounds *)
+      QCheck.assume (List.for_all (fun (_, _, k) -> k >= 1 && k <= 8) ops);
+      let b = Release_buffer.create () in
+      (* model: (tag, priority, vpn) in insertion order; vpns are unique *)
+      let model = ref [] in
+      let next_vpn = ref 0 in
+      let ok = ref true in
+      let require c = if not c then ok := false in
+      let prio_of_tag tag = (tag mod 3) + 1 in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+        | _ -> true
+      in
+      List.iter
+        (fun (kind, tag, k) ->
+          if !ok then begin
+            (match kind with
+            | 2 ->
+                let popped = Array.to_list (Release_buffer.pop_lowest b ~max:k) in
+                require (List.length popped = min k (List.length !model));
+                let entry vpn = List.find_opt (fun (_, _, v) -> v = vpn) !model in
+                require (List.for_all (fun v -> entry v <> None) popped);
+                if !ok then begin
+                  let prios =
+                    List.map
+                      (fun v ->
+                        match entry v with Some (_, p, _) -> p | None -> 0)
+                      popped
+                  in
+                  (* lowest priorities first, and never skipped: anything
+                     left behind costs at least as much as the last pop *)
+                  require (nondecreasing prios);
+                  let remaining =
+                    List.filter (fun (_, _, v) -> not (List.mem v popped)) !model
+                  in
+                  (match List.rev prios with
+                  | last :: _ ->
+                      require
+                        (List.for_all (fun (_, p, _) -> p >= last) remaining)
+                  | [] -> ());
+                  (* FIFO within a tag: for each tag the popped pages are a
+                     prefix of that tag's queue, in insertion order *)
+                  List.iter
+                    (fun tg ->
+                      let popped_tg =
+                        List.filter
+                          (fun v ->
+                            match entry v with
+                            | Some (t', _, _) -> t' = tg
+                            | None -> false)
+                          popped
+                      in
+                      let queued_tg =
+                        List.filter_map
+                          (fun (t', _, v) -> if t' = tg then Some v else None)
+                          !model
+                      in
+                      let rec is_prefix xs ys =
+                        match (xs, ys) with
+                        | [], _ -> true
+                        | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+                        | _ :: _, [] -> false
+                      in
+                      require (is_prefix popped_tg queued_tg))
+                    (List.sort_uniq compare
+                       (List.map (fun (t', _, _) -> t') !model));
+                  model := remaining
+                end
+            | 3 ->
+                let out = Release_buffer.flush_tag b ~tag in
+                let expect =
+                  List.filter_map
+                    (fun (t', _, v) -> if t' = tag then Some v else None)
+                    !model
+                in
+                require (Array.to_list out = expect);
+                model := List.filter (fun (t', _, _) -> t' <> tag) !model
+            | _ ->
+                let vpn = !next_vpn in
+                incr next_vpn;
+                Release_buffer.add b ~tag ~priority:(prio_of_tag tag) ~vpn;
+                model := !model @ [ (tag, prio_of_tag tag, vpn) ]);
+            require (Release_buffer.total b = List.length !model)
+          end)
+        ops;
+      !ok)
 
 (* ------------------------------------------------------------------ *)
 (* Runtime filters and policies (against a live VM)                    *)
@@ -260,6 +370,7 @@ let () =
           Alcotest.test_case "max respected" `Quick test_buffer_respects_max;
           Alcotest.test_case "zero priority rejected" `Quick
             test_buffer_rejects_zero_priority;
+          Alcotest.test_case "flush tag" `Quick test_buffer_flush_tag;
         ] );
       ( "filters",
         [
@@ -279,5 +390,9 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_buffer_conserves_pages; prop_buffer_priority_order ] );
+          [
+            prop_buffer_conserves_pages;
+            prop_buffer_priority_order;
+            prop_buffer_interleaved_ops;
+          ] );
     ]

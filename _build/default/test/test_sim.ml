@@ -48,6 +48,50 @@ let test_heap_empty () =
   Heap.clear h;
   check_bool "cleared" true (Heap.is_empty h)
 
+(* The engine stores event closures in the heap; a popped or cleared slot
+   must not pin its payload (space leak across long simulations).  Track
+   the payloads with weak pointers and check they get collected. *)
+let test_heap_releases_popped_values () =
+  let h = Heap.create () in
+  let w = Weak.create 8 in
+  let fill () =
+    for i = 0 to 7 do
+      let v = ref (i + 1000) in
+      Weak.set w i (Some v);
+      Heap.add h ~key:(7 - i) ~seq:i v
+    done
+  in
+  fill ();
+  let rec drain () =
+    match Heap.pop_min h with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  Gc.full_major ();
+  Gc.full_major ();
+  for i = 0 to 7 do
+    check_bool (Printf.sprintf "popped value %d collected" i) false
+      (Weak.check w i)
+  done
+
+let test_heap_clear_releases_values () =
+  let h = Heap.create () in
+  let w = Weak.create 8 in
+  let fill () =
+    for i = 0 to 7 do
+      let v = ref (i + 2000) in
+      Weak.set w i (Some v);
+      Heap.add h ~key:i ~seq:i v
+    done
+  in
+  fill ();
+  Heap.clear h;
+  Gc.full_major ();
+  Gc.full_major ();
+  for i = 0 to 7 do
+    check_bool (Printf.sprintf "cleared value %d collected" i) false
+      (Weak.check w i)
+  done
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap pops in nondecreasing key order" ~count:200
     QCheck.(list (pair small_int small_int))
@@ -508,6 +552,10 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "pop releases values" `Quick
+            test_heap_releases_popped_values;
+          Alcotest.test_case "clear releases values" `Quick
+            test_heap_clear_releases_values;
         ] );
       ( "rng",
         [
