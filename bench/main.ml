@@ -15,6 +15,9 @@
                                          experiment matrix's wall-clock
                                          per cell, total, jobs used, and
                                          speedup vs the serial estimate
+     bench/main.exe --trace DIR ...      also write one Chrome trace_event
+                                         JSON per matrix cell into DIR
+                                         (WORKLOAD-VARIANT.trace.json)
      bench/main.exe smoke --quick ...    one-workload mini matrix (CI
                                          smoke test; see @bench-smoke)
      bench/main.exe microbench           bechamel microbenchmarks of the
@@ -59,6 +62,10 @@ let matrix_cache : Figures.matrix option ref = ref None
 (* Most recent matrix of any shape (full or smoke), for --json. *)
 let last_matrix : Figures.matrix option ref = ref None
 
+(* Set by --trace DIR: every matrix cell also writes a Chrome trace_event
+   JSON file (WORKLOAD-VARIANT.trace.json) into the directory. *)
+let trace_dir : string option ref = ref None
+
 let get_matrix ~machine ~jobs () =
   match !matrix_cache with
   | Some m -> m
@@ -68,7 +75,7 @@ let get_matrix ~machine ~jobs () =
            "building experiment matrix (6 workloads x O/P/R/B + interactive, \
             %d jobs)"
            jobs);
-      let m = Figures.run_matrix ~machine ~jobs ~log () in
+      let m = Figures.run_matrix ~machine ~jobs ~log ?trace_dir:!trace_dir () in
       matrix_cache := Some m;
       last_matrix := Some m;
       m
@@ -234,7 +241,10 @@ let microbench ~smoke () =
 
 let smoke ~machine ~jobs () =
   log (Printf.sprintf "smoke: MATVEC x O/P/R/B + interactive, %d jobs" jobs);
-  let m = Figures.run_matrix ~machine ~workloads:[ "MATVEC" ] ~jobs ~log () in
+  let m =
+    Figures.run_matrix ~machine ~workloads:[ "MATVEC" ] ~jobs ~log
+      ?trace_dir:!trace_dir ()
+  in
   last_matrix := Some m;
   Figures.fig7 m
 
@@ -269,7 +279,8 @@ let experiments ~machine ~jobs =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--quick] [--jobs N] [--json] [--smoke] [EXPERIMENT ...]\n"
+    "usage: main.exe [--quick] [--jobs N] [--json] [--smoke] [--trace DIR] \
+     [EXPERIMENT ...]\n"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -298,6 +309,18 @@ let () =
             Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
             usage ();
             exit 2)
+    | "--trace" :: dir :: rest ->
+        if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+          Printf.eprintf "--trace expects an existing directory, got %s\n" dir;
+          usage ();
+          exit 2
+        end;
+        trace_dir := Some dir;
+        parse rest
+    | "--trace" :: [] ->
+        Printf.eprintf "--trace expects a directory argument\n";
+        usage ();
+        exit 2
     | "--jobs" :: [] ->
         Printf.eprintf "--jobs expects an argument\n";
         usage ();

@@ -159,20 +159,34 @@ let run_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the sampled time series to a CSV file.")
+      & info [ "series"; "csv" ] ~docv:"FILE"
+          ~doc:
+            "Write the sampled time series (free memory, resident sets, \
+             upper limit) to a CSV file ($(b,series,time_ns,value) rows).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a structured event trace (faults, prefetches, releases, \
+             daemon steals, rescues) and write it as Chrome trace_event \
+             JSON, loadable in chrome://tracing or Perfetto.")
   in
   let run machine workload variant interactive iterations conservative telemetry
-      csv =
+      csv trace =
     let interactive_sleep = Option.map Time_ns.of_sec_f interactive in
     let min_sim_time =
       match interactive_sleep with
       | Some s -> max (Time_ns.sec 45) ((8 * s) + Time_ns.sec 20)
       | None -> 0
     in
+    let trace_buf = Option.map (fun _ -> Memhog_sim.Trace.create ()) trace in
     let r =
       Experiment.run
         (Experiment.setup ~machine ?interactive_sleep ?iterations ~min_sim_time
-           ~conservative ~workload ~variant ())
+           ~conservative ?trace:trace_buf ~workload ~variant ())
     in
     let b = r.Experiment.r_breakdown in
     Format.printf "workload:   %s  variant: %s@." r.Experiment.r_workload
@@ -203,7 +217,7 @@ let run_cmd =
     | Some rt ->
         Format.printf
           "runtime:    prefetch req %d (filtered %d) | release req %d (same \
-           %d, gone %d) | issued %d | buffered %d@."
+           %d, gone %d) | issued %d | buffered %d | stale dropped %d@."
           rt.Memhog_runtime.Runtime.rt_prefetch_requests
           rt.Memhog_runtime.Runtime.rt_prefetch_filtered
           rt.Memhog_runtime.Runtime.rt_release_requests
@@ -211,6 +225,7 @@ let run_cmd =
           rt.Memhog_runtime.Runtime.rt_release_filtered_bitmap
           rt.Memhog_runtime.Runtime.rt_release_issued
           rt.Memhog_runtime.Runtime.rt_release_buffered
+          rt.Memhog_runtime.Runtime.rt_release_stale_dropped
     | None -> ());
     (match r.Experiment.r_interactive with
     | Some i ->
@@ -233,17 +248,14 @@ let run_cmd =
         r.Experiment.r_series;
     (match csv with
     | Some path ->
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () ->
-            output_string oc "series,time_ns,value\n";
-            List.iter
-              (fun (name, series) ->
-                Memhog_sim.Series.iter series (fun ~time ~value ->
-                    Printf.fprintf oc "%s,%d,%g\n" name time value))
-              r.Experiment.r_series);
+        Trace_export.write_series_csv r.Experiment.r_series ~path;
         Format.printf "telemetry written to %s@." path
+    | None -> ());
+    (match trace with
+    | Some path ->
+        Trace_export.write_chrome_json r.Experiment.r_trace ~path;
+        print_string (Trace_export.summary r.Experiment.r_trace);
+        Format.printf "trace written to %s@." path
     | None -> ());
     Format.printf "invariants: %s@."
       (if r.Experiment.r_invariants_ok then "ok" else "VIOLATED");
@@ -253,7 +265,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one experiment and print every metric.")
     Term.(
       const run $ machine_term $ workload_term $ variant $ interactive
-      $ iterations $ conservative $ telemetry $ csv)
+      $ iterations $ conservative $ telemetry $ csv $ trace)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)

@@ -57,6 +57,7 @@ type result = {
   r_swap_writes : int;
   r_disk_busy : Time_ns.t;
   r_invariants_ok : bool;
+  r_trace : Trace.t;
 }
 
 type setup = {
@@ -70,11 +71,13 @@ type setup = {
   reactive : bool;
   release_target : int option;
   max_sim_time : Time_ns.t;
+  trace : Trace.t option;
 }
 
 let setup ?(machine = Machine.paper) ?interactive_sleep ?iterations
     ?(min_sim_time = 0) ?(conservative = false) ?(reactive = false)
-    ?release_target ?(max_sim_time = Time_ns.sec 3600) ~workload ~variant () =
+    ?release_target ?(max_sim_time = Time_ns.sec 3600) ?trace ~workload ~variant
+    () =
   {
     machine;
     workload;
@@ -86,6 +89,7 @@ let setup ?(machine = Machine.paper) ?interactive_sleep ?iterations
     reactive;
     release_target;
     max_sim_time;
+    trace;
   }
 
 let summarize_interactive ~sleep (task : Interactive.t) =
@@ -101,8 +105,10 @@ let run (s : setup) =
   let m = s.machine in
   let engine = Engine.create ~max_time:s.max_sim_time () in
   let os =
-    Os.create ~swap_config:m.Machine.m_swap ~config:m.Machine.m_config ~engine ()
+    Os.create ~swap_config:m.Machine.m_swap ?trace:s.trace
+      ~config:m.Machine.m_config ~engine ()
   in
+  let trace = Os.trace os in
   let prog_ir, params =
     s.workload.Workload.w_make
       ~mem_bytes:(Machine.mem_bytes m)
@@ -138,21 +144,38 @@ let run (s : setup) =
   (* telemetry sampler *)
   let free_series = Series.create ~name:"free" in
   let rss_series = Series.create ~name:"app-rss" in
+  let limit_series = Series.create ~name:"app-limit" in
   let inter_series = Series.create ~name:"inter-rss" in
   ignore
     (Engine.spawn engine ~name:"sampler" (fun () ->
          while true do
            Engine.delay ~cat:Account.Sleep (Time_ns.ms 100);
            let now = Engine.now () in
+           let app_asp = App.asp app in
+           let app_rss = app_asp.Memhog_vm.Address_space.rss in
            Series.add free_series ~time:now
              ~value:(float_of_int (Os.free_pages os));
-           Series.add rss_series ~time:now
-             ~value:(float_of_int (App.asp app).Memhog_vm.Address_space.rss);
+           Series.add rss_series ~time:now ~value:(float_of_int app_rss);
+           Series.add limit_series ~time:now
+             ~value:(float_of_int (Os.shared_upper_limit os app_asp));
+           if Trace.enabled trace then begin
+             let pid = app_asp.Memhog_vm.Address_space.pid in
+             Trace.emit trace ~time:now ~stream:pid
+               (Trace.Rss_sample { owner = pid; pages = app_rss });
+             Trace.emit trace ~time:now ~stream:pid
+               (Trace.Upper_limit_sample
+                  { owner = pid; pages = Os.shared_upper_limit os app_asp })
+           end;
            match task with
            | Some t ->
+               let iasp = Interactive.asp t in
                Series.add inter_series ~time:now
-                 ~value:
-                   (float_of_int (Interactive.asp t).Memhog_vm.Address_space.rss)
+                 ~value:(float_of_int iasp.Memhog_vm.Address_space.rss);
+               if Trace.enabled trace then
+                 let pid = iasp.Memhog_vm.Address_space.pid in
+                 Trace.emit trace ~time:now ~stream:pid
+                   (Trace.Rss_sample
+                      { owner = pid; pages = iasp.Memhog_vm.Address_space.rss })
            | None -> ()
          done));
   let elapsed = ref 0 in
@@ -217,12 +240,17 @@ let run (s : setup) =
         task;
     r_app_tlb_misses = Memhog_vm.Tlb.misses asp.Memhog_vm.Address_space.tlb;
     r_series =
-      [ ("free", free_series); ("app-rss", rss_series) ]
+      [
+        ("free", free_series);
+        ("app-rss", rss_series);
+        ("app-limit", limit_series);
+      ]
       @ (if task <> None then [ ("inter-rss", inter_series) ] else []);
     r_swap_reads = Memhog_disk.Swap.page_reads swap;
     r_disk_busy = Memhog_disk.Swap.total_busy_time swap;
     r_swap_writes = Memhog_disk.Swap.page_writes swap;
     r_invariants_ok = List.for_all snd (Os.check_invariants os);
+    r_trace = trace;
   }
 
 let run_interactive_alone ?(machine = Machine.paper) ~sleep ~duration () =

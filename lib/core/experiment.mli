@@ -46,13 +46,16 @@ type result = {
   r_app_tlb_misses : int;
   r_series : (string * Memhog_sim.Series.t) list;
       (** telemetry sampled every 100 ms of simulated time: "free" (free
-          pages), "app-rss", and "inter-rss" when the interactive task is
-          present *)
+          pages), "app-rss", "app-limit" (the Equation 1 upper limit the OS
+          published), and "inter-rss" when the interactive task is present *)
   r_swap_reads : int;
   r_swap_writes : int;
   r_disk_busy : Memhog_sim.Time_ns.t;
       (** summed busy time across disks (parallelism = busy / elapsed) *)
   r_invariants_ok : bool;
+  r_trace : Memhog_sim.Trace.t;
+      (** the event trace collected during the run ({!Memhog_sim.Trace.null}
+          when tracing was not requested in the setup) *)
 }
 
 type setup = {
@@ -73,6 +76,8 @@ type setup = {
   release_target : int option;
       (** pages drained per run-time buffering decision (paper: 100) *)
   max_sim_time : Memhog_sim.Time_ns.t;
+  trace : Memhog_sim.Trace.t option;
+      (** collect kernel/runtime/application events into this trace *)
 }
 
 val setup :
@@ -84,6 +89,7 @@ val setup :
   ?reactive:bool ->
   ?release_target:int ->
   ?max_sim_time:Memhog_sim.Time_ns.t ->
+  ?trace:Memhog_sim.Trace.t ->
   workload:Memhog_workloads.Workload.t ->
   variant:variant ->
   unit ->

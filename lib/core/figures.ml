@@ -46,7 +46,7 @@ let sweep_min_time ~sleep = max (Time_ns.sec 45) ((8 * sleep) + Time_ns.sec 20)
 type matrix_cell = Cell_run of string * E.variant | Cell_alone
 
 let run_matrix ?(machine = Machine.paper) ?(sleep = Time_ns.sec 5)
-    ?(workloads = Workload.names) ?(jobs = 1) ?(log = no_log) () =
+    ?(workloads = Workload.names) ?(jobs = 1) ?(log = no_log) ?trace_dir () =
   let log = locked_log log in
   let min_sim_time = sweep_min_time ~sleep in
   let t_start = Unix.gettimeofday () in
@@ -64,10 +64,24 @@ let run_matrix ?(machine = Machine.paper) ?(sleep = Time_ns.sec 5)
     | Cell_run (name, v) ->
         log (Printf.sprintf "running %s/%s ..." name (E.variant_name v));
         let wl = Workload.find name in
-        `Run
-          (E.run
-             (E.setup ~machine ~interactive_sleep:sleep ~min_sim_time
-                ~workload:wl ~variant:v ()))
+        let trace =
+          Option.map (fun _ -> Memhog_sim.Trace.create ()) trace_dir
+        in
+        let r =
+          E.run
+            (E.setup ~machine ~interactive_sleep:sleep ~min_sim_time ?trace
+               ~workload:wl ~variant:v ())
+        in
+        (match trace_dir with
+        | Some dir ->
+            let file =
+              Filename.concat dir
+                (Printf.sprintf "%s-%s.trace.json" name (E.variant_name v))
+            in
+            Trace_export.write_chrome_json r.E.r_trace ~path:file;
+            log (Printf.sprintf "wrote %s" file)
+        | None -> ());
+        `Run r
     | Cell_alone ->
         log "running interactive task alone ...";
         `Alone (E.run_interactive_alone ~machine ~sleep ~duration:min_sim_time ())

@@ -28,6 +28,7 @@ val run_matrix :
   ?workloads:string list ->
   ?jobs:int ->
   ?log:(string -> unit) ->
+  ?trace_dir:string ->
   unit ->
   matrix
 (** Runs 4 variants per workload (default: all six), each next to the

@@ -1,0 +1,113 @@
+open Memhog_sim
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Chrome's trace format has no notion of negative thread ids, so daemon
+   streams (-1 ..) are remapped above any plausible process pid. *)
+let tid_of_stream stream = if stream >= 0 then stream else 1_000_000 - stream
+
+(* Simulated ns rendered as the format's microseconds, keeping ns
+   precision in the fraction. *)
+let ts_of_time time = Printf.sprintf "%.3f" (float_of_int time /. 1000.0)
+
+let args_json args =
+  String.concat ","
+    (List.map
+       (fun (k, v) ->
+         (* numeric payloads stay numbers; everything else is a string *)
+         match int_of_string_opt v with
+         | Some n -> Printf.sprintf "\"%s\":%d" (json_escape k) n
+         | None -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+       args)
+
+let event_row ~time ~stream ev =
+  let tid = tid_of_stream stream in
+  let common = Printf.sprintf "\"pid\":0,\"tid\":%d,\"ts\":%s" tid (ts_of_time time) in
+  match ev with
+  | Trace.Free_depth { pages } ->
+      Printf.sprintf "{\"name\":\"free_depth\",\"ph\":\"C\",%s,\"args\":{\"pages\":%d}}"
+        common pages
+  | Trace.Rss_sample { owner; pages } ->
+      Printf.sprintf "{\"name\":\"rss:%d\",\"ph\":\"C\",%s,\"args\":{\"pages\":%d}}"
+        owner common pages
+  | Trace.Upper_limit_sample { owner; pages } ->
+      Printf.sprintf
+        "{\"name\":\"upper_limit:%d\",\"ph\":\"C\",%s,\"args\":{\"pages\":%d}}"
+        owner common pages
+  | Trace.Phase_begin { name } ->
+      Printf.sprintf "{\"name\":\"%s\",\"ph\":\"B\",%s}" (json_escape name) common
+  | Trace.Phase_end { name } ->
+      Printf.sprintf "{\"name\":\"%s\",\"ph\":\"E\",%s}" (json_escape name) common
+  | ev ->
+      Printf.sprintf "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",%s,\"args\":{%s}}"
+        (Trace.event_name ev) common
+        (args_json (Trace.event_args ev))
+
+let to_chrome_json trace =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let add row =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf row
+  in
+  add "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"memhog-sim\"}}";
+  List.iter
+    (fun stream ->
+      match Trace.stream_name trace stream with
+      | None -> ()
+      | Some name ->
+          add
+            (Printf.sprintf
+               "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+               (tid_of_stream stream) (json_escape name)))
+    (Trace.stream_ids trace);
+  Trace.iter trace (fun ~time ~stream ev -> add (event_row ~time ~stream ev));
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+let write_file ~path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
+
+let write_chrome_json trace ~path = write_file ~path (to_chrome_json trace)
+
+let series_to_csv series =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "series,time_ns,value\n";
+  List.iter
+    (fun (name, s) ->
+      Series.iter s (fun ~time ~value ->
+          Buffer.add_string buf (Printf.sprintf "%s,%d,%g\n" name time value)))
+    series;
+  Buffer.contents buf
+
+let write_series_csv series ~path = write_file ~path (series_to_csv series)
+
+let summary trace =
+  let rows =
+    List.map
+      (fun (name, n) -> [ name; Report.count n ])
+      (Trace.counts trace)
+  in
+  Format.asprintf "@[<v>%t@]" (fun fmt ->
+      Report.table
+        ~title:
+          (Printf.sprintf "trace: %d events retained, %d dropped"
+             (Trace.length trace) (Trace.dropped trace))
+        ~header:[ "event"; "count" ] ~rows fmt ())

@@ -1,0 +1,25 @@
+(** Exporters for {!Memhog_sim.Trace} and {!Memhog_sim.Series}.
+
+    Two formats:
+    - Chrome [trace_event] JSON (load in [chrome://tracing] or Perfetto):
+      one lane (thread) per process and per kernel daemon, instant events
+      for faults/steals/releases, counter tracks for free-list depth and
+      RSS samples, and begin/end pairs for application phases.  Timestamps
+      are simulated nanoseconds rendered as the format's microseconds.
+    - CSV time series ([series,time_ns,value] rows) for figure
+      regeneration. *)
+
+val to_chrome_json : Memhog_sim.Trace.t -> string
+(** The complete [{"traceEvents": [...]}] document. *)
+
+val write_chrome_json : Memhog_sim.Trace.t -> path:string -> unit
+
+val series_to_csv : (string * Memhog_sim.Series.t) list -> string
+(** Header [series,time_ns,value], one row per sample, series concatenated
+    in the order given. *)
+
+val write_series_csv : (string * Memhog_sim.Series.t) list -> path:string -> unit
+
+val summary : Memhog_sim.Trace.t -> string
+(** Human-readable event tally (one line per event kind), plus retained and
+    dropped totals. *)

@@ -210,15 +210,26 @@ let rec exec t (stmt : Pir.pstmt) =
           | None -> Hashtbl.remove t.env p)
         saved
 
+let emit_phase t ev =
+  let trace = Os.trace t.os in
+  if Trace.enabled trace then
+    Trace.emit trace
+      ~time:(Engine.now_of (Os.engine t.os))
+      ~stream:t.asp.As.pid ev
+
 let exec_main t =
   Runtime.start t.rt;
-  exec t t.prog.Pir.px_main
+  emit_phase t (Trace.Phase_begin { name = "main" });
+  exec t t.prog.Pir.px_main;
+  emit_phase t (Trace.Phase_end { name = "main" })
 
 let finish t =
+  emit_phase t (Trace.Phase_begin { name = "drain" });
   Runtime.drain t.rt;
   (* let the helper threads and the releaser daemon consume the final
      requests before the caller declares the run over *)
-  Engine.delay ~cat:Account.Sleep (Time_ns.ms 20)
+  Engine.delay ~cat:Account.Sleep (Time_ns.ms 20);
+  emit_phase t (Trace.Phase_end { name = "drain" })
 
 let run t ~iterations =
   for _ = 1 to iterations do

@@ -19,6 +19,7 @@ type stats = {
   mutable rt_release_issued : int;
   mutable rt_release_buffered : int;
   mutable rt_buffer_drains : int;
+  mutable rt_release_stale_dropped : int;
 }
 
 type work = W_prefetch of int | W_release of int array
@@ -33,10 +34,20 @@ type t = {
   filter_ns : int;
   queue : work Mailbox.t;
   buffer : Release_buffer.t;
-  last_release : (int, int) Hashtbl.t; (* tag -> recorded page, one behind *)
+  last_release : (int, int * int) Hashtbl.t;
+      (* tag -> (page, priority) recorded when first seen, one behind; the
+         priority travels with the page so a displaced entry lands in the
+         Eq. 2 queue it was hinted with, not the successor's *)
   st : stats;
   mutable started : bool;
 }
+
+let tracing t = Trace.enabled (Os.trace t.os)
+
+let emit t ev =
+  Trace.emit (Os.trace t.os)
+    ~time:(Engine.now_of (Os.engine t.os))
+    ~stream:t.asp.As.pid ev
 
 let create ?(nthreads = 16) ?(release_target = 100) ?(headroom = 0)
     ?(filter_ns = 200) ~os ~asp ~policy () =
@@ -62,6 +73,7 @@ let create ?(nthreads = 16) ?(release_target = 100) ?(headroom = 0)
         rt_release_issued = 0;
         rt_release_buffered = 0;
         rt_buffer_drains = 0;
+        rt_release_stale_dropped = 0;
       };
     started = false;
   }
@@ -105,8 +117,23 @@ let prefetch_page t ~vpn =
 let issue_release t vpns =
   if Array.length vpns > 0 then begin
     t.st.rt_release_issued <- t.st.rt_release_issued + Array.length vpns;
+    if tracing t then emit t (Trace.Rt_release_issued { count = Array.length vpns });
     Mailbox.send t.queue (W_release vpns)
   end
+
+(* Stale entries (pages already stolen or released behind our back) are
+   cheap to drop before issuing, but not free to ignore: each one is a hint
+   the buffer held too long, so they are counted and traced. *)
+let drop_stale t vpns =
+  List.filter
+    (fun vpn ->
+      let live = Os.page_resident t.asp ~vpn in
+      if not live then begin
+        t.st.rt_release_stale_dropped <- t.st.rt_release_stale_dropped + 1;
+        if tracing t then emit t (Trace.Rt_stale_dropped { vpn })
+      end;
+      live)
+    vpns
 
 (* Drain the lowest-priority queues when usage approaches the limit the OS
    published in the shared page. *)
@@ -116,16 +143,18 @@ let maybe_drain t =
   if usage + t.headroom >= limit && Release_buffer.total t.buffer > 0 then begin
     t.st.rt_buffer_drains <- t.st.rt_buffer_drains + 1;
     let vpns = Release_buffer.pop_lowest t.buffer ~max:t.release_target in
-    (* Stale entries (pages already stolen) are cheap to drop here. *)
-    let vpns = Array.of_list (List.filter (fun vpn -> Os.page_resident t.asp ~vpn)
-                                (Array.to_list vpns)) in
+    let vpns = Array.of_list (drop_stale t (Array.to_list vpns)) in
+    if tracing t then
+      emit t (Trace.Rt_release_drained { count = Array.length vpns });
     issue_release t vpns
   end
 
 (* Handle a release that survived the one-behind filter. *)
 let handle_release t ~vpn ~priority ~tag =
-  if not (Os.page_resident t.asp ~vpn) then
-    t.st.rt_release_filtered_bitmap <- t.st.rt_release_filtered_bitmap + 1
+  if not (Os.page_resident t.asp ~vpn) then begin
+    t.st.rt_release_filtered_bitmap <- t.st.rt_release_filtered_bitmap + 1;
+    if tracing t then emit t (Trace.Rt_release_filtered { vpn; reason = "bitmap" })
+  end
   else
     match t.pol with
     | Aggressive -> issue_release t [| vpn |]
@@ -133,6 +162,8 @@ let handle_release t ~vpn ~priority ~tag =
         if priority = 0 then issue_release t [| vpn |]
         else begin
           t.st.rt_release_buffered <- t.st.rt_release_buffered + 1;
+          if tracing t then
+            emit t (Trace.Rt_release_buffered { vpn; tag; priority });
           Release_buffer.add t.buffer ~tag ~priority ~vpn;
           maybe_drain t
         end
@@ -140,26 +171,32 @@ let handle_release t ~vpn ~priority ~tag =
         (* hold everything; the buffer requires positive priorities, so
            shift by one *)
         t.st.rt_release_buffered <- t.st.rt_release_buffered + 1;
+        if tracing t then
+          emit t (Trace.Rt_release_buffered { vpn; tag; priority });
         Release_buffer.add t.buffer ~tag ~priority:(priority + 1) ~vpn
 
 let release_page t ~vpn ~priority ~tag =
   t.st.rt_release_requests <- t.st.rt_release_requests + 1;
   charge_filter t;
-  if not (Os.page_resident t.asp ~vpn) then
-    t.st.rt_release_filtered_bitmap <- t.st.rt_release_filtered_bitmap + 1
+  if not (Os.page_resident t.asp ~vpn) then begin
+    t.st.rt_release_filtered_bitmap <- t.st.rt_release_filtered_bitmap + 1;
+    if tracing t then emit t (Trace.Rt_release_filtered { vpn; reason = "bitmap" })
+  end
   else
     (* One-request-behind: the first request for a tag is recorded; a repeat
        of the same page is dropped (obviously still in use); a different
-       page causes the recorded one to be handled and the new one to take
-       its place.  Issued releases thus trail the compiler's hints by one
-       iteration. *)
+       page causes the recorded one to be handled — at the priority it was
+       recorded with — and the new one to take its place.  Issued releases
+       thus trail the compiler's hints by one iteration. *)
     match Hashtbl.find_opt t.last_release tag with
-    | Some prev when prev = vpn ->
-        t.st.rt_release_filtered_same <- t.st.rt_release_filtered_same + 1
-    | Some prev ->
-        Hashtbl.replace t.last_release tag vpn;
-        handle_release t ~vpn:prev ~priority ~tag
-    | None -> Hashtbl.replace t.last_release tag vpn
+    | Some (prev, _) when prev = vpn ->
+        t.st.rt_release_filtered_same <- t.st.rt_release_filtered_same + 1;
+        if tracing t then
+          emit t (Trace.Rt_release_filtered { vpn; reason = "same" })
+    | Some (prev, prev_priority) ->
+        Hashtbl.replace t.last_release tag (vpn, priority);
+        handle_release t ~vpn:prev ~priority:prev_priority ~tag
+    | None -> Hashtbl.replace t.last_release tag (vpn, priority)
 
 let rec advise_evict t =
   let batch = Release_buffer.pop_lowest t.buffer ~max:1 in
@@ -172,18 +209,19 @@ let drain t =
   (* Flush the one-behind filter: at exit nothing is still in use, so every
      recorded page is releasable (priority no longer matters). *)
   let pending =
-    Hashtbl.fold (fun _tag vpn acc -> vpn :: acc) t.last_release []
+    Hashtbl.fold (fun _tag (vpn, _priority) acc -> vpn :: acc) t.last_release []
   in
   Hashtbl.reset t.last_release;
-  let pending =
-    List.filter (fun vpn -> Os.page_resident t.asp ~vpn) pending
-  in
+  let pending = drop_stale t pending in
   issue_release t (Array.of_list pending);
-  let rec go () =
+  let rec go drained =
     let vpns = Release_buffer.pop_lowest t.buffer ~max:t.release_target in
     if Array.length vpns > 0 then begin
-      issue_release t (Array.of_list (List.filter (fun vpn -> Os.page_resident t.asp ~vpn) (Array.to_list vpns)));
-      go ()
+      let live = drop_stale t (Array.to_list vpns) in
+      issue_release t (Array.of_list live);
+      go (drained + List.length live)
     end
+    else drained
   in
-  go ()
+  let drained = go (List.length pending) in
+  if tracing t then emit t (Trace.Rt_release_drained { count = drained })

@@ -35,6 +35,9 @@ type stats = {
   mutable rt_release_issued : int;      (** handed to the OS *)
   mutable rt_release_buffered : int;
   mutable rt_buffer_drains : int;
+  mutable rt_release_stale_dropped : int;
+      (** buffered entries found non-resident at drain time (the OS stole or
+          freed the page first) and silently dropped before issue *)
 }
 
 type t

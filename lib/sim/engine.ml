@@ -131,6 +131,10 @@ and spawn : t -> name:string -> (unit -> unit) -> proc =
   schedule t t.now (fun () -> start_fiber t proc f);
   proc
 
+let wake_after t d waker =
+  if d < 0 then invalid_arg "Engine.wake_after: negative";
+  schedule t (t.now + d) (fun () -> waker ())
+
 let run t =
   let rec loop () =
     if t.stop_requested then ()

@@ -59,6 +59,12 @@ type waker = unit -> unit
 (** Calling a waker schedules the suspended process to resume at the
     simulated time of the call.  Calling it more than once is harmless. *)
 
+val wake_after : t -> Time_ns.t -> waker -> unit
+(** Schedule [waker] to fire after the given simulated delay.  Combined with
+    [suspend] this builds interruptible sleeps: suspend, then hand the waker
+    both to [wake_after] and to whoever may want to cut the sleep short.
+    Callable from inside or outside processes. *)
+
 val now : unit -> Time_ns.t
 val self : unit -> proc
 

@@ -1,0 +1,184 @@
+type event =
+  | Hard_fault of { vpn : int }
+  | Soft_fault of { vpn : int }
+  | Validation_fault of { vpn : int }
+  | Zero_fill of { vpn : int }
+  | Rescue of { vpn : int; for_prefetch : bool }
+  | Prefetch_issued of { vpn : int }
+  | Prefetch_dropped of { vpn : int }
+  | Prefetch_raced of { vpn : int }
+  | Daemon_steal of { vpn : int; owner : int }
+  | Daemon_invalidate of { vpn : int; owner : int }
+  | Releaser_free of { vpn : int; owner : int }
+  | Release_requested of { owner : int; count : int }
+  | Release_skipped of { vpn : int; owner : int }
+  | Writeback_complete of { vpn : int; owner : int }
+  | Rt_release_filtered of { vpn : int; reason : string }
+  | Rt_release_buffered of { vpn : int; tag : int; priority : int }
+  | Rt_release_issued of { count : int }
+  | Rt_release_drained of { count : int }
+  | Rt_stale_dropped of { vpn : int }
+  | Free_depth of { pages : int }
+  | Rss_sample of { owner : int; pages : int }
+  | Upper_limit_sample of { owner : int; pages : int }
+  | Phase_begin of { name : string }
+  | Phase_end of { name : string }
+
+(* The ring is three parallel arrays rather than an array of records so that
+   a retained trace costs two unboxed words per event plus the event value
+   itself (most constructors carry only immediates). *)
+type t = {
+  times : int array;
+  streams : int array;
+  events : event array;
+  capacity : int;
+  mutable start : int;  (* index of the oldest retained event *)
+  mutable len : int;
+  mutable dropped : int;
+  mutable enabled : bool;
+  names : (int, string) Hashtbl.t;
+}
+
+let dummy_event = Free_depth { pages = 0 }
+
+let create ?(capacity = 262_144) ?(enabled = true) () =
+  let capacity = max capacity 0 in
+  {
+    times = Array.make (max capacity 1) 0;
+    streams = Array.make (max capacity 1) 0;
+    events = Array.make (max capacity 1) dummy_event;
+    capacity;
+    start = 0;
+    len = 0;
+    dropped = 0;
+    enabled;
+    names = Hashtbl.create 16;
+  }
+
+let null = create ~capacity:0 ~enabled:false ()
+
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b
+let length t = t.len
+let dropped t = t.dropped
+
+let emit t ~time ~stream ev =
+  if t.enabled && t.capacity > 0 then begin
+    let i =
+      if t.len < t.capacity then begin
+        let i = (t.start + t.len) mod t.capacity in
+        t.len <- t.len + 1;
+        i
+      end
+      else begin
+        (* Full: overwrite the oldest slot and advance the start. *)
+        let i = t.start in
+        t.start <- (t.start + 1) mod t.capacity;
+        t.dropped <- t.dropped + 1;
+        i
+      end
+    in
+    t.times.(i) <- time;
+    t.streams.(i) <- stream;
+    t.events.(i) <- ev
+  end
+
+let set_stream_name t stream name = Hashtbl.replace t.names stream name
+let stream_name t stream = Hashtbl.find_opt t.names stream
+
+let stream_ids t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.names [] |> List.sort compare
+
+let iter t f =
+  for j = 0 to t.len - 1 do
+    let i = (t.start + j) mod t.capacity in
+    f ~time:t.times.(i) ~stream:t.streams.(i) t.events.(i)
+  done
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+let event_name = function
+  | Hard_fault _ -> "hard_fault"
+  | Soft_fault _ -> "soft_fault"
+  | Validation_fault _ -> "validation_fault"
+  | Zero_fill _ -> "zero_fill"
+  | Rescue _ -> "rescue"
+  | Prefetch_issued _ -> "prefetch_issued"
+  | Prefetch_dropped _ -> "prefetch_dropped"
+  | Prefetch_raced _ -> "prefetch_raced"
+  | Daemon_steal _ -> "daemon_steal"
+  | Daemon_invalidate _ -> "daemon_invalidate"
+  | Releaser_free _ -> "releaser_free"
+  | Release_requested _ -> "release_requested"
+  | Release_skipped _ -> "release_skipped"
+  | Writeback_complete _ -> "writeback_complete"
+  | Rt_release_filtered _ -> "rt_release_filtered"
+  | Rt_release_buffered _ -> "rt_release_buffered"
+  | Rt_release_issued _ -> "rt_release_issued"
+  | Rt_release_drained _ -> "rt_release_drained"
+  | Rt_stale_dropped _ -> "rt_stale_dropped"
+  | Free_depth _ -> "free_depth"
+  | Rss_sample _ -> "rss_sample"
+  | Upper_limit_sample _ -> "upper_limit_sample"
+  | Phase_begin _ -> "phase_begin"
+  | Phase_end _ -> "phase_end"
+
+let event_args = function
+  | Hard_fault { vpn }
+  | Soft_fault { vpn }
+  | Validation_fault { vpn }
+  | Zero_fill { vpn }
+  | Prefetch_issued { vpn }
+  | Prefetch_dropped { vpn }
+  | Prefetch_raced { vpn }
+  | Rt_stale_dropped { vpn } ->
+      [ ("vpn", string_of_int vpn) ]
+  | Rescue { vpn; for_prefetch } ->
+      [ ("vpn", string_of_int vpn); ("for_prefetch", string_of_bool for_prefetch) ]
+  | Daemon_steal { vpn; owner }
+  | Daemon_invalidate { vpn; owner }
+  | Releaser_free { vpn; owner }
+  | Release_skipped { vpn; owner }
+  | Writeback_complete { vpn; owner } ->
+      [ ("vpn", string_of_int vpn); ("owner", string_of_int owner) ]
+  | Release_requested { owner; count } ->
+      [ ("owner", string_of_int owner); ("count", string_of_int count) ]
+  | Rt_release_filtered { vpn; reason } ->
+      [ ("vpn", string_of_int vpn); ("reason", reason) ]
+  | Rt_release_buffered { vpn; tag; priority } ->
+      [
+        ("vpn", string_of_int vpn);
+        ("tag", string_of_int tag);
+        ("priority", string_of_int priority);
+      ]
+  | Rt_release_issued { count } | Rt_release_drained { count } ->
+      [ ("count", string_of_int count) ]
+  | Free_depth { pages } -> [ ("pages", string_of_int pages) ]
+  | Rss_sample { owner; pages } | Upper_limit_sample { owner; pages } ->
+      [ ("owner", string_of_int owner); ("pages", string_of_int pages) ]
+  | Phase_begin { name } | Phase_end { name } -> [ ("name", name) ]
+
+let counts t =
+  let tbl = Hashtbl.create 32 in
+  iter t (fun ~time:_ ~stream:_ ev ->
+      let name = event_name ev in
+      let n = Option.value (Hashtbl.find_opt tbl name) ~default:0 in
+      Hashtbl.replace tbl name (n + 1));
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pp_summary ppf t =
+  Format.fprintf ppf "@[<v>trace: %d events retained, %d dropped@," t.len
+    t.dropped;
+  List.iter
+    (fun (name, n) -> Format.fprintf ppf "  %-22s %d@," name n)
+    (counts t);
+  Format.fprintf ppf "@]"
+
+let daemon_stream = -1
+let releaser_stream = -2
+let writeback_stream = -3
+let kernel_stream = -4

@@ -1,0 +1,111 @@
+(** Structured event tracing for the simulator.
+
+    A [Trace.t] is a preallocated ring buffer of typed events, each stamped
+    with a simulated-ns timestamp and a {e stream} id.  Streams correspond to
+    lanes in a timeline viewer: non-negative stream ids are process pids,
+    negative ids are reserved for kernel daemons (see the [*_stream]
+    constants below).
+
+    Tracing is designed to be threaded through hot paths: when a trace is
+    disabled ([null], or [create ~enabled:false]), [emit] is a single branch
+    and allocates nothing.  Call sites should still guard argument
+    construction with [enabled t] so that disabled tracing builds no event
+    values at all:
+
+    {[
+      if Trace.enabled trace then
+        Trace.emit trace ~time:(Engine.now ()) ~stream:pid
+          (Trace.Hard_fault { vpn })
+    ]}
+
+    When the buffer is full the oldest events are overwritten and counted in
+    [dropped]. *)
+
+type event =
+  (* VM-layer events (lib/vm/os.ml). *)
+  | Hard_fault of { vpn : int }
+  | Soft_fault of { vpn : int }
+  | Validation_fault of { vpn : int }
+  | Zero_fill of { vpn : int }
+  | Rescue of { vpn : int; for_prefetch : bool }
+  | Prefetch_issued of { vpn : int }
+  | Prefetch_dropped of { vpn : int }
+  | Prefetch_raced of { vpn : int }
+  | Daemon_steal of { vpn : int; owner : int }
+  | Daemon_invalidate of { vpn : int; owner : int }
+  | Releaser_free of { vpn : int; owner : int }
+  | Release_requested of { owner : int; count : int }
+  | Release_skipped of { vpn : int; owner : int }
+  | Writeback_complete of { vpn : int; owner : int }
+  (* Runtime-layer events (lib/runtime/runtime.ml). *)
+  | Rt_release_filtered of { vpn : int; reason : string }
+  | Rt_release_buffered of { vpn : int; tag : int; priority : int }
+  | Rt_release_issued of { count : int }
+  | Rt_release_drained of { count : int }
+  | Rt_stale_dropped of { vpn : int }
+  (* Periodic samples (counters in the Chrome exporter). *)
+  | Free_depth of { pages : int }
+  | Rss_sample of { owner : int; pages : int }
+  | Upper_limit_sample of { owner : int; pages : int }
+  (* Application phases (lib/exec). *)
+  | Phase_begin of { name : string }
+  | Phase_end of { name : string }
+
+type t
+
+val null : t
+(** A permanently disabled trace; [emit] on it is a no-op. *)
+
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+(** [capacity] is the ring size in events (default 262144). *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val emit : t -> time:Time_ns.t -> stream:int -> event -> unit
+(** O(1); overwrites the oldest event when full. No-op when disabled. *)
+
+val set_stream_name : t -> int -> string -> unit
+(** Label a stream (process or daemon lane) for exporters. *)
+
+val stream_name : t -> int -> string option
+
+val stream_ids : t -> int list
+(** All stream ids that were named, sorted. *)
+
+val length : t -> int
+(** Events currently retained. *)
+
+val dropped : t -> int
+(** Events overwritten because the ring was full. *)
+
+val iter : t -> (time:Time_ns.t -> stream:int -> event -> unit) -> unit
+(** Iterate retained events oldest-first (timestamps are monotonically
+    non-decreasing because emission follows simulated time). *)
+
+val clear : t -> unit
+
+val event_name : event -> string
+(** Short stable identifier, e.g. ["hard_fault"]. *)
+
+val event_args : event -> (string * string) list
+(** Payload fields as key/value strings, for exporters. *)
+
+val counts : t -> (string * int) list
+(** Retained event tally by [event_name], sorted by name. *)
+
+val pp_summary : Format.formatter -> t -> unit
+
+(** {1 Reserved daemon stream ids} *)
+
+val daemon_stream : int
+(** paging (clock) daemon: -1 *)
+
+val releaser_stream : int
+(** releaser daemon: -2 *)
+
+val writeback_stream : int
+(** writeback completions: -3 *)
+
+val kernel_stream : int
+(** kernel-wide samples (free-list depth): -4 *)

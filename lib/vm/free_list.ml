@@ -9,7 +9,14 @@ let create frames = { frames; head = -1; tail = -1; length = 0 }
 
 let length t = t.length
 let is_empty t = t.length = 0
-let mem _t (f : Frame.t) = f.on_free_list
+(* Membership in *this* list: the frame must be flagged free and be one of
+   the frames this list links through (frame identity, not just the flag —
+   a frame on some other list's backing array is not a member here). *)
+let mem t (f : Frame.t) =
+  f.on_free_list
+  && f.idx >= 0
+  && f.idx < Array.length t.frames
+  && t.frames.(f.idx) == f
 
 let push_tail t (f : Frame.t) =
   if f.on_free_list then invalid_arg "Free_list.push_tail: already free";

@@ -14,6 +14,10 @@ type prefetch_result = P_fetched | P_rescued | P_already | P_dropped
 
 type release_req = { req_as : As.t; req_vpns : int array }
 
+(* The releaser's mailbox carries work batches plus a poison message so
+   [shutdown] can cut a blocked [Mailbox.recv] short. *)
+type releaser_msg = R_batch of release_req | R_quit
+
 type t = {
   config : Config.t;
   engine : Engine.t;
@@ -25,8 +29,9 @@ type t = {
   cpus : Semaphore.t;
   spaces : (int, As.t) Hashtbl.t;
   mutable space_list : As.t list;
-  releaser_box : release_req Mailbox.t;
+  releaser_box : releaser_msg Mailbox.t;
   gstats : Vm_stats.global;
+  trace : Trace.t;
   mutable clock_hand : int;
   mutable next_pid : int;
   mutable next_swap_page : int;
@@ -34,6 +39,8 @@ type t = {
       (* reactive eviction (section 2.2): per-process callbacks that name a
          page the application prefers to surrender *)
   mutable stop : bool;
+  mutable daemon_waker : Engine.waker option;
+      (* fires the paging daemon's interruptible sleep early on shutdown *)
 }
 
 let config t = t.config
@@ -43,6 +50,14 @@ let global_stats t = t.gstats
 let free_pages t = Free_list.length t.free
 let cpus t = t.cpus
 let address_spaces t = List.rev t.space_list
+let trace t = t.trace
+
+(* Call sites guard with [tracing t] so a disabled trace builds no event
+   values on the hot path. *)
+let tracing t = Trace.enabled t.trace
+
+let emit t ~stream ev =
+  Trace.emit t.trace ~time:(Engine.now_of t.engine) ~stream ev
 
 let sys_delay t d = ignore t; Engine.delay ~cat:Account.System d
 
@@ -158,6 +173,7 @@ let new_process t ~name =
   t.next_pid <- t.next_pid + 1;
   Hashtbl.replace t.spaces asp.As.pid asp;
   t.space_list <- asp :: t.space_list;
+  Trace.set_stream_name t.trace asp.As.pid name;
   asp
 
 let map_segment t asp ~name ~bytes ~on_swap =
@@ -226,6 +242,8 @@ and fault t asp seg ~vpn ~write =
           f.age <- 0;
           if write then f.dirty <- true;
           stats.validation_faults <- stats.validation_faults + 1;
+          if tracing t then
+            emit t ~stream:asp.As.pid (Trace.Validation_fault { vpn });
           As.set_bit seg ~vpn true;
           Tlb.insert asp.As.tlb ~vpn;
           sys_delay t cfg.validation_fault_ns;
@@ -240,6 +258,7 @@ and fault t asp seg ~vpn ~write =
           f.age <- 0;
           if write then f.dirty <- true;
           stats.soft_faults <- stats.soft_faults + 1;
+          if tracing t then emit t ~stream:asp.As.pid (Trace.Soft_fault { vpn });
           if not f.release_invalidated then
             stats.soft_faults_daemon <- stats.soft_faults_daemon + 1;
           f.release_invalidated <- false;
@@ -278,6 +297,8 @@ and fault t asp seg ~vpn ~write =
             | Vm_stats.Daemon -> stats.rescued_daemon <- stats.rescued_daemon + 1
             | Vm_stats.Releaser ->
                 stats.rescued_releaser <- stats.rescued_releaser + 1);
+            if tracing t then
+              emit t ~stream:asp.As.pid (Trace.Rescue { vpn; for_prefetch = false });
             install_frame t asp seg ~vpn f ~write ~prefetched:false;
             sys_delay t cfg.rescue_ns;
             Semaphore.release t.memory_lock;
@@ -302,10 +323,12 @@ and fault t asp seg ~vpn ~write =
         sys_delay t cfg.hard_fault_cpu_ns;
         if zero then begin
           stats.zero_fills <- stats.zero_fills + 1;
+          if tracing t then emit t ~stream:asp.As.pid (Trace.Zero_fill { vpn });
           sys_delay t cfg.zero_fill_ns
         end
         else begin
           stats.hard_faults <- stats.hard_faults + 1;
+          if tracing t then emit t ~stream:asp.As.pid (Trace.Hard_fault { vpn });
           Swap.read_page t.swap ~page:(As.swap_page seg ~vpn)
         end;
         Semaphore.acquire asp.As.as_lock;
@@ -348,6 +371,9 @@ let rec prefetch t (asp : As.t) ~vpn =
                 let f = t.frames.(fidx) in
                 if f.on_free_list then Free_list.remove t.free f;
                 stats.prefetch_rescues <- stats.prefetch_rescues + 1;
+                if tracing t then
+                  emit t ~stream:asp.As.pid
+                    (Trace.Rescue { vpn; for_prefetch = true });
                 (match f.freed_by with
                 | Some Vm_stats.Daemon ->
                     stats.rescued_daemon <- stats.rescued_daemon + 1
@@ -362,10 +388,12 @@ let rec prefetch t (asp : As.t) ~vpn =
           Semaphore.release asp.As.as_lock;
           update_limits t asp;
           result
-      | (As.Swapped | As.Untouched) as prev -> (
+      | As.Swapped | As.Untouched -> (
           match
             (if t.config.drop_prefetch_when_low then alloc_frame_opt t
              else begin
+               (* Blocking for a frame gives up the as_lock; the PTE must be
+                  re-examined once it is reacquired (below). *)
                Semaphore.release asp.As.as_lock;
                let f = alloc_frame_blocking t ~for_:asp in
                Semaphore.acquire asp.As.as_lock;
@@ -374,24 +402,46 @@ let rec prefetch t (asp : As.t) ~vpn =
           with
           | None ->
               stats.prefetches_dropped <- stats.prefetches_dropped + 1;
+              if tracing t then
+                emit t ~stream:asp.As.pid (Trace.Prefetch_dropped { vpn });
               Semaphore.release asp.As.as_lock;
               update_limits t asp;
               P_dropped
-          | Some f ->
-              let zero = prev = As.Untouched in
-              let ivar = Ivar.create () in
-              As.set_pte seg ~vpn (As.In_transit ivar);
-              Semaphore.release asp.As.as_lock;
-              stats.prefetches_issued <- stats.prefetches_issued + 1;
-              sys_delay t cfg.hard_fault_cpu_ns;
-              if zero then sys_delay t cfg.zero_fill_ns
-              else Swap.read_page t.swap ~page:(As.swap_page seg ~vpn);
-              Semaphore.acquire asp.As.as_lock;
-              install_frame t asp seg ~vpn f ~write:zero ~prefetched:true;
-              Ivar.fill ivar ();
-              Semaphore.release asp.As.as_lock;
-              update_limits t asp;
-              P_fetched))
+          | Some f -> (
+              (* While blocked in alloc_frame_blocking the as_lock was free:
+                 a concurrent demand fault (or another prefetch) may have
+                 installed this page.  Overwriting the PTE would leak that
+                 resident frame and corrupt rss, so re-check and surrender
+                 the spare frame if the prefetch lost the race. *)
+              match As.get_pte seg ~vpn with
+              | (As.Swapped | As.Untouched) as prev ->
+                  let zero = prev = As.Untouched in
+                  let ivar = Ivar.create () in
+                  As.set_pte seg ~vpn (As.In_transit ivar);
+                  Semaphore.release asp.As.as_lock;
+                  stats.prefetches_issued <- stats.prefetches_issued + 1;
+                  if tracing t then
+                    emit t ~stream:asp.As.pid (Trace.Prefetch_issued { vpn });
+                  sys_delay t cfg.hard_fault_cpu_ns;
+                  if zero then sys_delay t cfg.zero_fill_ns
+                  else Swap.read_page t.swap ~page:(As.swap_page seg ~vpn);
+                  Semaphore.acquire asp.As.as_lock;
+                  install_frame t asp seg ~vpn f ~write:zero ~prefetched:true;
+                  Ivar.fill ivar ();
+                  Semaphore.release asp.As.as_lock;
+                  update_limits t asp;
+                  P_fetched
+              | As.Resident _ | As.In_transit _ | As.On_free_list _ ->
+                  stats.prefetches_useless <- stats.prefetches_useless + 1;
+                  if tracing t then
+                    emit t ~stream:asp.As.pid (Trace.Prefetch_raced { vpn });
+                  Semaphore.acquire t.memory_lock;
+                  Free_list.push_tail t.free f;
+                  Condition.broadcast t.free_cond;
+                  Semaphore.release t.memory_lock;
+                  Semaphore.release asp.As.as_lock;
+                  update_limits t asp;
+                  P_already)))
 
 let release_request t (asp : As.t) ~vpns =
   let stats = asp.As.stats in
@@ -419,7 +469,10 @@ let release_request t (asp : As.t) ~vpns =
           | _ -> ())
       | exception Not_found -> ())
     vpns;
-  Mailbox.send t.releaser_box { req_as = asp; req_vpns = vpns };
+  if tracing t then
+    emit t ~stream:asp.As.pid
+      (Trace.Release_requested { owner = asp.As.pid; count = Array.length vpns });
+  Mailbox.send t.releaser_box (R_batch { req_as = asp; req_vpns = vpns });
   update_limits t asp
 
 (* ------------------------------------------------------------------ *)
@@ -432,7 +485,7 @@ let release_request t (asp : As.t) ~vpns =
    write completes — unless it was rescued during the write. *)
 let writeback_and_free t writebacks =
   List.iter
-    (fun (seg, vpn, (f : Frame.t)) ->
+    (fun (seg, vpn, owner, (f : Frame.t)) ->
       ignore
         (Engine.spawn_child ~name:"writeback" (fun () ->
              Swap.write_page t.swap ~page:(As.swap_page seg ~vpn);
@@ -444,7 +497,10 @@ let writeback_and_free t writebacks =
                 if not t.config.rescue_from_free_list then disassociate t f;
                 Condition.broadcast t.free_cond
               end);
-             Semaphore.release t.memory_lock)))
+             Semaphore.release t.memory_lock;
+             if tracing t then
+               emit t ~stream:Trace.writeback_stream
+                 (Trace.Writeback_complete { vpn; owner }))))
     writebacks
 
 
@@ -463,9 +519,13 @@ let releaser_process_batch t (asp : As.t) (vpns : int array) =
       match As.find_segment asp ~vpn with
       | exception Not_found -> ()
       | seg -> (
-          if As.bit seg ~vpn then
+          if As.bit seg ~vpn then begin
             (* Re-referenced (or re-fetched) since the request: skip. *)
-            asp.As.stats.releases_skipped <- asp.As.stats.releases_skipped + 1
+            asp.As.stats.releases_skipped <- asp.As.stats.releases_skipped + 1;
+            if tracing t then
+              emit t ~stream:Trace.releaser_stream
+                (Trace.Release_skipped { vpn; owner = asp.As.pid })
+          end
           else
             match As.get_pte seg ~vpn with
             | As.Resident fidx ->
@@ -476,6 +536,9 @@ let releaser_process_batch t (asp : As.t) (vpns : int array) =
                   asp.As.stats.freed_by_releaser + 1;
                 t.gstats.releaser_pages_freed <- t.gstats.releaser_pages_freed + 1;
                 incr freed;
+                if tracing t then
+                  emit t ~stream:Trace.releaser_stream
+                    (Trace.Releaser_free { vpn; owner = asp.As.pid });
                 if f.dirty then begin
                   f.dirty <- false;
                   f.valid <- false;
@@ -483,12 +546,15 @@ let releaser_process_batch t (asp : As.t) (vpns : int array) =
                   f.referenced <- false;
                   f.freed_by <- Some Vm_stats.Releaser;
                   asp.As.stats.writebacks <- asp.As.stats.writebacks + 1;
-                  writebacks := (seg, vpn, f) :: !writebacks
+                  writebacks := (seg, vpn, asp.As.pid, f) :: !writebacks
                 end
                 else free_frame_locked t f ~freer:Vm_stats.Releaser
             | As.Untouched | As.Swapped | As.On_free_list _ | As.In_transit _
               ->
-                asp.As.stats.releases_skipped <- asp.As.stats.releases_skipped + 1)
+                asp.As.stats.releases_skipped <- asp.As.stats.releases_skipped + 1;
+                if tracing t then
+                  emit t ~stream:Trace.releaser_stream
+                    (Trace.Release_skipped { vpn; owner = asp.As.pid }))
       )
     vpns;
   (* The releaser is specialized: little per-page work while locks are
@@ -503,16 +569,19 @@ let releaser_process_batch t (asp : As.t) (vpns : int array) =
   update_limits t asp
 
 let releaser_loop t () =
-  while not t.stop do
-    let req = Mailbox.recv t.releaser_box in
-    let n = Array.length req.req_vpns in
-    let batch = t.config.releaser_batch in
-    let i = ref 0 in
-    while !i < n do
-      let len = min batch (n - !i) in
-      releaser_process_batch t req.req_as (Array.sub req.req_vpns !i len);
-      i := !i + len
-    done
+  let quit = ref false in
+  while not (t.stop || !quit) do
+    match Mailbox.recv t.releaser_box with
+    | R_quit -> quit := true
+    | R_batch req ->
+        let n = Array.length req.req_vpns in
+        let batch = t.config.releaser_batch in
+        let i = ref 0 in
+        while !i < n do
+          let len = min batch (n - !i) in
+          releaser_process_batch t req.req_as (Array.sub req.req_vpns !i len);
+          i := !i + len
+        done
   done
 
 (* ------------------------------------------------------------------ *)
@@ -550,7 +619,10 @@ let rec daemon_visit_frame t (asp : As.t) (f : Frame.t) ~free_shortage =
       f.release_invalidated <- false;
       Tlb.invalidate asp.As.tlb ~vpn:f.vpn;
       stats.invalidations <- stats.invalidations + 1;
-      t.gstats.daemon_invalidations <- t.gstats.daemon_invalidations + 1
+      t.gstats.daemon_invalidations <- t.gstats.daemon_invalidations + 1;
+      if tracing t then
+        emit t ~stream:Trace.daemon_stream
+          (Trace.Daemon_invalidate { vpn = f.vpn; owner = asp.As.pid })
     end;
     f.age <- 0;
     None
@@ -598,6 +670,9 @@ and daemon_steal t (asp : As.t) (f : Frame.t) =
   asp.As.rss <- asp.As.rss - 1;
   stats.freed_by_daemon <- stats.freed_by_daemon + 1;
   t.gstats.daemon_pages_stolen <- t.gstats.daemon_pages_stolen + 1;
+  if tracing t then
+    emit t ~stream:Trace.daemon_stream
+      (Trace.Daemon_steal { vpn = f.vpn; owner = asp.As.pid });
   if f.dirty then begin
     f.dirty <- false;
     f.valid <- false;
@@ -605,7 +680,7 @@ and daemon_steal t (asp : As.t) (f : Frame.t) =
     f.referenced <- false;
     f.freed_by <- Some Vm_stats.Daemon;
     stats.writebacks <- stats.writebacks + 1;
-    Some (seg, f.vpn, f)
+    Some (seg, f.vpn, asp.As.pid, f)
   end
   else begin
     free_frame_locked t f ~freer:Vm_stats.Daemon;
@@ -683,12 +758,27 @@ let daemon_scan_batch t =
    re-reference (soft fault) pages still in their working set, and it makes
    the hand's cycle time scale with memory size — the property that lets an
    idle interactive task keep its pages for a while (Figure 1). *)
+(* An interruptible tick: suspend with a timer waker that [shutdown] can
+   also fire, so a shutdown does not have to wait out the interval.  The
+   waited time is charged as [Sleep] like a plain delay would be. *)
+let daemon_sleep t d =
+  let t0 = Engine.now () in
+  Engine.suspend (fun waker ->
+      t.daemon_waker <- Some waker;
+      Engine.wake_after t.engine d waker);
+  t.daemon_waker <- None;
+  Account.add (Engine.self ()).Engine.account Account.Sleep (Engine.now () - t0)
+
 let paging_daemon_loop t () =
   let cfg = t.config in
   let active = ref false in
   while not t.stop do
-    Engine.delay ~cat:Account.Sleep cfg.daemon_interval_ns;
-    if !active then begin
+    daemon_sleep t cfg.daemon_interval_ns;
+    if tracing t then
+      emit t ~stream:Trace.kernel_stream
+        (Trace.Free_depth { pages = Free_list.length t.free });
+    if t.stop then ()
+    else if !active then begin
       if reached_target t then active := false
       else begin
         daemon_scan_batch t;
@@ -713,7 +803,8 @@ let paging_daemon_loop t () =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ?swap_config ~config:(cfg : Config.t) ~engine () =
+let create ?swap_config ?(trace = Trace.null) ~config:(cfg : Config.t) ~engine
+    () =
   let swap =
     Swap.create
       ?config:swap_config
@@ -736,18 +827,32 @@ let create ?swap_config ~config:(cfg : Config.t) ~engine () =
       space_list = [];
       releaser_box = Mailbox.create ~name:"releaser" ();
       gstats = Vm_stats.create_global ();
+      trace;
       advisors = Hashtbl.create 4;
       clock_hand = 0;
       next_pid = 0;
       next_swap_page = 0;
       stop = false;
+      daemon_waker = None;
     }
   in
+  Trace.set_stream_name trace Trace.daemon_stream "paging-daemon";
+  Trace.set_stream_name trace Trace.releaser_stream "releaser-daemon";
+  Trace.set_stream_name trace Trace.writeback_stream "writeback";
+  Trace.set_stream_name trace Trace.kernel_stream "kernel";
   ignore (Engine.spawn engine ~name:"paging-daemon" (paging_daemon_loop t));
   ignore (Engine.spawn engine ~name:"releaser-daemon" (releaser_loop t));
   t
 
-let shutdown t = t.stop <- true
+let shutdown t =
+  if not t.stop then begin
+    t.stop <- true;
+    (* Wake both daemons: a poison message cuts the releaser's blocked
+       [Mailbox.recv] short, and firing the timer waker ends the paging
+       daemon's current tick early.  Both then observe [t.stop]. *)
+    Mailbox.send t.releaser_box R_quit;
+    match t.daemon_waker with Some w -> w () | None -> ()
+  end
 
 let set_eviction_advisor t (asp : As.t) advise =
   Hashtbl.replace t.advisors asp.As.pid advise

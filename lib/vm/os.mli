@@ -34,15 +34,25 @@ type prefetch_result =
 
 val create :
   ?swap_config:Memhog_disk.Swap.config ->
+  ?trace:Memhog_sim.Trace.t ->
   config:Config.t ->
   engine:Memhog_sim.Engine.t ->
   unit ->
   t
 (** Build the kernel state and spawn the paging daemon and releaser daemon
-    processes. *)
+    processes.  [trace] (default {!Memhog_sim.Trace.null}) receives kernel
+    events: faults, prefetch outcomes, daemon steals and invalidations,
+    releaser frees and skips, writeback completions, and free-list depth
+    samples at each daemon tick. *)
 
 val config : t -> Config.t
 val engine : t -> Memhog_sim.Engine.t
+
+val trace : t -> Memhog_sim.Trace.t
+(** The event trace this kernel emits into ({!Memhog_sim.Trace.null} when
+    tracing was not requested); upper layers reuse it for their own
+    events. *)
+
 val swap : t -> Memhog_disk.Swap.t
 val global_stats : t -> Vm_stats.global
 val free_pages : t -> int
@@ -104,7 +114,10 @@ val set_eviction_advisor : t -> Address_space.t -> (unit -> int option) -> unit
 (** {1 Control} *)
 
 val shutdown : t -> unit
-(** Ask the daemons to exit at their next wakeup. *)
+(** Stop the daemons: sets the stop flag, posts a poison message to the
+    releaser (cutting its blocked mailbox receive short) and fires the
+    paging daemon's tick timer early, so both quiesce promptly and
+    [Engine.run] can drain without an explicit [Engine.stop]. *)
 
 val check_invariants : t -> (string * bool) list
 (** Structural invariants (for tests): frame/PTE agreement, free-list

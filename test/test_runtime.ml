@@ -295,6 +295,68 @@ let test_release_one_behind () =
   check_int "same-page drop counted" 1 s.Runtime.rt_release_filtered_same;
   check_int "one release issued" 1 s.Runtime.rt_release_issued
 
+let test_one_behind_preserves_recorded_priority () =
+  (* Regression: a displaced recording must be handled at the priority it
+     was recorded with, not the priority of the request that displaced it. *)
+  let rt =
+    with_rt ~policy:Runtime.Buffered (fun os asp seg rt ->
+        for i = 0 to 3 do
+          ignore (Os.touch os asp ~vpn:(seg.As.base_vpn + i) ~write:false)
+        done;
+        let v = Array.init 4 (fun i -> seg.As.base_vpn + i) in
+        (* tag 5: recorded at priority 1, displaced by a priority-0 request;
+           the displaced release keeps priority 1 and is buffered. *)
+        Runtime.release_page rt ~vpn:v.(0) ~priority:1 ~tag:5;
+        Runtime.release_page rt ~vpn:v.(1) ~priority:0 ~tag:5;
+        settle ();
+        check_int "displaced release buffered at its own priority" 1
+          (Runtime.buffered_pages rt);
+        check_int "nothing issued yet" 0
+          (Runtime.stats rt).Runtime.rt_release_issued;
+        check_bool "buffered page still resident" true
+          (Os.page_resident asp ~vpn:v.(0));
+        (* tag 6: recorded at priority 0, displaced by a priority-2 request;
+           the displaced release keeps priority 0 and is issued at once. *)
+        Runtime.release_page rt ~vpn:v.(2) ~priority:0 ~tag:6;
+        Runtime.release_page rt ~vpn:v.(3) ~priority:2 ~tag:6;
+        settle ();
+        check_bool "priority-0 recording issued on displacement" false
+          (Os.page_resident asp ~vpn:v.(2));
+        check_int "still exactly one buffered" 1 (Runtime.buffered_pages rt))
+  in
+  check_int "exactly one page issued" 1
+    (Runtime.stats rt).Runtime.rt_release_issued
+
+let test_drain_drops_stale_entries () =
+  (* Buffered pages the OS reclaimed behind the runtime's back are dropped
+     at drain time and counted, not silently discarded. *)
+  let rt =
+    with_rt ~policy:Runtime.Buffered (fun os asp seg rt ->
+        for i = 0 to 5 do
+          ignore (Os.touch os asp ~vpn:(seg.As.base_vpn + i) ~write:false)
+        done;
+        (* displace three pages into the buffer, one per tag *)
+        for t = 0 to 2 do
+          Runtime.release_page rt
+            ~vpn:(seg.As.base_vpn + (2 * t))
+            ~priority:1 ~tag:(t + 1);
+          Runtime.release_page rt
+            ~vpn:(seg.As.base_vpn + (2 * t) + 1)
+            ~priority:1 ~tag:(t + 1)
+        done;
+        settle ();
+        check_int "three buffered" 3 (Runtime.buffered_pages rt);
+        (* the OS takes the buffered pages without telling the runtime *)
+        Os.release_request os asp
+          ~vpns:(Array.init 3 (fun t -> seg.As.base_vpn + (2 * t)));
+        settle ();
+        Runtime.drain rt;
+        settle ())
+  in
+  let s = Runtime.stats rt in
+  check_int "stale entries dropped and counted" 3 s.Runtime.rt_release_stale_dropped;
+  check_int "only the live recordings issued" 3 s.Runtime.rt_release_issued
+
 let test_release_bitmap_filter () =
   let rt =
     with_rt (fun _os _asp seg rt ->
@@ -377,6 +439,10 @@ let () =
           Alcotest.test_case "prefetch filter" `Quick test_prefetch_filter_resident;
           Alcotest.test_case "prefetch via pool" `Quick test_prefetch_through_pool;
           Alcotest.test_case "one-behind" `Quick test_release_one_behind;
+          Alcotest.test_case "one-behind keeps recorded priority" `Quick
+            test_one_behind_preserves_recorded_priority;
+          Alcotest.test_case "drain drops stale entries" `Quick
+            test_drain_drops_stale_entries;
           Alcotest.test_case "bitmap filter" `Quick test_release_bitmap_filter;
         ] );
       ( "policies",

@@ -97,6 +97,22 @@ let test_free_list_fifo_and_remove () =
   | None -> Alcotest.fail "expected second");
   check_bool "empty" true (Vm.Free_list.is_empty fl)
 
+let test_free_list_mem_checks_this_list () =
+  (* [mem] must test membership in the given list, not just the frame's
+     own flag: a frame on some other list's backing array is no member. *)
+  let frames_a = Array.init 4 Vm.Frame.make in
+  let frames_b = Array.init 4 Vm.Frame.make in
+  let la = Vm.Free_list.create frames_a in
+  let lb = Vm.Free_list.create frames_b in
+  Vm.Free_list.push_tail la frames_a.(2);
+  check_bool "member of its own list" true (Vm.Free_list.mem la frames_a.(2));
+  check_bool "not member of a different list" false
+    (Vm.Free_list.mem lb frames_a.(2));
+  check_bool "unlisted frame of the other array" false
+    (Vm.Free_list.mem la frames_b.(2));
+  Vm.Free_list.remove la frames_a.(2);
+  check_bool "not member after remove" false (Vm.Free_list.mem la frames_a.(2))
+
 let prop_free_list_model =
   (* Compare against a list model under random push/pop/remove. *)
   QCheck.Test.make ~name:"free list behaves like a FIFO with removal" ~count:200
@@ -370,6 +386,78 @@ let test_prefetch_dropped_when_no_free_memory () =
   in
   assert_invariants os
 
+let test_prefetch_race_with_demand_fault () =
+  (* Regression: with blocking prefetches (the drop-prefetch ablation), a
+     prefetch that waits for a frame gives up the as_lock; a demand fault can
+     install the same page meanwhile.  The prefetch must re-check the PTE and
+     surrender its frame, not overwrite the resident mapping (which leaked
+     the frame and double-counted rss). *)
+  let config =
+    {
+      small_config with
+      Vm.Config.min_freemem = 0;
+      desfree = 0;
+      drop_prefetch_when_low = false;
+    }
+  in
+  let os =
+    with_os ~config (fun os ->
+        let asp = Os.new_process os ~name:"app" in
+        let seg = Os.map_segment os asp ~name:"d" ~bytes:(70 * 16384) ~on_swap:true in
+        (* Exhaust the 64 frames so the prefetch blocks for one. *)
+        for i = 0 to 63 do
+          ignore (Os.touch os asp ~vpn:(seg.As.base_vpn + i) ~write:false)
+        done;
+        check_int "memory exhausted" 0 (Os.free_pages os);
+        let target = seg.As.base_vpn + 65 in
+        ignore
+          (Engine.spawn (Os.engine os) ~name:"prefetcher" (fun () ->
+               ignore (Os.prefetch os asp ~vpn:target)));
+        (* Let the prefetcher reach alloc_frame_blocking and park. *)
+        Engine.delay ~cat:Account.Sleep (Time_ns.ms 1);
+        ignore
+          (Engine.spawn (Os.engine os) ~name:"trigger" (fun () ->
+               Engine.delay ~cat:Account.Sleep (Time_ns.ms 2);
+               (* Free two frames: one each for the blocked prefetch and the
+                  blocked demand fault below. *)
+               Os.release_request os asp
+                 ~vpns:[| seg.As.base_vpn; seg.As.base_vpn + 1 |]));
+        (* Demand-fault the very page the prefetch is waiting to install. *)
+        check_bool "demand fault brings the page in" true
+          (Os.touch os asp ~vpn:target ~write:false = Os.Hard);
+        Engine.delay ~cat:Account.Sleep (Time_ns.ms 100);
+        check_int "prefetch noticed it lost the race" 1
+          asp.As.stats.Vm.Vm_stats.prefetches_useless;
+        check_bool "page resident exactly once" true
+          (match As.get_pte seg ~vpn:target with
+          | As.Resident _ -> true
+          | _ -> false))
+  in
+  assert_invariants os
+
+let test_shutdown_quiesces_daemons () =
+  (* [Os.shutdown] must wake the paging daemon and poison the releaser so
+     [Engine.run] can drain without an explicit [Engine.stop]. *)
+  let engine = Engine.create ~max_time:(Time_ns.sec 3600) () in
+  let os = Os.create ~config:small_config ~engine () in
+  ignore
+    (Engine.spawn engine ~name:"main" (fun () ->
+         let asp = Os.new_process os ~name:"app" in
+         let seg = Os.map_segment os asp ~name:"d" ~bytes:(4 * 16384) ~on_swap:true in
+         ignore (Os.touch os asp ~vpn:seg.As.base_vpn ~write:false);
+         Engine.delay ~cat:Account.Sleep (Time_ns.ms 5);
+         Os.shutdown os));
+  Engine.run engine;
+  (match Engine.crashes engine with
+  | [] -> ()
+  | (name, e) :: _ ->
+      Alcotest.failf "process %s crashed: %s" name (Printexc.to_string e));
+  check_bool "run returned without Engine.stop" false (Engine.stopped engine);
+  check_int "all processes (incl. daemons) exited" 0 (Engine.live_count engine);
+  List.iter
+    (fun (what, ok) -> check_bool what true ok)
+    (Os.check_invariants os)
+
 (* ------------------------------------------------------------------ *)
 (* Shared page info                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -626,6 +714,8 @@ let () =
       ( "free-list",
         [
           Alcotest.test_case "fifo and remove" `Quick test_free_list_fifo_and_remove;
+          Alcotest.test_case "mem checks this list" `Quick
+            test_free_list_mem_checks_this_list;
         ] );
       ( "faults",
         [
@@ -660,6 +750,13 @@ let () =
             test_prefetch_dropped_when_no_free_memory;
           Alcotest.test_case "unmapped address" `Quick
             test_prefetch_of_unmapped_address;
+          Alcotest.test_case "blocking prefetch races demand fault" `Quick
+            test_prefetch_race_with_demand_fault;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "daemons quiesce" `Quick
+            test_shutdown_quiesces_daemons;
         ] );
       ( "tlb",
         [
