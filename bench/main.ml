@@ -14,7 +14,13 @@
      bench/main.exe --json ...           write BENCH_matrix.json: the
                                          experiment matrix's wall-clock
                                          per cell, total, jobs used, and
-                                         speedup vs the serial estimate
+                                         speedup vs the serial estimate;
+                                         also BENCH_metrics.json: the
+                                         derived simulated metrics
+                                         (Memhog_core.Metrics), which are
+                                         jobs- and wall-clock-independent
+                                         and back the CI regression gate
+                                         (memhog_cli compare --tolerance 0)
      bench/main.exe --trace DIR ...      also write one Chrome trace_event
                                          JSON per matrix cell into DIR
                                          (WORKLOAD-VARIANT.trace.json)
@@ -365,6 +371,10 @@ let () =
       | Some m -> m
       | None -> get_matrix ~machine ~jobs ()
     in
-    write_matrix_json ~path:"BENCH_matrix.json" m
+    write_matrix_json ~path:"BENCH_matrix.json" m;
+    Metrics_io.write_file ~path:"BENCH_metrics.json" (Metrics.of_matrix m);
+    log
+      (Printf.sprintf "wrote BENCH_metrics.json (%d cells, deterministic)"
+         (List.length (Figures.matrix_results m)))
   end;
   log "done"

@@ -6,6 +6,8 @@
      compile    run the compiler on a benchmark and dump analysis + code
      run        run one experiment and print every collected metric
      sweep      interactive response vs sleep time for any benchmark
+     report     render metrics JSON files as human-readable tables
+     compare    diff two metrics JSON files (the CI regression gate)
 *)
 
 open Cmdliner
@@ -174,8 +176,18 @@ let run_cmd =
              daemon steals, rescues) and write it as Chrome trace_event \
              JSON, loadable in chrome://tracing or Perfetto.")
   in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the derived metrics (service-time histograms, Figure 7 \
+             breakdown, release accuracy, telemetry ranges) as canonical \
+             JSON, readable by $(b,memhog report) and $(b,memhog compare).")
+  in
   let run machine workload variant interactive iterations conservative telemetry
-      csv trace =
+      csv trace metrics =
     let interactive_sleep = Option.map Time_ns.of_sec_f interactive in
     let min_sim_time =
       match interactive_sleep with
@@ -257,6 +269,16 @@ let run_cmd =
         print_string (Trace_export.summary r.Experiment.r_trace);
         Format.printf "trace written to %s@." path
     | None -> ());
+    (match metrics with
+    | Some path ->
+        let label =
+          Printf.sprintf "%s %s/%s" machine.Machine.m_name
+            r.Experiment.r_workload
+            (Experiment.variant_name r.Experiment.r_variant)
+        in
+        Metrics_io.write_file ~path (Metrics.of_results ~label [ r ]);
+        Format.printf "metrics written to %s@." path
+    | None -> ());
     Format.printf "invariants: %s@."
       (if r.Experiment.r_invariants_ok then "ok" else "VIOLATED");
     if r.Experiment.r_invariants_ok then 0 else 1
@@ -265,7 +287,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one experiment and print every metric.")
     Term.(
       const run $ machine_term $ workload_term $ variant $ interactive
-      $ iterations $ conservative $ telemetry $ csv $ trace)
+      $ iterations $ conservative $ telemetry $ csv $ trace $ metrics)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -347,6 +369,93 @@ let sweep_cmd =
           four variants (Figures 1/10a for any workload).")
     Term.(const run $ machine_term $ workload_term $ sleeps $ jobs)
 
+(* ------------------------------------------------------------------ *)
+(* report / compare                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let files =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Metrics JSON files to render.")
+  in
+  let run files =
+    let rc = ref 0 in
+    List.iter
+      (fun path ->
+        match Metrics_io.load_file ~path with
+        | Error e ->
+            Format.eprintf "memhog report: %s@." e;
+            rc := 1
+        | Ok j -> (
+            match Metrics_io.render j with
+            | Ok text -> print_string text
+            | Error e ->
+                Format.eprintf "memhog report: %s: %s@." path e;
+                rc := 1))
+      files;
+    !rc
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render metrics JSON files (written by $(b,run --metrics) or \
+          $(b,bench/main.exe --json)) as human-readable tables.")
+    Term.(const run $ files)
+
+let compare_cmd =
+  let baseline =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline metrics JSON file.")
+  in
+  let current =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CURRENT" ~doc:"Current metrics JSON file.")
+  in
+  let tolerance =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:
+            "Allowed relative drift per numeric field, in percent.  0 \
+             (default) demands byte-identical numbers — the right setting \
+             for deterministic same-seed runs.")
+  in
+  let run baseline current tolerance =
+    match (Metrics_io.load_file ~path:baseline, Metrics_io.load_file ~path:current) with
+    | Error e, _ | _, Error e ->
+        Format.eprintf "memhog compare: %s@." e;
+        2
+    | Ok b, Ok c -> (
+        match Metrics_io.compare_json ~tolerance b c with
+        | [] ->
+            Format.printf "metrics match (%s vs %s, tolerance %g%%)@." baseline
+              current tolerance;
+            0
+        | diffs ->
+            Format.printf "%d metric(s) drifted beyond %g%% (%s vs %s):@."
+              (List.length diffs) tolerance baseline current;
+            List.iter
+              (fun d ->
+                Format.printf "  %s: %s@." d.Metrics_io.d_path
+                  d.Metrics_io.d_reason)
+              diffs;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Compare two metrics JSON files field by field; exit non-zero when \
+          any number drifts beyond the tolerance.  The CI regression gate \
+          runs this with --tolerance 0 against a committed baseline.")
+    Term.(const run $ baseline $ current $ tolerance)
+
 let () =
   let doc =
     "compiler-inserted releases for out-of-core applications (OSDI 2000 \
@@ -356,4 +465,7 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "memhog" ~version:"1.0.0" ~doc)
-          [ list_cmd; machine_cmd; compile_cmd; run_cmd; sweep_cmd ]))
+          [
+            list_cmd; machine_cmd; compile_cmd; run_cmd; sweep_cmd;
+            report_cmd; compare_cmd;
+          ]))

@@ -39,12 +39,22 @@ type breakdown = {
 
 let breakdown_total b = b.b_user + b.b_system + b.b_io_stall + b.b_resource_stall
 
+let breakdown_of_account acct =
+  {
+    b_user = Account.get acct Account.User;
+    b_system = Account.get acct Account.System;
+    b_io_stall = Account.get acct Account.Io_stall;
+    b_resource_stall = Account.get acct Account.Resource_stall;
+  }
+
 type result = {
   r_workload : string;
   r_variant : variant;
   r_elapsed : Time_ns.t;
   r_iterations : int;
   r_breakdown : breakdown;
+  r_account : Account.t;
+  r_inter_breakdown : breakdown option;
   r_app_stats : Vm_stats.proc;
   r_inter_stats : Vm_stats.proc option;
   r_global : Vm_stats.global;
@@ -58,6 +68,9 @@ type result = {
   r_disk_busy : Time_ns.t;
   r_invariants_ok : bool;
   r_trace : Trace.t;
+  r_fault_hist : Histogram.t;
+  r_prefetch_hist : Histogram.t;
+  r_response_hist : Histogram.t option;
 }
 
 type setup = {
@@ -207,14 +220,7 @@ let run (s : setup) =
   (* The application executed inside the driver process: its account holds
      the Figure 7 time components. *)
   let acct = driver.Engine.account in
-  let breakdown =
-    {
-      b_user = Account.get acct Account.User;
-      b_system = Account.get acct Account.System;
-      b_io_stall = Account.get acct Account.Io_stall;
-      b_resource_stall = Account.get acct Account.Resource_stall;
-    }
-  in
+  let breakdown = breakdown_of_account acct in
   let swap = Os.swap os in
   {
     r_workload = s.workload.Workload.w_name;
@@ -222,6 +228,10 @@ let run (s : setup) =
     r_elapsed = !elapsed;
     r_iterations = max 1 !iterations_done;
     r_breakdown = breakdown;
+    r_account = acct;
+    r_inter_breakdown =
+      Option.bind task (fun t ->
+          Option.map breakdown_of_account (Interactive.account t));
     r_app_stats = asp.Memhog_vm.Address_space.stats;
     r_inter_stats =
       Option.map
@@ -251,6 +261,9 @@ let run (s : setup) =
     r_swap_writes = Memhog_disk.Swap.page_writes swap;
     r_invariants_ok = List.for_all snd (Os.check_invariants os);
     r_trace = trace;
+    r_fault_hist = Os.fault_histogram os;
+    r_prefetch_hist = Os.prefetch_histogram os;
+    r_response_hist = Option.map (fun t -> Interactive.response_histogram t) task;
   }
 
 let run_interactive_alone ?(machine = Machine.paper) ~sleep ~duration () =

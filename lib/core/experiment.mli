@@ -31,12 +31,22 @@ type breakdown = {
 
 val breakdown_total : breakdown -> Memhog_sim.Time_ns.t
 
+val breakdown_of_account : Memhog_sim.Account.t -> breakdown
+(** Project an account onto the four Figure 7 components (dropping
+    [Sleep]). *)
+
 type result = {
   r_workload : string;
   r_variant : variant;
   r_elapsed : Memhog_sim.Time_ns.t;   (** out-of-core app completion time *)
   r_iterations : int;                 (** main-computation passes executed *)
   r_breakdown : breakdown;            (** Figure 7 components *)
+  r_account : Memhog_sim.Account.t;
+      (** the app driver's raw per-category account ([r_breakdown]'s
+          source), kept so totals can be built with
+          {!Memhog_sim.Account.add_to} *)
+  r_inter_breakdown : breakdown option;
+      (** the interactive task's Figure 7 components, when present *)
   r_app_stats : Memhog_vm.Vm_stats.proc;
   r_inter_stats : Memhog_vm.Vm_stats.proc option;
   r_global : Memhog_vm.Vm_stats.global;
@@ -56,6 +66,12 @@ type result = {
   r_trace : Memhog_sim.Trace.t;
       (** the event trace collected during the run ({!Memhog_sim.Trace.null}
           when tracing was not requested in the setup) *)
+  r_fault_hist : Memhog_sim.Histogram.t;
+      (** demand-fault service times (simulated ns), from {!Memhog_vm.Os} *)
+  r_prefetch_hist : Memhog_sim.Histogram.t;
+      (** completed-prefetch service times (simulated ns) *)
+  r_response_hist : Memhog_sim.Histogram.t option;
+      (** interactive per-sweep response times, warm-up sweep skipped *)
 }
 
 type setup = {

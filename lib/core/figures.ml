@@ -18,6 +18,9 @@ type matrix = {
   mx_cells : cell_timing list;
 }
 
+let matrix_results m =
+  List.concat_map (fun (_, per_variant) -> List.map snd per_variant) m.mx_results
+
 let no_log _ = ()
 
 (* Jobs run on worker domains; serialize calls into the caller's logger. *)

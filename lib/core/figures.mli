@@ -22,6 +22,11 @@ type matrix = {
   mx_cells : cell_timing list;  (** per-cell wall-clock, in submission order *)
 }
 
+val matrix_results : matrix -> Experiment.result list
+(** Every cell result, flattened in matrix order (workloads in submission
+    order, variants O/P/R/B within each) — the order {!Metrics.of_matrix}
+    serializes cells in. *)
+
 val run_matrix :
   ?machine:Machine.t ->
   ?sleep:Memhog_sim.Time_ns.t ->

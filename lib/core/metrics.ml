@@ -1,0 +1,172 @@
+open Memhog_sim
+module VS = Memhog_vm.Vm_stats
+module Runtime = Memhog_runtime.Runtime
+module E = Experiment
+
+type hist_summary = {
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int;
+  hs_max : int;
+  hs_mean : float;
+  hs_p50 : int;
+  hs_p90 : int;
+  hs_p99 : int;
+  hs_buckets : (int * int) list;
+}
+
+let summarize_hist h =
+  {
+    hs_count = Histogram.count h;
+    hs_sum = Histogram.sum h;
+    hs_min = Option.value (Histogram.min_value h) ~default:0;
+    hs_max = Option.value (Histogram.max_value h) ~default:0;
+    hs_mean = Histogram.mean h;
+    hs_p50 = Histogram.percentile h 50.0;
+    hs_p90 = Histogram.percentile h 90.0;
+    hs_p99 = Histogram.percentile h 99.0;
+    hs_buckets = Histogram.to_alist h;
+  }
+
+type series_summary = {
+  ss_name : string;
+  ss_samples : int;
+  ss_min : float;
+  ss_mean : float;
+  ss_max : float;
+}
+
+let summarize_series (name, s) =
+  let v f = Option.value (f s) ~default:0.0 in
+  {
+    ss_name = name;
+    ss_samples = Series.length s;
+    ss_min = v Series.min_value;
+    ss_mean = v Series.mean;
+    ss_max = v Series.max_value;
+  }
+
+type release_accuracy = {
+  ra_requested : int;
+  ra_skipped : int;
+  ra_freed_daemon : int;
+  ra_freed_releaser : int;
+  ra_rescued_daemon : int;
+  ra_rescued_releaser : int;
+  ra_lost_daemon : int;
+  ra_lost_releaser : int;
+  ra_stale_dropped : int;
+  ra_rescue_ratio_daemon : float;
+  ra_rescue_ratio_releaser : float;
+}
+
+let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
+
+let release_accuracy_of (r : E.result) =
+  let s = r.E.r_app_stats in
+  {
+    ra_requested = s.VS.releases_requested;
+    ra_skipped = s.VS.releases_skipped;
+    ra_freed_daemon = s.VS.freed_by_daemon;
+    ra_freed_releaser = s.VS.freed_by_releaser;
+    ra_rescued_daemon = s.VS.rescued_daemon;
+    ra_rescued_releaser = s.VS.rescued_releaser;
+    ra_lost_daemon = s.VS.lost_daemon;
+    ra_lost_releaser = s.VS.lost_releaser;
+    ra_stale_dropped =
+      (match r.E.r_runtime with
+      | Some rt -> rt.Runtime.rt_release_stale_dropped
+      | None -> 0);
+    ra_rescue_ratio_daemon = ratio s.VS.rescued_daemon s.VS.freed_by_daemon;
+    ra_rescue_ratio_releaser =
+      ratio s.VS.rescued_releaser s.VS.freed_by_releaser;
+  }
+
+type cell = {
+  c_workload : string;
+  c_variant : string;
+  c_elapsed_ns : int;
+  c_iterations : int;
+  c_app_breakdown : E.breakdown;
+  c_inter_breakdown : E.breakdown option;
+  c_fault : hist_summary;
+  c_prefetch : hist_summary;
+  c_response : hist_summary option;
+  c_release : release_accuracy;
+  c_series : series_summary list;
+  c_hard_faults : int;
+  c_soft_faults : int;
+  c_swap_reads : int;
+  c_swap_writes : int;
+}
+
+let of_result (r : E.result) =
+  {
+    c_workload = r.E.r_workload;
+    c_variant = E.variant_name r.E.r_variant;
+    c_elapsed_ns = r.E.r_elapsed;
+    c_iterations = r.E.r_iterations;
+    c_app_breakdown = r.E.r_breakdown;
+    c_inter_breakdown = r.E.r_inter_breakdown;
+    c_fault = summarize_hist r.E.r_fault_hist;
+    c_prefetch = summarize_hist r.E.r_prefetch_hist;
+    c_response = Option.map summarize_hist r.E.r_response_hist;
+    c_release = release_accuracy_of r;
+    c_series = List.map summarize_series r.E.r_series;
+    c_hard_faults = r.E.r_app_stats.VS.hard_faults;
+    c_soft_faults = r.E.r_app_stats.VS.soft_faults;
+    c_swap_reads = r.E.r_swap_reads;
+    c_swap_writes = r.E.r_swap_writes;
+  }
+
+type totals = {
+  t_cells : int;
+  t_elapsed_ns : int;
+  t_breakdown : E.breakdown;
+  t_proc : VS.proc;
+  t_global : VS.global;
+  t_fault : hist_summary;
+  t_prefetch : hist_summary;
+  t_response : hist_summary;
+}
+
+let totals_of (results : E.result list) =
+  let acct = Account.create () in
+  let proc = VS.create_proc () in
+  let global = VS.create_global () in
+  let fault = Histogram.create () in
+  let prefetch = Histogram.create () in
+  let response = Histogram.create () in
+  List.iter
+    (fun (r : E.result) ->
+      Account.add_to acct r.E.r_account;
+      VS.add_proc proc r.E.r_app_stats;
+      VS.add_global global r.E.r_global;
+      Histogram.merge ~into:fault r.E.r_fault_hist;
+      Histogram.merge ~into:prefetch r.E.r_prefetch_hist;
+      Option.iter (Histogram.merge ~into:response) r.E.r_response_hist)
+    results;
+  {
+    t_cells = List.length results;
+    t_elapsed_ns =
+      List.fold_left (fun acc (r : E.result) -> acc + r.E.r_elapsed) 0 results;
+    t_breakdown = E.breakdown_of_account acct;
+    t_proc = proc;
+    t_global = global;
+    t_fault = summarize_hist fault;
+    t_prefetch = summarize_hist prefetch;
+    t_response = summarize_hist response;
+  }
+
+type t = { m_label : string; m_cells : cell list; m_totals : totals }
+
+let of_results ~label results =
+  { m_label = label; m_cells = List.map of_result results; m_totals = totals_of results }
+
+let of_matrix (m : Figures.matrix) =
+  let label =
+    Printf.sprintf "%s matrix, interactive sleep %gs"
+      m.Figures.mx_machine.Machine.m_name
+      (float_of_int m.Figures.mx_sleep /. 1e9)
+  in
+  of_results ~label (Figures.matrix_results m)

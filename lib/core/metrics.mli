@@ -1,0 +1,103 @@
+(** Derived metrics: the stable, comparable summary of an experiment.
+
+    An {!Experiment.result} carries raw simulation state (histograms,
+    accounts, series, traces).  This module reduces it to plain data — the
+    quantities the paper's figures report plus service-time percentiles —
+    suitable for serialization ({!Metrics_io}), human tables
+    ([memhog_cli report]) and regression comparison ([memhog_cli compare]).
+
+    Every field is derived from simulated time and deterministic counters
+    only — never wall-clock — so two runs of the same seed and
+    configuration produce identical metrics regardless of [--jobs]. *)
+
+type hist_summary = {
+  hs_count : int;
+  hs_sum : int;              (** sum of recorded values (simulated ns) *)
+  hs_min : int;              (** 0 when empty *)
+  hs_max : int;              (** 0 when empty *)
+  hs_mean : float;           (** 0.0 when empty *)
+  hs_p50 : int;
+  hs_p90 : int;
+  hs_p99 : int;
+  hs_buckets : (int * int) list;
+      (** (bucket lower bound, count) for each non-empty bucket, ascending;
+          enough to rebuild the histogram
+          ({!Memhog_sim.Histogram.restore}) *)
+}
+
+val summarize_hist : Memhog_sim.Histogram.t -> hist_summary
+
+type series_summary = {
+  ss_name : string;
+  ss_samples : int;
+  ss_min : float;            (** 0.0 when the series is empty *)
+  ss_mean : float;
+  ss_max : float;
+}
+
+(** Release accuracy (Figure 9 plus the run-time layer's own filters): how
+    many pages the application released, what happened to them, and the
+    rescue ratios that measure how often a release (or a daemon steal)
+    turned out to be premature. *)
+type release_accuracy = {
+  ra_requested : int;        (** release requests reaching the OS *)
+  ra_skipped : int;          (** re-referenced before the releaser acted *)
+  ra_freed_daemon : int;
+  ra_freed_releaser : int;
+  ra_rescued_daemon : int;
+  ra_rescued_releaser : int;
+  ra_lost_daemon : int;
+  ra_lost_releaser : int;
+  ra_stale_dropped : int;
+      (** run-time buffer entries invalidated before draining (0 for the
+          original variant, which has no run-time layer) *)
+  ra_rescue_ratio_daemon : float;
+      (** rescued / freed, 0.0 when nothing was freed *)
+  ra_rescue_ratio_releaser : float;
+}
+
+type cell = {
+  c_workload : string;
+  c_variant : string;
+  c_elapsed_ns : int;
+  c_iterations : int;
+  c_app_breakdown : Experiment.breakdown;    (** Figure 7 components *)
+  c_inter_breakdown : Experiment.breakdown option;
+  c_fault : hist_summary;        (** demand-fault service times *)
+  c_prefetch : hist_summary;     (** completed-prefetch service times *)
+  c_response : hist_summary option;
+      (** interactive per-sweep response times (warm-up skipped) *)
+  c_release : release_accuracy;
+  c_series : series_summary list;
+      (** free-list depth and RSS telemetry ("free", "app-rss", ...) *)
+  c_hard_faults : int;
+  c_soft_faults : int;
+  c_swap_reads : int;
+  c_swap_writes : int;
+}
+
+(** Matrix-wide aggregates, built with {!Memhog_sim.Account.add_to},
+    {!Memhog_vm.Vm_stats.add_proc}, {!Memhog_vm.Vm_stats.add_global} and
+    {!Memhog_sim.Histogram.merge}. *)
+type totals = {
+  t_cells : int;
+  t_elapsed_ns : int;
+  t_breakdown : Experiment.breakdown;  (** summed app-driver accounts *)
+  t_proc : Memhog_vm.Vm_stats.proc;    (** summed app per-process counters *)
+  t_global : Memhog_vm.Vm_stats.global;
+  t_fault : hist_summary;              (** merged across cells *)
+  t_prefetch : hist_summary;
+  t_response : hist_summary;
+}
+
+type t = { m_label : string; m_cells : cell list; m_totals : totals }
+
+val of_result : Experiment.result -> cell
+
+val of_results : label:string -> Experiment.result list -> t
+(** Cells in the given order; totals aggregated over all of them. *)
+
+val of_matrix : Figures.matrix -> t
+(** The whole experiment matrix, cells in {!Figures.matrix_results} order.
+    Contains only simulated quantities: independent of [--jobs] and
+    wall-clock. *)

@@ -1,0 +1,676 @@
+(* Hand-rolled JSON: the repo deliberately keeps its dependency set to the
+   toolchain basics, and the writer must be canonical anyway (fixed key
+   order, fixed number formatting) so the zero-tolerance regression gate
+   can demand byte-identical files. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float * string
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let num_of_int i = Num (float_of_int i, string_of_int i)
+
+let float_lexeme f =
+  if not (Float.is_finite f) then "0.0"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let num_of_float f =
+  let f = if Float.is_finite f then f else 0.0 in
+  Num (f, float_lexeme f)
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let is_scalar = function
+  | Null | Bool _ | Num _ | Str _ -> true
+  | Arr _ | Obj _ -> false
+
+(* Arrays whose elements are scalars (or scalar-only arrays, like histogram
+   buckets) print on one line; objects and mixed arrays go multi-line. *)
+let is_compact = function
+  | v when is_scalar v -> true
+  | Arr items -> List.for_all is_scalar items
+  | _ -> false
+
+let rec write buf indent v =
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Num (_, lex) -> Buffer.add_string buf lex
+  | Str s -> add_escaped buf s
+  | Arr [] -> Buffer.add_string buf "[]"
+  | Arr items when List.for_all is_compact items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ", ";
+          write buf indent item)
+        items;
+      Buffer.add_char buf ']'
+  | Arr items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          write buf (indent + 2) item)
+        items;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj kvs ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          add_escaped buf k;
+          Buffer.add_string buf ": ";
+          write buf (indent + 2) v)
+        kvs;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 4096 in
+  write buf 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'; incr pos
+          | '\\' -> Buffer.add_char buf '\\'; incr pos
+          | '/' -> Buffer.add_char buf '/'; incr pos
+          | 'b' -> Buffer.add_char buf '\b'; incr pos
+          | 'f' -> Buffer.add_char buf '\012'; incr pos
+          | 'n' -> Buffer.add_char buf '\n'; incr pos
+          | 'r' -> Buffer.add_char buf '\r'; incr pos
+          | 't' -> Buffer.add_char buf '\t'; incr pos
+          | 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let hex = String.sub s (!pos + 1) 4 in
+              let cp =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              (* UTF-8 encode the code point (no surrogate-pair joining:
+                 the writer never emits non-BMP characters). *)
+              if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+              else if cp < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+                Buffer.add_char buf
+                  (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+              end;
+              pos := !pos + 5
+          | c -> fail (Printf.sprintf "bad escape \\%C" c));
+          go ()
+      | c -> Buffer.add_char buf c; incr pos; go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do incr pos done;
+      if !pos = d0 then fail "expected digit"
+    in
+    if peek () = Some '-' then incr pos;
+    digits ();
+    if peek () = Some '.' then begin incr pos; digits () end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        incr pos;
+        (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+        digits ()
+    | _ -> ());
+    let lex = String.sub s start (!pos - start) in
+    Num (float_of_string lex, lex)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin incr pos; Obj [] end
+        else begin
+          let kvs = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            kvs := (k, v) :: !kvs;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; members ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !kvs)
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin incr pos; Arr [] end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; elements ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          Arr (List.rev !items)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) ->
+      Error (Printf.sprintf "JSON parse error at offset %d: %s" at msg)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics document                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let schema = "memhog-metrics"
+let schema_version = 1
+
+let breakdown_json (b : Experiment.breakdown) =
+  Obj
+    [
+      ("user_ns", num_of_int b.Experiment.b_user);
+      ("system_ns", num_of_int b.Experiment.b_system);
+      ("io_stall_ns", num_of_int b.Experiment.b_io_stall);
+      ("resource_stall_ns", num_of_int b.Experiment.b_resource_stall);
+    ]
+
+let hist_json (h : Metrics.hist_summary) =
+  Obj
+    [
+      ("count", num_of_int h.Metrics.hs_count);
+      ("sum_ns", num_of_int h.Metrics.hs_sum);
+      ("min_ns", num_of_int h.Metrics.hs_min);
+      ("max_ns", num_of_int h.Metrics.hs_max);
+      ("mean_ns", num_of_float h.Metrics.hs_mean);
+      ("p50_ns", num_of_int h.Metrics.hs_p50);
+      ("p90_ns", num_of_int h.Metrics.hs_p90);
+      ("p99_ns", num_of_int h.Metrics.hs_p99);
+      ( "buckets",
+        Arr
+          (List.map
+             (fun (lo, c) -> Arr [ num_of_int lo; num_of_int c ])
+             h.Metrics.hs_buckets) );
+    ]
+
+let release_json (ra : Metrics.release_accuracy) =
+  Obj
+    [
+      ("requested", num_of_int ra.Metrics.ra_requested);
+      ("skipped", num_of_int ra.Metrics.ra_skipped);
+      ("freed_daemon", num_of_int ra.Metrics.ra_freed_daemon);
+      ("freed_releaser", num_of_int ra.Metrics.ra_freed_releaser);
+      ("rescued_daemon", num_of_int ra.Metrics.ra_rescued_daemon);
+      ("rescued_releaser", num_of_int ra.Metrics.ra_rescued_releaser);
+      ("lost_daemon", num_of_int ra.Metrics.ra_lost_daemon);
+      ("lost_releaser", num_of_int ra.Metrics.ra_lost_releaser);
+      ("stale_dropped", num_of_int ra.Metrics.ra_stale_dropped);
+      ("rescue_ratio_daemon", num_of_float ra.Metrics.ra_rescue_ratio_daemon);
+      ( "rescue_ratio_releaser",
+        num_of_float ra.Metrics.ra_rescue_ratio_releaser );
+    ]
+
+let series_json (s : Metrics.series_summary) =
+  Obj
+    [
+      ("name", Str s.Metrics.ss_name);
+      ("samples", num_of_int s.Metrics.ss_samples);
+      ("min", num_of_float s.Metrics.ss_min);
+      ("mean", num_of_float s.Metrics.ss_mean);
+      ("max", num_of_float s.Metrics.ss_max);
+    ]
+
+let opt f = function None -> Null | Some v -> f v
+
+let cell_json (c : Metrics.cell) =
+  Obj
+    [
+      ("workload", Str c.Metrics.c_workload);
+      ("variant", Str c.Metrics.c_variant);
+      ("elapsed_ns", num_of_int c.Metrics.c_elapsed_ns);
+      ("iterations", num_of_int c.Metrics.c_iterations);
+      ("app_breakdown", breakdown_json c.Metrics.c_app_breakdown);
+      ( "interactive_breakdown",
+        opt breakdown_json c.Metrics.c_inter_breakdown );
+      ("fault_hist", hist_json c.Metrics.c_fault);
+      ("prefetch_hist", hist_json c.Metrics.c_prefetch);
+      ("response_hist", opt hist_json c.Metrics.c_response);
+      ("release_accuracy", release_json c.Metrics.c_release);
+      ("series", Arr (List.map series_json c.Metrics.c_series));
+      ("hard_faults", num_of_int c.Metrics.c_hard_faults);
+      ("soft_faults", num_of_int c.Metrics.c_soft_faults);
+      ("swap_reads", num_of_int c.Metrics.c_swap_reads);
+      ("swap_writes", num_of_int c.Metrics.c_swap_writes);
+    ]
+
+let proc_json (p : Memhog_vm.Vm_stats.proc) =
+  let module VS = Memhog_vm.Vm_stats in
+  Obj
+    [
+      ("hard_faults", num_of_int p.VS.hard_faults);
+      ("soft_faults", num_of_int p.VS.soft_faults);
+      ("soft_faults_daemon", num_of_int p.VS.soft_faults_daemon);
+      ("validation_faults", num_of_int p.VS.validation_faults);
+      ("zero_fills", num_of_int p.VS.zero_fills);
+      ("rescued_daemon", num_of_int p.VS.rescued_daemon);
+      ("rescued_releaser", num_of_int p.VS.rescued_releaser);
+      ("lost_daemon", num_of_int p.VS.lost_daemon);
+      ("lost_releaser", num_of_int p.VS.lost_releaser);
+      ("freed_by_daemon", num_of_int p.VS.freed_by_daemon);
+      ("freed_by_releaser", num_of_int p.VS.freed_by_releaser);
+      ("releases_requested", num_of_int p.VS.releases_requested);
+      ("releases_skipped", num_of_int p.VS.releases_skipped);
+      ("prefetches_issued", num_of_int p.VS.prefetches_issued);
+      ("prefetches_dropped", num_of_int p.VS.prefetches_dropped);
+      ("prefetches_useless", num_of_int p.VS.prefetches_useless);
+      ("prefetch_rescues", num_of_int p.VS.prefetch_rescues);
+      ("writebacks", num_of_int p.VS.writebacks);
+      ("invalidations", num_of_int p.VS.invalidations);
+    ]
+
+let global_json (g : Memhog_vm.Vm_stats.global) =
+  let module VS = Memhog_vm.Vm_stats in
+  Obj
+    [
+      ("daemon_activations", num_of_int g.VS.daemon_activations);
+      ("daemon_pages_stolen", num_of_int g.VS.daemon_pages_stolen);
+      ("daemon_frames_scanned", num_of_int g.VS.daemon_frames_scanned);
+      ("daemon_invalidations", num_of_int g.VS.daemon_invalidations);
+      ("releaser_batches", num_of_int g.VS.releaser_batches);
+      ("releaser_pages_freed", num_of_int g.VS.releaser_pages_freed);
+      ("allocations", num_of_int g.VS.allocations);
+      ("allocation_waits", num_of_int g.VS.allocation_waits);
+    ]
+
+let totals_json (t : Metrics.totals) =
+  Obj
+    [
+      ("cells", num_of_int t.Metrics.t_cells);
+      ("elapsed_ns", num_of_int t.Metrics.t_elapsed_ns);
+      ("breakdown", breakdown_json t.Metrics.t_breakdown);
+      ("proc", proc_json t.Metrics.t_proc);
+      ("global", global_json t.Metrics.t_global);
+      ("fault_hist", hist_json t.Metrics.t_fault);
+      ("prefetch_hist", hist_json t.Metrics.t_prefetch);
+      ("response_hist", hist_json t.Metrics.t_response);
+    ]
+
+let metrics_json (m : Metrics.t) =
+  Obj
+    [
+      ("schema", Str schema);
+      ("schema_version", num_of_int schema_version);
+      ("label", Str m.Metrics.m_label);
+      ("cells", Arr (List.map cell_json m.Metrics.m_cells));
+      ("totals", totals_json m.Metrics.m_totals);
+    ]
+
+let write_file ~path m =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string (metrics_json m)))
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let load_file ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | text -> (
+      match parse text with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok j -> (
+          match (member "schema" j, member "schema_version" j) with
+          | Some (Str s), Some (Num (v, _))
+            when s = schema && int_of_float v = schema_version ->
+              Ok j
+          | Some (Str s), _ when s <> schema ->
+              Error (Printf.sprintf "%s: not a %s file" path schema)
+          | _, Some (Num (v, _)) when int_of_float v <> schema_version ->
+              Error
+                (Printf.sprintf "%s: schema_version %g, expected %d" path v
+                   schema_version)
+          | _ -> Error (Printf.sprintf "%s: missing schema header" path)))
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type diff = { d_path : string; d_reason : string }
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Num _ -> "number"
+  | Str _ -> "string"
+  | Arr _ -> "array"
+  | Obj _ -> "object"
+
+let compare_json ~tolerance a b =
+  let diffs = ref [] in
+  let report path reason = diffs := { d_path = path; d_reason = reason } :: !diffs in
+  let rec go path a b =
+    match (a, b) with
+    | Null, Null -> ()
+    | Bool x, Bool y ->
+        if x <> y then
+          report path (Printf.sprintf "%b -> %b" x y)
+    | Str x, Str y ->
+        if x <> y then report path (Printf.sprintf "%S -> %S" x y)
+    | Num (x, lx), Num (y, ly) ->
+        if tolerance <= 0.0 then begin
+          if lx <> ly then report path (Printf.sprintf "%s -> %s" lx ly)
+        end
+        else if x <> y then begin
+          let denom = Float.max (Float.abs x) (Float.abs y) in
+          let pct = Float.abs (x -. y) /. denom *. 100.0 in
+          if pct > tolerance then
+            report path
+              (Printf.sprintf "%s -> %s (%.3f%% > %.3f%%)" lx ly pct tolerance)
+        end
+    | Arr xs, Arr ys ->
+        let lx = List.length xs and ly = List.length ys in
+        if lx <> ly then
+          report path (Printf.sprintf "array length %d -> %d" lx ly)
+        else
+          List.iteri
+            (fun i (x, y) -> go (Printf.sprintf "%s[%d]" path i) x y)
+            (List.combine xs ys)
+    | Obj xs, Obj ys ->
+        let join p k = if p = "" then k else p ^ "." ^ k in
+        List.iter
+          (fun (k, x) ->
+            match List.assoc_opt k ys with
+            | Some y -> go (join path k) x y
+            | None -> report (join path k) "missing in current")
+          xs;
+        List.iter
+          (fun (k, _) ->
+            if List.assoc_opt k xs = None then
+              report (join path k) "not in baseline")
+          ys
+    | x, y ->
+        report path
+          (Printf.sprintf "type %s -> %s" (type_name x) (type_name y))
+  in
+  go "" a b;
+  List.rev !diffs
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let str_member k j = match member k j with Some (Str s) -> Some s | _ -> None
+
+let int_member k j =
+  match member k j with Some (Num (f, _)) -> Some (int_of_float f) | _ -> None
+
+let float_member k j = match member k j with Some (Num (f, _)) -> Some f | _ -> None
+
+let istr k j = Option.value (str_member k j) ~default:"-"
+let icount k j =
+  match int_member k j with Some i -> Report.count i | None -> "-"
+let ins k j = match int_member k j with Some i -> Report.ns i | None -> "-"
+
+let hist_row label h =
+  [
+    label;
+    icount "count" h;
+    ins "p50_ns" h;
+    ins "p90_ns" h;
+    ins "p99_ns" h;
+    ins "max_ns" h;
+  ]
+
+let render j =
+  match member "cells" j with
+  | Some (Arr cells) ->
+      let label = Option.value (str_member "label" j) ~default:"" in
+      let buf = Buffer.create 4096 in
+      let fmt = Format.formatter_of_buffer buf in
+      Format.pp_open_vbox fmt 0;
+      Format.fprintf fmt "Metrics: %s (%d cells)@,@," label (List.length cells);
+      let run c = Printf.sprintf "%s/%s" (istr "workload" c) (istr "variant" c) in
+      let breakdown_row name b =
+        [
+          name;
+          ins "user_ns" b;
+          ins "system_ns" b;
+          ins "io_stall_ns" b;
+          ins "resource_stall_ns" b;
+        ]
+      in
+      Report.table ~title:"Execution (out-of-core application)"
+        ~header:[ "run"; "user"; "system"; "io stall"; "res stall"; "elapsed"; "iters" ]
+        ~rows:
+          (List.map
+             (fun c ->
+               let b = Option.value (member "app_breakdown" c) ~default:Null in
+               match breakdown_row (run c) b with
+               | name :: rest ->
+                   (name :: rest) @ [ ins "elapsed_ns" c; icount "iterations" c ]
+               | [] -> [])
+             cells)
+        fmt ();
+      Format.fprintf fmt "@,";
+      Report.table ~title:"Demand-fault service time"
+        ~header:[ "run"; "faults"; "p50"; "p90"; "p99"; "max" ]
+        ~rows:
+          (List.map
+             (fun c ->
+               hist_row (run c)
+                 (Option.value (member "fault_hist" c) ~default:Null))
+             cells)
+        fmt ();
+      Format.fprintf fmt "@,";
+      Report.table ~title:"Prefetch service time"
+        ~header:[ "run"; "prefetches"; "p50"; "p90"; "p99"; "max" ]
+        ~rows:
+          (List.map
+             (fun c ->
+               hist_row (run c)
+                 (Option.value (member "prefetch_hist" c) ~default:Null))
+             cells)
+        fmt ();
+      let with_response =
+        List.filter (fun c -> match member "response_hist" c with
+            | Some (Obj _) -> true | _ -> false)
+          cells
+      in
+      if with_response <> [] then begin
+        Format.fprintf fmt "@,";
+        Report.table ~title:"Interactive response time"
+          ~header:[ "run"; "sweeps"; "p50"; "p90"; "p99"; "max" ]
+          ~rows:
+            (List.map
+               (fun c ->
+                 hist_row (run c)
+                   (Option.value (member "response_hist" c) ~default:Null))
+               with_response)
+          fmt ()
+      end;
+      Format.fprintf fmt "@,";
+      Report.table ~title:"Release accuracy"
+        ~header:
+          [
+            "run"; "requested"; "skipped"; "freed (d/r)"; "rescued (d/r)";
+            "rescue ratio (d/r)"; "stale";
+          ]
+        ~rows:
+          (List.map
+             (fun c ->
+               let ra =
+                 Option.value (member "release_accuracy" c) ~default:Null
+               in
+               let pair k1 k2 =
+                 Printf.sprintf "%s/%s" (icount k1 ra) (icount k2 ra)
+               in
+               let rpair k1 k2 =
+                 Printf.sprintf "%s/%s"
+                   (match float_member k1 ra with
+                   | Some f -> Report.pct f
+                   | None -> "-")
+                   (match float_member k2 ra with
+                   | Some f -> Report.pct f
+                   | None -> "-")
+               in
+               [
+                 run c;
+                 icount "requested" ra;
+                 icount "skipped" ra;
+                 pair "freed_daemon" "freed_releaser";
+                 pair "rescued_daemon" "rescued_releaser";
+                 rpair "rescue_ratio_daemon" "rescue_ratio_releaser";
+                 icount "stale_dropped" ra;
+               ])
+             cells)
+        fmt ();
+      Format.fprintf fmt "@,";
+      Report.table ~title:"Telemetry (min / mean / max)"
+        ~header:[ "run"; "series"; "samples"; "min"; "mean"; "max" ]
+        ~rows:
+          (List.concat_map
+             (fun c ->
+               match member "series" c with
+               | Some (Arr ss) ->
+                   List.map
+                     (fun s ->
+                       let f k =
+                         match float_member k s with
+                         | Some f -> Report.f1 f
+                         | None -> "-"
+                       in
+                       [
+                         run c; istr "name" s; icount "samples" s;
+                         f "min"; f "mean"; f "max";
+                       ])
+                     ss
+               | _ -> [])
+             cells)
+        fmt ();
+      (match member "totals" j with
+      | Some t ->
+          Format.fprintf fmt "@,";
+          Report.table ~title:"Totals (all cells)"
+            ~header:[ ""; "count"; "p50"; "p90"; "p99"; "max" ]
+            ~rows:
+              (List.filter_map
+                 (fun (label, key) ->
+                   match member key t with
+                   | Some (Obj _ as h) -> Some (hist_row label h)
+                   | _ -> None)
+                 [
+                   ("demand faults", "fault_hist");
+                   ("prefetches", "prefetch_hist");
+                   ("interactive sweeps", "response_hist");
+                 ])
+            fmt ()
+      | None -> ());
+      Format.pp_close_box fmt ();
+      Format.pp_print_flush fmt ();
+      Ok (Buffer.contents buf)
+  | _ -> Error "metrics document has no \"cells\" array"

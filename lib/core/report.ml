@@ -6,13 +6,19 @@ let f1 x = Printf.sprintf "%.1f" x
 
 let count n =
   let s = string_of_int n in
-  let len = String.length s in
-  let buf = Buffer.create (len + (len / 3)) in
+  (* Group only the digits: a leading sign must not draw a comma after it
+     (-123456 is "-123,456", not "-,123,456"). *)
+  let sign, digits =
+    if n < 0 then ("-", String.sub s 1 (String.length s - 1)) else ("", s)
+  in
+  let len = String.length digits in
+  let buf = Buffer.create (1 + len + (len / 3)) in
+  Buffer.add_string buf sign;
   String.iteri
     (fun i c ->
       if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
       Buffer.add_char buf c)
-    s;
+    digits;
   Buffer.contents buf
 
 let table ?title ~header ~rows fmt () =

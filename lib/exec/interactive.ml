@@ -17,6 +17,7 @@ type t = {
   sleep : Time_ns.t;
   work_per_page_ns : Time_ns.t;
   mutable sweep_list : sweep list; (* newest first *)
+  mutable proc : Engine.proc option; (* set by [spawn] *)
 }
 
 let create ?(data_bytes = 1024 * 1024) ?(work_per_page_ns = Time_ns.us 50) ~os
@@ -26,10 +27,11 @@ let create ?(data_bytes = 1024 * 1024) ?(work_per_page_ns = Time_ns.us 50) ~os
     Os.map_segment os it_asp ~name:"interactive-data" ~bytes:data_bytes
       ~on_swap:true
   in
-  { os; it_asp; seg; sleep; work_per_page_ns; sweep_list = [] }
+  { os; it_asp; seg; sleep; work_per_page_ns; sweep_list = []; proc = None }
 
 let asp t = t.it_asp
 let sweeps t = List.rev t.sweep_list
+let account t = Option.map (fun p -> p.Engine.account) t.proc
 
 let alone_response t = t.seg.As.npages * t.work_per_page_ns
 
@@ -65,7 +67,10 @@ let loop t () =
     Engine.delay ~cat:Account.Sleep t.sleep
   done
 
-let spawn t = Engine.spawn (Os.engine t.os) ~name:"interactive" (loop t)
+let spawn t =
+  let p = Engine.spawn (Os.engine t.os) ~name:"interactive" (loop t) in
+  t.proc <- Some p;
+  p
 
 let stats_over ?(skip = 1) t f =
   let usable = List.filter (fun s -> s.sw_index >= skip) (sweeps t) in
@@ -80,3 +85,10 @@ let avg_response ?skip t =
   |> Option.map int_of_float
 
 let avg_hard_faults ?skip t = stats_over ?skip t (fun s -> float_of_int s.sw_hard_faults)
+
+let response_histogram ?(skip = 1) t =
+  let h = Histogram.create () in
+  List.iter
+    (fun s -> if s.sw_index >= skip then Histogram.record h s.sw_response)
+    (sweeps t);
+  h

@@ -36,5 +36,13 @@ val avg_response : ?skip:int -> t -> Memhog_sim.Time_ns.t option
 
 val avg_hard_faults : ?skip:int -> t -> float option
 
+val response_histogram : ?skip:int -> t -> Memhog_sim.Histogram.t
+(** Per-sweep response times as a histogram, skipping the first [skip]
+    warm-up sweeps (default 1, matching {!avg_response}); feeds the derived
+    metrics layer's p50/p90/p99 response percentiles. *)
+
+val account : t -> Memhog_sim.Account.t option
+(** The task's per-category time account, once {!spawn} has run. *)
+
 val alone_response : t -> Memhog_sim.Time_ns.t
 (** The ideal warm response time: pure compute, no faults. *)

@@ -26,6 +26,9 @@ let add t cat d =
 
 let get t cat = t.buckets.(index cat)
 
+let add_to dst src =
+  Array.iteri (fun i d -> dst.buckets.(i) <- dst.buckets.(i) + d) src.buckets
+
 let total t = Array.fold_left ( + ) 0 t.buckets
 
 let busy_total t = total t - get t Sleep

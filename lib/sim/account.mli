@@ -21,6 +21,11 @@ type t
 val create : unit -> t
 val add : t -> category -> Time_ns.t -> unit
 val get : t -> category -> Time_ns.t
+
+val add_to : t -> t -> unit
+(** [add_to dst src] merges [src]'s buckets into [dst] (category-wise sum).
+    Matrix-level aggregation uses this instead of summing fields by hand. *)
+
 val total : t -> Time_ns.t
 val busy_total : t -> Time_ns.t
 (** Everything except [Sleep]: the execution-time breakdown of Figure 7. *)

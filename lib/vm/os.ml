@@ -32,6 +32,11 @@ type t = {
   releaser_box : releaser_msg Mailbox.t;
   gstats : Vm_stats.global;
   trace : Trace.t;
+  h_fault : Histogram.t;
+      (* service time of every demand fault (non-Fast touch), wall start to
+         wall end including lock and I/O waits *)
+  h_prefetch : Histogram.t;
+      (* service time of completed prefetches (fetched or rescued) *)
   mutable clock_hand : int;
   mutable next_pid : int;
   mutable next_swap_page : int;
@@ -51,6 +56,8 @@ let free_pages t = Free_list.length t.free
 let cpus t = t.cpus
 let address_spaces t = List.rev t.space_list
 let trace t = t.trace
+let fault_histogram t = t.h_fault
+let prefetch_histogram t = t.h_prefetch
 
 (* Call sites guard with [tracing t] so a disabled trace builds no event
    values on the hot path. *)
@@ -341,6 +348,22 @@ and fault t asp seg ~vpn ~write =
   in
   result
 
+(* Public entry point: time every demand fault from the first trap to
+   service completion — including lock waits, blocking frame allocation and
+   swap I/O — into the service-time histogram.  The recursive retry paths
+   above call the inner [touch] directly, so a retried fault is measured
+   once, end to end. *)
+let touch_inner = touch
+
+let touch t asp ~vpn ~write =
+  let t0 = Engine.now_of t.engine in
+  let r = touch_inner t asp ~vpn ~write in
+  (match r with
+  | Fast -> ()
+  | Soft | Validated | Hard | Zero_filled | Rescued _ ->
+      Histogram.record t.h_fault (Engine.now_of t.engine - t0));
+  r
+
 (* ------------------------------------------------------------------ *)
 (* PagingDirected requests                                             *)
 (* ------------------------------------------------------------------ *)
@@ -442,6 +465,20 @@ let rec prefetch t (asp : As.t) ~vpn =
                   Semaphore.release asp.As.as_lock;
                   update_limits t asp;
                   P_already)))
+
+(* Like [touch]: time prefetches that actually moved a page (I/O performed
+   or rescued from the free list); useless and dropped requests are cheap
+   no-ops and would only blur the service-time distribution. *)
+let prefetch_inner = prefetch
+
+let prefetch t asp ~vpn =
+  let t0 = Engine.now_of t.engine in
+  let r = prefetch_inner t asp ~vpn in
+  (match r with
+  | P_fetched | P_rescued ->
+      Histogram.record t.h_prefetch (Engine.now_of t.engine - t0)
+  | P_already | P_dropped -> ());
+  r
 
 let release_request t (asp : As.t) ~vpns =
   let stats = asp.As.stats in
@@ -828,6 +865,8 @@ let create ?swap_config ?(trace = Trace.null) ~config:(cfg : Config.t) ~engine
       releaser_box = Mailbox.create ~name:"releaser" ();
       gstats = Vm_stats.create_global ();
       trace;
+      h_fault = Histogram.create ();
+      h_prefetch = Histogram.create ();
       advisors = Hashtbl.create 4;
       clock_hand = 0;
       next_pid = 0;

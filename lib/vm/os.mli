@@ -55,6 +55,17 @@ val trace : t -> Memhog_sim.Trace.t
 
 val swap : t -> Memhog_disk.Swap.t
 val global_stats : t -> Vm_stats.global
+
+val fault_histogram : t -> Memhog_sim.Histogram.t
+(** Service-time histogram (simulated ns) of every demand fault — any
+    {!touch} that did not hit a resident valid page — measured from the
+    trap to service completion, including lock waits, blocking frame
+    allocation and swap I/O.  Always collected; recording is O(1). *)
+
+val prefetch_histogram : t -> Memhog_sim.Histogram.t
+(** Service-time histogram of completed prefetches ([P_fetched] and
+    [P_rescued] outcomes only). *)
+
 val free_pages : t -> int
 val cpus : t -> Memhog_sim.Semaphore.t
 (** Counting semaphore with one unit per CPU; application compute bursts

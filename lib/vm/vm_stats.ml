@@ -101,6 +101,18 @@ let create_global () =
     allocation_waits = 0;
   }
 
+let add_global dst src =
+  dst.daemon_activations <- dst.daemon_activations + src.daemon_activations;
+  dst.daemon_pages_stolen <- dst.daemon_pages_stolen + src.daemon_pages_stolen;
+  dst.daemon_frames_scanned <-
+    dst.daemon_frames_scanned + src.daemon_frames_scanned;
+  dst.daemon_invalidations <-
+    dst.daemon_invalidations + src.daemon_invalidations;
+  dst.releaser_batches <- dst.releaser_batches + src.releaser_batches;
+  dst.releaser_pages_freed <- dst.releaser_pages_freed + src.releaser_pages_freed;
+  dst.allocations <- dst.allocations + src.allocations;
+  dst.allocation_waits <- dst.allocation_waits + src.allocation_waits
+
 let pp_proc fmt p =
   Format.fprintf fmt
     "@[<v>faults: hard=%d soft=%d valid=%d zero=%d@,\

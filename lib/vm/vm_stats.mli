@@ -56,5 +56,10 @@ type global = {
 }
 
 val create_global : unit -> global
+
+val add_global : global -> global -> unit
+(** [add_global dst src] merges [src] into [dst] (field-wise sum), the
+    global-counter counterpart of {!add_proc}. *)
+
 val pp_proc : Format.formatter -> proc -> unit
 val pp_global : Format.formatter -> global -> unit

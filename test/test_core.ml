@@ -46,6 +46,13 @@ let test_table_rejects_ragged_rows () =
 let test_formatters () =
   check_str "count separators" "1,234,567" (Report.count 1234567);
   check_str "small count" "999" (Report.count 999);
+  check_str "zero" "0" (Report.count 0);
+  check_str "boundary 4 digits" "1,000" (Report.count 1000);
+  (* the sign must not get its own separator: -123456 is "-123,456",
+     never "-,123,456" *)
+  check_str "negative grouping" "-123,456" (Report.count (-123456));
+  check_str "negative 3 digits" "-999" (Report.count (-999));
+  check_str "negative boundary" "-1,000" (Report.count (-1000));
   check_str "ratio" "1.37" (Report.ratio 1.3749);
   check_str "pct" "42.3%" (Report.pct 0.4231);
   check_str "ns opt none" "-" (Report.ns_opt None);
