@@ -26,6 +26,13 @@
                                          (WORKLOAD-VARIANT.trace.json)
      bench/main.exe smoke --quick ...    one-workload mini matrix (CI
                                          smoke test; see @bench-smoke)
+     bench/main.exe chaos --quick ...    three canned fault plans through
+                                         the chaos layer with invariant
+                                         and governor checks; writes
+                                         CHAOS_metrics.json (CI gate; see
+                                         @chaos-smoke)
+     bench/main.exe --chaos SPEC ...     inject the given fault plan into
+                                         every matrix cell
      bench/main.exe microbench           bechamel microbenchmarks of the
                                          simulator primitives (--smoke for
                                          a CI-safe short run)
@@ -42,7 +49,7 @@
    Experiment ids: table1 table2 fig1 fig7 fig8 table3 fig9 fig10a fig10b
    fig10c ablation-batch ablation-hwbits ablation-conservative
    ablation-rescue ablation-drop ablation-tlb ext-freemem ext-reactive
-   ext-two-hogs smoke microbench *)
+   ext-two-hogs smoke chaos microbench *)
 
 open Memhog_core
 
@@ -72,6 +79,9 @@ let last_matrix : Figures.matrix option ref = ref None
    JSON file (WORKLOAD-VARIANT.trace.json) into the directory. *)
 let trace_dir : string option ref = ref None
 
+(* Set by --chaos SPEC: inject this fault plan into every matrix cell. *)
+let chaos_spec : string option ref = ref None
+
 let get_matrix ~machine ~jobs () =
   match !matrix_cache with
   | Some m -> m
@@ -81,7 +91,10 @@ let get_matrix ~machine ~jobs () =
            "building experiment matrix (6 workloads x O/P/R/B + interactive, \
             %d jobs)"
            jobs);
-      let m = Figures.run_matrix ~machine ~jobs ~log ?trace_dir:!trace_dir () in
+      let m =
+        Figures.run_matrix ~machine ~jobs ~log ?trace_dir:!trace_dir
+          ?chaos:!chaos_spec ()
+      in
       matrix_cache := Some m;
       last_matrix := Some m;
       m
@@ -249,10 +262,174 @@ let smoke ~machine ~jobs () =
   log (Printf.sprintf "smoke: MATVEC x O/P/R/B + interactive, %d jobs" jobs);
   let m =
     Figures.run_matrix ~machine ~workloads:[ "MATVEC" ] ~jobs ~log
-      ?trace_dir:!trace_dir ()
+      ?trace_dir:!trace_dir ?chaos:!chaos_spec ()
   in
   last_matrix := Some m;
   Figures.fig7 m
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: canned fault plans + the degradation governor                 *)
+(* ------------------------------------------------------------------ *)
+
+module Workload = Memhog_workloads.Workload
+module Time_ns = Memhog_sim.Time_ns
+module Trace = Memhog_sim.Trace
+module E = Experiment
+
+(* Tighter ladder than the production default: the canned plans are short
+   (seconds of simulated time), so windows close faster and a single bad
+   window is enough to step down. *)
+let chaos_governor =
+  {
+    Memhog_runtime.Runtime.gv_window_ns = Time_ns.ms 100;
+    gv_min_samples = 4;
+    gv_bad_rate = 0.3;
+    gv_degrade_after = 1;
+    gv_recover_after = 3;
+  }
+
+type chaos_scenario = {
+  cs_name : string;
+  cs_workload : string;
+  cs_variant : E.variant;
+  cs_sleep : Time_ns.t option;
+  cs_spec : string;
+  cs_check : E.result -> unit;  (* raises Failure on a failed expectation *)
+}
+
+let require name cond msg =
+  if not cond then failwith (Printf.sprintf "chaos %s: %s" name msg)
+
+(* The brown-out must drive the governor all the way to demand paging
+   (level 2) and back — both directions visible as trace events. *)
+let check_brown_out (r : E.result) =
+  let reached_2 = ref false and recovered = ref false in
+  Trace.iter r.E.r_trace (fun ~time:_ ~stream:_ ev ->
+      match ev with
+      | Trace.Governor_transition { level_to = 2; _ } -> reached_2 := true
+      | Trace.Governor_transition { level_from = 2; _ } -> recovered := true
+      | _ -> ());
+  require "disk-brown-out" !reached_2
+    "governor never degraded to demand paging (level 2)";
+  require "disk-brown-out" !recovered
+    "governor never recovered from level 2";
+  (match r.E.r_runtime with
+  | Some rt ->
+      require "disk-brown-out"
+        (rt.Memhog_runtime.Runtime.rt_gov_degrades >= 2
+        && rt.Memhog_runtime.Runtime.rt_gov_recoveries >= 1)
+        "transition counters missing from runtime stats"
+  | None -> failwith "chaos disk-brown-out: no runtime stats");
+  match r.E.r_chaos with
+  | Some cs ->
+      require "disk-brown-out" (cs.Memhog_sim.Chaos.disk_faults > 0)
+        "no disk faults were injected"
+  | None -> failwith "chaos disk-brown-out: no chaos stats"
+
+let check_releaser_outage (r : E.result) =
+  match r.E.r_chaos with
+  | Some cs ->
+      require "releaser-outage"
+        (cs.Memhog_sim.Chaos.directives_dropped > 0)
+        "no release directives were dropped";
+      require "releaser-outage"
+        (cs.Memhog_sim.Chaos.releaser_stall_ns > 0)
+        "the releaser never stalled"
+  | None -> failwith "chaos releaser-outage: no chaos stats"
+
+let check_pressure (r : E.result) =
+  match r.E.r_chaos with
+  | Some cs ->
+      require "pressure-spike" (cs.Memhog_sim.Chaos.pressure_spikes > 0)
+        "no pressure spike fired";
+      require "pressure-spike" (cs.Memhog_sim.Chaos.pressure_pages > 0)
+        "the phantom competitor claimed no pages"
+  | None -> failwith "chaos pressure-spike: no chaos stats"
+
+let chaos_scenarios =
+  [
+    {
+      cs_name = "disk-brown-out";
+      cs_workload = "EMBAR";
+      cs_variant = E.B;
+      cs_sleep = None;
+      cs_spec = "disk-fault@2s-6s:p=0.8,retries=4;disk-slow@2s-6s:factor=32";
+      cs_check = check_brown_out;
+    };
+    {
+      cs_name = "releaser-outage";
+      cs_workload = "MATVEC";
+      cs_variant = E.B;
+      cs_sleep = None;
+      cs_spec = "releaser-stall@1s-3s;releaser-drop@1s-4s:p=0.5";
+      cs_check = check_releaser_outage;
+    };
+    {
+      cs_name = "pressure-spike";
+      cs_workload = "MATVEC";
+      cs_variant = E.R;
+      cs_sleep = Some (Time_ns.sec 2);
+      cs_spec = "pressure@10s-40s:pages=512,hold=2s";
+      cs_check = check_pressure;
+    };
+  ]
+
+let chaos_experiment ~machine ~jobs () =
+  let run (s : chaos_scenario) =
+    log
+      (Printf.sprintf "chaos %s: %s/%s under %S" s.cs_name s.cs_workload
+         (E.variant_name s.cs_variant) s.cs_spec);
+    let wl = Workload.find s.cs_workload in
+    let min_sim_time =
+      match s.cs_sleep with Some _ -> Time_ns.sec 45 | None -> 0
+    in
+    let r =
+      E.run
+        (E.setup ~machine ?interactive_sleep:s.cs_sleep ~min_sim_time
+           ~trace:(Trace.create ()) ~chaos:s.cs_spec ~governor:chaos_governor
+           ~workload:wl ~variant:s.cs_variant ())
+    in
+    if not r.E.r_invariants_ok then
+      failwith
+        (Printf.sprintf "chaos %s: OS invariants violated after the run"
+           s.cs_name);
+    s.cs_check r;
+    r
+  in
+  let results = Pool.map ~jobs run chaos_scenarios in
+  let label = Printf.sprintf "chaos scenarios, %s" machine.Machine.m_name in
+  Metrics_io.write_file ~path:"CHAOS_metrics.json"
+    (Metrics.of_results ~label results);
+  log "wrote CHAOS_metrics.json (deterministic)";
+  let rows =
+    List.map2
+      (fun (s : chaos_scenario) (r : E.result) ->
+        let cs = Option.get r.E.r_chaos in
+        let rt = Option.get r.E.r_runtime in
+        [
+          s.cs_name;
+          Printf.sprintf "%s/%s" s.cs_workload (E.variant_name s.cs_variant);
+          Time_ns.to_string r.E.r_elapsed;
+          string_of_int cs.Memhog_sim.Chaos.disk_faults;
+          string_of_int cs.Memhog_sim.Chaos.directives_dropped;
+          Printf.sprintf "%d/%d" cs.Memhog_sim.Chaos.pressure_spikes
+            cs.Memhog_sim.Chaos.pressure_pages;
+          Printf.sprintf "%d/%d" rt.Memhog_runtime.Runtime.rt_gov_degrades
+            rt.Memhog_runtime.Runtime.rt_gov_recoveries;
+          string_of_int rt.Memhog_runtime.Runtime.rt_prefetch_os_dropped;
+          "ok";
+        ])
+      chaos_scenarios results
+  in
+  Format.asprintf "@[<v>%t@]" (fun fmt ->
+      Report.table ~title:"Chaos scenarios (canned fault plans)"
+        ~header:
+          [
+            "scenario"; "run"; "elapsed"; "disk faults"; "dropped";
+            "pressure (spikes/pages)"; "governor (deg/rec)"; "prefetch drops";
+            "invariants";
+          ]
+        ~rows fmt ())
 
 (* ------------------------------------------------------------------ *)
 (* Experiment registry                                                 *)
@@ -281,12 +458,13 @@ let experiments ~machine ~jobs =
     ("ext-reactive", fun () -> Figures.ext_reactive ~machine ~jobs ~log ());
     ("ext-two-hogs", fun () -> Figures.ext_two_hogs ~machine ~jobs ~log ());
     ("smoke", fun () -> smoke ~machine ~jobs ());
+    ("chaos", fun () -> chaos_experiment ~machine ~jobs ());
   ]
 
 let usage () =
   Printf.eprintf
     "usage: main.exe [--quick] [--jobs N] [--json] [--smoke] [--trace DIR] \
-     [EXPERIMENT ...]\n"
+     [--chaos SPEC] [EXPERIMENT ...]\n"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -327,6 +505,19 @@ let () =
         Printf.eprintf "--trace expects a directory argument\n";
         usage ();
         exit 2
+    | "--chaos" :: spec :: rest -> (
+        match Memhog_sim.Chaos.parse spec with
+        | Ok _ ->
+            chaos_spec := Some spec;
+            parse rest
+        | Error e ->
+            Printf.eprintf "--chaos: %s\n" e;
+            usage ();
+            exit 2)
+    | "--chaos" :: [] ->
+        Printf.eprintf "--chaos expects a fault-plan spec argument\n";
+        usage ();
+        exit 2
     | "--jobs" :: [] ->
         Printf.eprintf "--jobs expects an argument\n";
         usage ();
@@ -344,7 +535,7 @@ let () =
   let registry = experiments ~machine ~jobs in
   let to_run =
     match selected with
-    | [] -> List.filter (fun (n, _) -> n <> "smoke") registry
+    | [] -> List.filter (fun (n, _) -> n <> "smoke" && n <> "chaos") registry
     | names ->
         List.map
           (fun n ->

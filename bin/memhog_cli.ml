@@ -186,8 +186,28 @@ let run_cmd =
              breakdown, release accuracy, telemetry ranges) as canonical \
              JSON, readable by $(b,memhog report) and $(b,memhog compare).")
   in
+  let chaos_conv =
+    let parse s =
+      match Memhog_sim.Chaos.parse s with
+      | Ok _ -> Ok s
+      | Error e -> Error (`Msg (Printf.sprintf "bad chaos spec: %s" e))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some chaos_conv) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Inject faults from this plan (e.g. \
+             $(b,disk-fault\\@10s-20s:p=0.5;pressure\\@30s-31s:pages=128)).  \
+             The plan is seeded with the machine seed, so repeated runs \
+             inject the identical schedule.  Also enables the run-time \
+             layer's graceful-degradation governor.")
+  in
   let run machine workload variant interactive iterations conservative telemetry
-      csv trace metrics =
+      csv trace metrics chaos =
     let interactive_sleep = Option.map Time_ns.of_sec_f interactive in
     let min_sim_time =
       match interactive_sleep with
@@ -198,7 +218,7 @@ let run_cmd =
     let r =
       Experiment.run
         (Experiment.setup ~machine ?interactive_sleep ?iterations ~min_sim_time
-           ~conservative ?trace:trace_buf ~workload ~variant ())
+           ~conservative ?trace:trace_buf ?chaos ~workload ~variant ())
     in
     let b = r.Experiment.r_breakdown in
     Format.printf "workload:   %s  variant: %s@." r.Experiment.r_workload
@@ -238,6 +258,23 @@ let run_cmd =
           rt.Memhog_runtime.Runtime.rt_release_issued
           rt.Memhog_runtime.Runtime.rt_release_buffered
           rt.Memhog_runtime.Runtime.rt_release_stale_dropped
+    | None -> ());
+    (match r.Experiment.r_chaos with
+    | Some cs ->
+        Format.printf "chaos:      %a | disk timeouts %d@."
+          Memhog_sim.Chaos.pp_stats cs r.Experiment.r_disk_timeouts;
+        (match r.Experiment.r_runtime with
+        | Some rt ->
+            Format.printf
+              "governor:   level %d | degrades %d | recoveries %d | \
+               suppressed %d | os prefetch done %d dropped %d@."
+              rt.Memhog_runtime.Runtime.rt_gov_level
+              rt.Memhog_runtime.Runtime.rt_gov_degrades
+              rt.Memhog_runtime.Runtime.rt_gov_recoveries
+              rt.Memhog_runtime.Runtime.rt_gov_suppressed
+              rt.Memhog_runtime.Runtime.rt_prefetch_os_done
+              rt.Memhog_runtime.Runtime.rt_prefetch_os_dropped
+        | None -> ())
     | None -> ());
     (match r.Experiment.r_interactive with
     | Some i ->
@@ -287,7 +324,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one experiment and print every metric.")
     Term.(
       const run $ machine_term $ workload_term $ variant $ interactive
-      $ iterations $ conservative $ telemetry $ csv $ trace $ metrics)
+      $ iterations $ conservative $ telemetry $ csv $ trace $ metrics $ chaos)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)

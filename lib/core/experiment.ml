@@ -71,6 +71,8 @@ type result = {
   r_fault_hist : Histogram.t;
   r_prefetch_hist : Histogram.t;
   r_response_hist : Histogram.t option;
+  r_chaos : Chaos.stats option;
+  r_disk_timeouts : int;
 }
 
 type setup = {
@@ -85,12 +87,18 @@ type setup = {
   release_target : int option;
   max_sim_time : Time_ns.t;
   trace : Trace.t option;
+  chaos : string option;
+  governor : Runtime.governor_cfg option;
 }
 
 let setup ?(machine = Machine.paper) ?interactive_sleep ?iterations
     ?(min_sim_time = 0) ?(conservative = false) ?(reactive = false)
-    ?release_target ?(max_sim_time = Time_ns.sec 3600) ?trace ~workload ~variant
-    () =
+    ?release_target ?(max_sim_time = Time_ns.sec 3600) ?trace ?chaos ?governor
+    ~workload ~variant () =
+  (* Validate the spec eagerly so a bad --chaos fails before any work. *)
+  (match chaos with
+  | Some spec -> ignore (Chaos.create ~seed:machine.Machine.m_seed spec)
+  | None -> ());
   {
     machine;
     workload;
@@ -103,6 +111,8 @@ let setup ?(machine = Machine.paper) ?interactive_sleep ?iterations
     release_target;
     max_sim_time;
     trace;
+    chaos;
+    governor;
   }
 
 let summarize_interactive ~sleep (task : Interactive.t) =
@@ -117,8 +127,16 @@ let summarize_interactive ~sleep (task : Interactive.t) =
 let run (s : setup) =
   let m = s.machine in
   let engine = Engine.create ~max_time:s.max_sim_time () in
+  (* Each run builds its own plan from (machine seed, spec): worker domains
+     never share mutable chaos state, so the injected schedule — and the
+     metrics — are identical at any --jobs level. *)
+  let chaos =
+    match s.chaos with
+    | Some spec -> Chaos.create ~seed:m.Machine.m_seed spec
+    | None -> Chaos.none
+  in
   let os =
-    Os.create ~swap_config:m.Machine.m_swap ?trace:s.trace
+    Os.create ~swap_config:m.Machine.m_swap ?trace:s.trace ~chaos
       ~config:m.Machine.m_config ~engine ()
   in
   let trace = Os.trace os in
@@ -134,11 +152,19 @@ let run (s : setup) =
       ~variant:(pir_variant s.variant)
       prog_ir
   in
+  (* An active fault plan turns the degradation governor on (unless the
+     setup pins its own configuration); healthy runs keep it off so their
+     committed baselines stay untouched. *)
+  let governor =
+    match s.governor with
+    | Some _ as g -> g
+    | None -> if s.chaos <> None then Some Runtime.default_governor else None
+  in
   let app =
     App.create ~seed:m.Machine.m_seed
       ~runtime_policy:
         (if s.reactive then Runtime.Reactive else runtime_policy s.variant)
-      ?release_target:s.release_target ~os ~params prog
+      ?release_target:s.release_target ?governor ~os ~params prog
   in
   if s.reactive then
     Os.set_eviction_advisor os (App.asp app) (fun () ->
@@ -264,6 +290,12 @@ let run (s : setup) =
     r_fault_hist = Os.fault_histogram os;
     r_prefetch_hist = Os.prefetch_histogram os;
     r_response_hist = Option.map (fun t -> Interactive.response_histogram t) task;
+    r_chaos = (if s.chaos = None then None else Some (Chaos.stats chaos));
+    r_disk_timeouts =
+      Array.fold_left
+        (fun acc d -> acc + Memhog_disk.Disk.timeouts d)
+        0
+        (Memhog_disk.Swap.disks swap);
   }
 
 let run_interactive_alone ?(machine = Machine.paper) ~sleep ~duration () =

@@ -72,6 +72,11 @@ type result = {
       (** completed-prefetch service times (simulated ns) *)
   r_response_hist : Memhog_sim.Histogram.t option;
       (** interactive per-sweep response times, warm-up sweep skipped *)
+  r_chaos : Memhog_sim.Chaos.stats option;
+      (** injected-fault counters, when a chaos spec was active *)
+  r_disk_timeouts : int;
+      (** swap requests whose total latency (queueing + retries + service)
+          exceeded the per-request deadline, summed over disks *)
 }
 
 type setup = {
@@ -94,6 +99,12 @@ type setup = {
   max_sim_time : Memhog_sim.Time_ns.t;
   trace : Memhog_sim.Trace.t option;
       (** collect kernel/runtime/application events into this trace *)
+  chaos : string option;
+      (** fault-injection plan ({!Memhog_sim.Chaos} spec), seeded with the
+          machine seed; its presence also enables the run-time layer's
+          degradation governor *)
+  governor : Memhog_runtime.Runtime.governor_cfg option;
+      (** explicit governor configuration (overrides the chaos default) *)
 }
 
 val setup :
@@ -106,10 +117,13 @@ val setup :
   ?release_target:int ->
   ?max_sim_time:Memhog_sim.Time_ns.t ->
   ?trace:Memhog_sim.Trace.t ->
+  ?chaos:string ->
+  ?governor:Memhog_runtime.Runtime.governor_cfg ->
   workload:Memhog_workloads.Workload.t ->
   variant:variant ->
   unit ->
   setup
+(** @raise Invalid_argument when [chaos] does not parse. *)
 
 val run : setup -> result
 

@@ -49,7 +49,8 @@ let sweep_min_time ~sleep = max (Time_ns.sec 45) ((8 * sleep) + Time_ns.sec 20)
 type matrix_cell = Cell_run of string * E.variant | Cell_alone
 
 let run_matrix ?(machine = Machine.paper) ?(sleep = Time_ns.sec 5)
-    ?(workloads = Workload.names) ?(jobs = 1) ?(log = no_log) ?trace_dir () =
+    ?(workloads = Workload.names) ?(jobs = 1) ?(log = no_log) ?trace_dir ?chaos
+    () =
   let log = locked_log log in
   let min_sim_time = sweep_min_time ~sleep in
   let t_start = Unix.gettimeofday () in
@@ -73,7 +74,7 @@ let run_matrix ?(machine = Machine.paper) ?(sleep = Time_ns.sec 5)
         let r =
           E.run
             (E.setup ~machine ~interactive_sleep:sleep ~min_sim_time ?trace
-               ~workload:wl ~variant:v ())
+               ?chaos ~workload:wl ~variant:v ())
         in
         (match trace_dir with
         | Some dir ->

@@ -34,6 +34,7 @@ val run_matrix :
   ?jobs:int ->
   ?log:(string -> unit) ->
   ?trace_dir:string ->
+  ?chaos:string ->
   unit ->
   matrix
 (** Runs 4 variants per workload (default: all six), each next to the
@@ -44,7 +45,12 @@ val run_matrix :
     ({!Pool}).  Every cell is an independent simulation with its own
     engine, OS and RNG, so [mx_results] and [mx_alone] are bit-identical
     for any [jobs] — only [mx_wall_s]/[mx_cells] change.  [log] may be
-    called from worker domains, but calls are serialized. *)
+    called from worker domains, but calls are serialized.
+
+    [chaos] applies the fault-injection plan ({!Memhog_sim.Chaos} spec) to
+    every out-of-core cell; each cell rebuilds the plan from the machine
+    seed, so determinism across [jobs] is preserved.  The interactive-alone
+    baseline is never subjected to chaos. *)
 
 (** {1 The paper's tables and figures} *)
 

@@ -82,6 +82,28 @@ let release_accuracy_of (r : E.result) =
       ratio s.VS.rescued_releaser s.VS.freed_by_releaser;
   }
 
+type governor_summary = {
+  g_level : int;
+  g_degrades : int;
+  g_recoveries : int;
+  g_suppressed : int;
+  g_prefetch_os_done : int;
+  g_prefetch_os_dropped : int;
+}
+
+type chaos_summary = {
+  ch_disk_faults : int;
+  ch_disk_retries : int;
+  ch_disk_backoff_ns : int;
+  ch_disk_timeouts : int;
+  ch_slow_requests : int;
+  ch_releaser_stall_ns : int;
+  ch_daemon_stall_ns : int;
+  ch_directives_dropped : int;
+  ch_pressure_spikes : int;
+  ch_pressure_pages : int;
+}
+
 type cell = {
   c_workload : string;
   c_variant : string;
@@ -98,7 +120,33 @@ type cell = {
   c_soft_faults : int;
   c_swap_reads : int;
   c_swap_writes : int;
+  c_governor : governor_summary option;
+  c_chaos : chaos_summary option;
 }
+
+let governor_of (rt : Runtime.stats) =
+  {
+    g_level = rt.Runtime.rt_gov_level;
+    g_degrades = rt.Runtime.rt_gov_degrades;
+    g_recoveries = rt.Runtime.rt_gov_recoveries;
+    g_suppressed = rt.Runtime.rt_gov_suppressed;
+    g_prefetch_os_done = rt.Runtime.rt_prefetch_os_done;
+    g_prefetch_os_dropped = rt.Runtime.rt_prefetch_os_dropped;
+  }
+
+let chaos_of ~disk_timeouts (cs : Chaos.stats) =
+  {
+    ch_disk_faults = cs.Chaos.disk_faults;
+    ch_disk_retries = cs.Chaos.disk_retries;
+    ch_disk_backoff_ns = cs.Chaos.disk_backoff_ns;
+    ch_disk_timeouts = disk_timeouts;
+    ch_slow_requests = cs.Chaos.slow_requests;
+    ch_releaser_stall_ns = cs.Chaos.releaser_stall_ns;
+    ch_daemon_stall_ns = cs.Chaos.daemon_stall_ns;
+    ch_directives_dropped = cs.Chaos.directives_dropped;
+    ch_pressure_spikes = cs.Chaos.pressure_spikes;
+    ch_pressure_pages = cs.Chaos.pressure_pages;
+  }
 
 let of_result (r : E.result) =
   {
@@ -117,6 +165,9 @@ let of_result (r : E.result) =
     c_soft_faults = r.E.r_app_stats.VS.soft_faults;
     c_swap_reads = r.E.r_swap_reads;
     c_swap_writes = r.E.r_swap_writes;
+    c_governor = Option.map governor_of r.E.r_runtime;
+    c_chaos =
+      Option.map (chaos_of ~disk_timeouts:r.E.r_disk_timeouts) r.E.r_chaos;
   }
 
 type totals = {

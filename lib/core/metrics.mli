@@ -56,6 +56,34 @@ type release_accuracy = {
   ra_rescue_ratio_releaser : float;
 }
 
+(** The run-time layer's graceful-degradation governor, as observed by the
+    cell's run (all zeros when the governor was disabled — the healthy
+    default). *)
+type governor_summary = {
+  g_level : int;         (** degradation level at end of run, 0..2 *)
+  g_degrades : int;      (** level-up (degrading) transitions *)
+  g_recoveries : int;    (** level-down (recovering) transitions *)
+  g_suppressed : int;    (** hints swallowed at level 2 (directives off) *)
+  g_prefetch_os_done : int;
+  g_prefetch_os_dropped : int;
+      (** the governor's OS-side prefetch signal: completed vs. dropped *)
+}
+
+(** Injected-fault counters of a chaos run ({!Memhog_sim.Chaos.stats} plus
+    the disks' timeout count). *)
+type chaos_summary = {
+  ch_disk_faults : int;
+  ch_disk_retries : int;
+  ch_disk_backoff_ns : int;
+  ch_disk_timeouts : int;
+  ch_slow_requests : int;
+  ch_releaser_stall_ns : int;
+  ch_daemon_stall_ns : int;
+  ch_directives_dropped : int;
+  ch_pressure_spikes : int;
+  ch_pressure_pages : int;
+}
+
 type cell = {
   c_workload : string;
   c_variant : string;
@@ -74,6 +102,10 @@ type cell = {
   c_soft_faults : int;
   c_swap_reads : int;
   c_swap_writes : int;
+  c_governor : governor_summary option;
+      (** present whenever the cell has a run-time layer (all variants but
+          O), even with the governor off, so the field's shape is stable *)
+  c_chaos : chaos_summary option;  (** present only for chaos runs *)
 }
 
 (** Matrix-wide aggregates, built with {!Memhog_sim.Account.add_to},

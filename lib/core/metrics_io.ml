@@ -263,7 +263,9 @@ let parse s =
 (* ------------------------------------------------------------------ *)
 
 let schema = "memhog-metrics"
-let schema_version = 1
+
+(* v2: cells gained "governor" and "chaos" objects (null when absent). *)
+let schema_version = 2
 
 let breakdown_json (b : Experiment.breakdown) =
   Obj
@@ -321,6 +323,32 @@ let series_json (s : Metrics.series_summary) =
 
 let opt f = function None -> Null | Some v -> f v
 
+let governor_json (g : Metrics.governor_summary) =
+  Obj
+    [
+      ("level", num_of_int g.Metrics.g_level);
+      ("degrades", num_of_int g.Metrics.g_degrades);
+      ("recoveries", num_of_int g.Metrics.g_recoveries);
+      ("suppressed", num_of_int g.Metrics.g_suppressed);
+      ("prefetch_os_done", num_of_int g.Metrics.g_prefetch_os_done);
+      ("prefetch_os_dropped", num_of_int g.Metrics.g_prefetch_os_dropped);
+    ]
+
+let chaos_json (ch : Metrics.chaos_summary) =
+  Obj
+    [
+      ("disk_faults", num_of_int ch.Metrics.ch_disk_faults);
+      ("disk_retries", num_of_int ch.Metrics.ch_disk_retries);
+      ("disk_backoff_ns", num_of_int ch.Metrics.ch_disk_backoff_ns);
+      ("disk_timeouts", num_of_int ch.Metrics.ch_disk_timeouts);
+      ("slow_requests", num_of_int ch.Metrics.ch_slow_requests);
+      ("releaser_stall_ns", num_of_int ch.Metrics.ch_releaser_stall_ns);
+      ("daemon_stall_ns", num_of_int ch.Metrics.ch_daemon_stall_ns);
+      ("directives_dropped", num_of_int ch.Metrics.ch_directives_dropped);
+      ("pressure_spikes", num_of_int ch.Metrics.ch_pressure_spikes);
+      ("pressure_pages", num_of_int ch.Metrics.ch_pressure_pages);
+    ]
+
 let cell_json (c : Metrics.cell) =
   Obj
     [
@@ -340,6 +368,8 @@ let cell_json (c : Metrics.cell) =
       ("soft_faults", num_of_int c.Metrics.c_soft_faults);
       ("swap_reads", num_of_int c.Metrics.c_swap_reads);
       ("swap_writes", num_of_int c.Metrics.c_swap_writes);
+      ("governor", opt governor_json c.Metrics.c_governor);
+      ("chaos", opt chaos_json c.Metrics.c_chaos);
     ]
 
 let proc_json (p : Memhog_vm.Vm_stats.proc) =
@@ -652,6 +682,67 @@ let render j =
                | _ -> [])
              cells)
         fmt ();
+      let with_chaos =
+        List.filter
+          (fun c ->
+            match member "chaos" c with Some (Obj _) -> true | _ -> false)
+          cells
+      in
+      if with_chaos <> [] then begin
+        Format.fprintf fmt "@,";
+        Report.table ~title:"Fault injection"
+          ~header:
+            [
+              "run"; "faults"; "retries"; "backoff"; "timeouts"; "slow";
+              "stall (rel/dmn)"; "dropped"; "pressure";
+            ]
+          ~rows:
+            (List.map
+               (fun c ->
+                 let ch = Option.value (member "chaos" c) ~default:Null in
+                 [
+                   run c;
+                   icount "disk_faults" ch;
+                   icount "disk_retries" ch;
+                   ins "disk_backoff_ns" ch;
+                   icount "disk_timeouts" ch;
+                   icount "slow_requests" ch;
+                   Printf.sprintf "%s/%s" (ins "releaser_stall_ns" ch)
+                     (ins "daemon_stall_ns" ch);
+                   icount "directives_dropped" ch;
+                   Printf.sprintf "%s spikes, %s pages"
+                     (icount "pressure_spikes" ch)
+                     (icount "pressure_pages" ch);
+                 ])
+               with_chaos)
+          fmt ();
+        Format.fprintf fmt "@,";
+        Report.table ~title:"Degradation governor"
+          ~header:
+            [
+              "run"; "level"; "degrades"; "recoveries"; "suppressed";
+              "os prefetch (done/dropped)";
+            ]
+          ~rows:
+            (List.filter_map
+               (fun c ->
+                 match member "governor" c with
+                 | Some (Obj _ as g) ->
+                     Some
+                       [
+                         run c;
+                         icount "level" g;
+                         icount "degrades" g;
+                         icount "recoveries" g;
+                         icount "suppressed" g;
+                         Printf.sprintf "%s/%s"
+                           (icount "prefetch_os_done" g)
+                           (icount "prefetch_os_dropped" g);
+                       ]
+                 | _ -> None)
+               with_chaos)
+          fmt ()
+      end;
       (match member "totals" j with
       | Some t ->
           Format.fprintf fmt "@,";

@@ -7,6 +7,7 @@ type params = {
   overhead_ns : Time_ns.t;
   near_skip_ns : Time_ns.t;
   near_skip_span : int;
+  request_timeout_ns : Time_ns.t;
 }
 
 (* Seagate Cheetah 4LP: ~7.7 ms average seek, 10,033 RPM (~3 ms average
@@ -21,6 +22,9 @@ let cheetah_4lp =
        track-to-track seek plus half a rotation *)
     near_skip_ns = Time_ns.us 2_400;
     near_skip_span = 64;
+    (* SCSI-driver style deadline: a request still unserved after this long
+       (queueing + retries + backoff included) counts as timed out *)
+    request_timeout_ns = Time_ns.ms 100;
   }
 
 type t = {
@@ -28,6 +32,8 @@ type t = {
   params : params;
   arm : Semaphore.t;
   bus : Semaphore.t option;
+  chaos : Chaos.t;
+  trace : Trace.t;
   mutable last_block : int;
   mutable reads : int;
   mutable writes : int;
@@ -35,14 +41,21 @@ type t = {
   mutable busy : int;
   mutable seq_hits : int;
   mutable near_hits : int;
+  mutable faults : int;
+  mutable retries : int;
+  mutable backoff_ns : int;
+  mutable timeouts : int;
 }
 
-let create ?(params = cheetah_4lp) ?bus ~id () =
+let create ?(params = cheetah_4lp) ?bus ?(chaos = Chaos.none)
+    ?(trace = Trace.null) ~id () =
   {
     id;
     params;
     arm = Semaphore.create ~name:(Printf.sprintf "disk%d" id) 1;
     bus;
+    chaos;
+    trace;
     last_block = min_int;
     reads = 0;
     writes = 0;
@@ -50,6 +63,10 @@ let create ?(params = cheetah_4lp) ?bus ~id () =
     busy = 0;
     seq_hits = 0;
     near_hits = 0;
+    faults = 0;
+    retries = 0;
+    backoff_ns = 0;
+    timeouts = 0;
   }
 
 let id t = t.id
@@ -77,9 +94,47 @@ let service_time t ~block ~bytes ~is_write =
     else (p.overhead_ns + p.seek_ns + p.rotation_ns, transfer)
   end
 
+let scale_ns f ns = if f = 1.0 then ns else int_of_float (f *. float_of_int ns)
+
+(* Injected transient failures: each failed attempt pays command overhead
+   plus exponential backoff while holding the arm (the request is not done),
+   then the attempt after the planned failures succeeds.  A failed attempt
+   must NOT advance sequentiality state — the head's position is unknown
+   after an error, so [last_block] is invalidated and the successful retry
+   pays full positioning rather than spuriously earning the sequential or
+   near-skip discount. *)
+let inject_failures ?(cat = Account.Io_stall) t ~block ~is_write =
+  match Chaos.disk_fault t.chaos ~now:(Engine.now ()) with
+  | None -> ()
+  | Some (k, backoff_base) ->
+      t.faults <- t.faults + 1;
+      for i = 1 to k do
+        t.busy <- t.busy + t.params.overhead_ns;
+        Engine.delay ~cat t.params.overhead_ns;
+        if Trace.enabled t.trace then
+          Trace.emit t.trace ~time:(Engine.now ())
+            ~stream:Trace.chaos_stream
+            (Trace.Chaos_disk_fault { disk = t.id; block; attempt = i });
+        let b = backoff_base * (1 lsl (i - 1)) in
+        Chaos.note_disk_retry t.chaos ~backoff:b;
+        t.retries <- t.retries + 1;
+        t.backoff_ns <- t.backoff_ns + b;
+        Engine.delay ~cat b
+      done;
+      if not is_write then t.last_block <- min_int
+
 let do_io ?(cat = Account.Io_stall) t ~block ~bytes ~is_write =
+  let started = Engine.now () in
   Semaphore.acquire ~cat t.arm;
+  if not (Chaos.is_none t.chaos) then
+    inject_failures ~cat t ~block ~is_write;
+  let slow =
+    if Chaos.is_none t.chaos then 1.0
+    else Chaos.disk_slow_factor t.chaos ~now:(Engine.now ())
+  in
   let positioning, transfer = service_time t ~block ~bytes ~is_write in
+  let positioning = scale_ns slow positioning
+  and transfer = scale_ns slow transfer in
   if not is_write then t.last_block <- block;
   if is_write then t.writes <- t.writes + 1 else t.reads <- t.reads + 1;
   t.bytes <- t.bytes + bytes;
@@ -91,7 +146,9 @@ let do_io ?(cat = Account.Io_stall) t ~block ~bytes ~is_write =
       Engine.delay ~cat transfer;
       Semaphore.release bus
   | None -> Engine.delay ~cat transfer);
-  Semaphore.release t.arm
+  Semaphore.release t.arm;
+  if Engine.now () - started > t.params.request_timeout_ns then
+    t.timeouts <- t.timeouts + 1
 
 let read ?cat t ~block ~bytes = do_io ?cat t ~block ~bytes ~is_write:false
 let write ?cat t ~block ~bytes = do_io ?cat t ~block ~bytes ~is_write:true
@@ -102,3 +159,7 @@ let bytes_moved t = t.bytes
 let busy_time t = t.busy
 let sequential_hits t = t.seq_hits
 let near_hits t = t.near_hits
+let faults_injected t = t.faults
+let retry_attempts t = t.retries
+let backoff_time t = t.backoff_ns
+let timeouts t = t.timeouts

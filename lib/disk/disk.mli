@@ -17,6 +17,10 @@ type params = {
       (** positioning cost for a short forward skip (same cylinder
           neighbourhood) instead of a full seek *)
   near_skip_span : int;          (** how many blocks ahead count as "near" *)
+  request_timeout_ns : Time_ns.t;
+      (** per-request deadline: a request whose total latency (queueing +
+          injected retries + backoff + service) exceeds this is counted in
+          {!timeouts}.  Accounting only — the request still completes. *)
 }
 
 val cheetah_4lp : params
@@ -24,10 +28,24 @@ val cheetah_4lp : params
 type t
 
 val create :
-  ?params:params -> ?bus:Memhog_sim.Semaphore.t -> id:int -> unit -> t
+  ?params:params ->
+  ?bus:Memhog_sim.Semaphore.t ->
+  ?chaos:Memhog_sim.Chaos.t ->
+  ?trace:Memhog_sim.Trace.t ->
+  id:int ->
+  unit ->
+  t
 (** [bus] is the SCSI adapter this disk hangs off: the media-transfer phase
     of each request holds it, so disks sharing an adapter serialize their
-    transfers (positioning still overlaps). *)
+    transfers (positioning still overlaps).
+
+    [chaos] (default {!Memhog_sim.Chaos.none}) injects transient failures
+    and latency spikes: a faulted request retries with exponential backoff
+    while holding the arm, each failed attempt paying command overhead, and
+    a failed read invalidates the sequentiality state — the head's position
+    is unknown after an error, so the successful retry pays full
+    positioning instead of earning the sequential / near-skip discount.
+    Injected faults are emitted to [trace] on [Trace.chaos_stream]. *)
 
 val id : t -> int
 
@@ -47,3 +65,15 @@ val bytes_moved : t -> int
 val busy_time : t -> Time_ns.t
 val sequential_hits : t -> int
 val near_hits : t -> int
+
+val faults_injected : t -> int
+(** Requests that drew at least one injected transient failure. *)
+
+val retry_attempts : t -> int
+(** Individual failed attempts across all faulted requests. *)
+
+val backoff_time : t -> Time_ns.t
+(** Total injected backoff delay. *)
+
+val timeouts : t -> int
+(** Requests whose total latency exceeded [request_timeout_ns]. *)

@@ -19,7 +19,15 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> page_bytes:int -> unit -> t
+val create :
+  ?config:config ->
+  ?chaos:Memhog_sim.Chaos.t ->
+  ?trace:Memhog_sim.Trace.t ->
+  page_bytes:int ->
+  unit ->
+  t
+(** [chaos] and [trace] are handed to every striped disk (see
+    {!Disk.create}); all disks share one fault plan. *)
 
 val num_disks : t -> int
 

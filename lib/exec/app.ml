@@ -36,7 +36,7 @@ let segment_of_array t name =
   | None -> invalid_arg (Printf.sprintf "App: unknown array %s" name)
 
 let create ?(seed = 17) ?(runtime_policy = Runtime.Aggressive) ?release_target
-    ?rt_threads ~os ~params prog =
+    ?rt_threads ?governor ~os ~params prog =
   let asp = Os.new_process os ~name:prog.Pir.px_name in
   let env = Ir.env_of_list params in
   let segs = Hashtbl.create 8 in
@@ -51,7 +51,7 @@ let create ?(seed = 17) ?(runtime_policy = Runtime.Aggressive) ?release_target
       Hashtbl.replace segs a.Ir.a_name (seg, a.Ir.a_elem_bytes))
     prog.Pir.px_arrays;
   let rt =
-    Runtime.create ?release_target ?nthreads:rt_threads ~os ~asp
+    Runtime.create ?release_target ?nthreads:rt_threads ?governor ~os ~asp
       ~policy:runtime_policy ()
   in
   {

@@ -19,12 +19,15 @@ val create :
   ?runtime_policy:Memhog_runtime.Runtime.policy ->
   ?release_target:int ->
   ?rt_threads:int ->
+  ?governor:Memhog_runtime.Runtime.governor_cfg ->
   os:Memhog_vm.Os.t ->
   params:(string * int) list ->
   Memhog_compiler.Pir.prog ->
   t
 (** The runtime policy only matters for [V_release] programs: Aggressive
-    gives the paper's R bars, Buffered the B bars. *)
+    gives the paper's R bars, Buffered the B bars.  [governor] enables the
+    run-time layer's graceful-degradation governor (see
+    {!Memhog_runtime.Runtime.governor_cfg}). *)
 
 val asp : t -> Memhog_vm.Address_space.t
 val runtime : t -> Memhog_runtime.Runtime.t

@@ -11,8 +11,12 @@ type t
 val create : unit -> t
 
 val add : t -> tag:int -> priority:int -> vpn:int -> unit
-(** Requires [priority > 0] (zero-priority releases are issued directly,
-    not buffered). *)
+(** Requires [priority > 0]: non-positive priorities mean "no reuse
+    expected", and the runtime routes such releases to the immediate-issue
+    path instead of buffering them (see {!Runtime.release_page}).
+
+    @raise Invalid_argument if [priority <= 0], or if [tag] is reused at a
+    priority different from the one its buffered pages were added with. *)
 
 val total : t -> int
 (** Buffered pages across all queues. *)

@@ -20,7 +20,30 @@ type stats = {
   mutable rt_release_buffered : int;
   mutable rt_buffer_drains : int;
   mutable rt_release_stale_dropped : int;
+  mutable rt_prefetch_os_done : int;
+  mutable rt_prefetch_os_dropped : int;
+  mutable rt_gov_level : int;
+  mutable rt_gov_degrades : int;
+  mutable rt_gov_recoveries : int;
+  mutable rt_gov_suppressed : int;
 }
+
+type governor_cfg = {
+  gv_window_ns : Time_ns.t;
+  gv_min_samples : int;
+  gv_bad_rate : float;
+  gv_degrade_after : int;
+  gv_recover_after : int;
+}
+
+let default_governor =
+  {
+    gv_window_ns = Time_ns.ms 200;
+    gv_min_samples = 8;
+    gv_bad_rate = 0.5;
+    gv_degrade_after = 2;
+    gv_recover_after = 4;
+  }
 
 type work = W_prefetch of int | W_release of int array
 
@@ -40,6 +63,16 @@ type t = {
          Eq. 2 queue it was hinted with, not the successor's *)
   st : stats;
   mutable started : bool;
+  gov : governor_cfg option;
+  (* Rolling-window snapshots for the governor (deltas against [st]). *)
+  mutable g_window_start : int;
+  mutable g_bad_streak : int;
+  mutable g_good_streak : int;
+  mutable g_pf_done : int;
+  mutable g_pf_dropped : int;
+  mutable g_stale : int;
+  mutable g_rescued : int;
+  mutable g_issued : int;
 }
 
 let tracing t = Trace.enabled (Os.trace t.os)
@@ -50,7 +83,7 @@ let emit t ev =
     ~stream:t.asp.As.pid ev
 
 let create ?(nthreads = 16) ?(release_target = 100) ?(headroom = 0)
-    ?(filter_ns = 200) ~os ~asp ~policy () =
+    ?(filter_ns = 200) ?governor ~os ~asp ~policy () =
   {
     os;
     asp;
@@ -74,8 +107,23 @@ let create ?(nthreads = 16) ?(release_target = 100) ?(headroom = 0)
         rt_release_buffered = 0;
         rt_buffer_drains = 0;
         rt_release_stale_dropped = 0;
+        rt_prefetch_os_done = 0;
+        rt_prefetch_os_dropped = 0;
+        rt_gov_level = 0;
+        rt_gov_degrades = 0;
+        rt_gov_recoveries = 0;
+        rt_gov_suppressed = 0;
       };
     started = false;
+    gov = governor;
+    g_window_start = 0;
+    g_bad_streak = 0;
+    g_good_streak = 0;
+    g_pf_done = 0;
+    g_pf_dropped = 0;
+    g_stale = 0;
+    g_rescued = 0;
+    g_issued = 0;
   }
 
 let policy t = t.pol
@@ -87,7 +135,12 @@ let buffered_pages t = Release_buffer.total t.buffer
 let thread_loop t () =
   while true do
     match Mailbox.recv t.queue with
-    | W_prefetch vpn -> ignore (Os.prefetch t.os t.asp ~vpn)
+    | W_prefetch vpn -> (
+        match Os.prefetch t.os t.asp ~vpn with
+        | Os.P_dropped ->
+            t.st.rt_prefetch_os_dropped <- t.st.rt_prefetch_os_dropped + 1
+        | Os.P_fetched | Os.P_rescued | Os.P_already ->
+            t.st.rt_prefetch_os_done <- t.st.rt_prefetch_os_done + 1)
     | W_release vpns -> Os.release_request t.os t.asp ~vpns
   done
 
@@ -104,10 +157,97 @@ let start t =
 
 let charge_filter t = Engine.delay ~cat:Account.User t.filter_ns
 
+(* --- Graceful-degradation governor -------------------------------- *)
+
+(* The governor is evaluated lazily on hint arrival rather than by its own
+   fiber: a fiber would perturb the engine's schedule (and thus every
+   committed baseline) even when healthy, whereas closing a window inside
+   an already-running hint call costs zero simulated time.  Degradation
+   ladder: level 0 = the configured policy, level 1 = force Aggressive
+   (stop buffering — under faults, held pages go stale), level 2 =
+   directives off (pure demand paging).  At level 2 hints are suppressed,
+   so windows go quiet and count as good: recovery probes back to level 1,
+   and re-degrades if the fault persists. *)
+
+let gov_transition t ~level_to ~drop_pct ~stale_pct =
+  let level_from = t.st.rt_gov_level in
+  t.st.rt_gov_level <- level_to;
+  if level_to > level_from then
+    t.st.rt_gov_degrades <- t.st.rt_gov_degrades + 1
+  else t.st.rt_gov_recoveries <- t.st.rt_gov_recoveries + 1;
+  if tracing t then
+    emit t (Trace.Governor_transition { level_from; level_to; drop_pct; stale_pct })
+
+let gov_tick t =
+  match t.gov with
+  | None -> ()
+  | Some cfg ->
+      let now = Engine.now_of (Os.engine t.os) in
+      if now - t.g_window_start >= cfg.gv_window_ns then begin
+        let pf_done = t.st.rt_prefetch_os_done - t.g_pf_done in
+        let pf_dropped = t.st.rt_prefetch_os_dropped - t.g_pf_dropped in
+        let stale = t.st.rt_release_stale_dropped - t.g_stale in
+        let rescued = t.asp.As.stats.rescued_releaser - t.g_rescued in
+        let issued = t.st.rt_release_issued - t.g_issued in
+        let pf_total = pf_done + pf_dropped in
+        let drop_rate = float_of_int pf_dropped /. float_of_int (max 1 pf_total) in
+        (* Release badness: hints that aged out in the buffer (stale drops)
+           or were issued so early the OS had to rescue the page back. *)
+        let stale_rate =
+          float_of_int (stale + rescued) /. float_of_int (max 1 issued)
+        in
+        let bad =
+          pf_total + issued >= cfg.gv_min_samples
+          && (drop_rate >= cfg.gv_bad_rate || stale_rate >= cfg.gv_bad_rate)
+        in
+        let drop_pct = int_of_float (drop_rate *. 100.0) in
+        let stale_pct = int_of_float (stale_rate *. 100.0) in
+        if bad then begin
+          t.g_good_streak <- 0;
+          t.g_bad_streak <- t.g_bad_streak + 1;
+          if t.g_bad_streak >= cfg.gv_degrade_after && t.st.rt_gov_level < 2
+          then begin
+            gov_transition t ~level_to:(t.st.rt_gov_level + 1) ~drop_pct
+              ~stale_pct;
+            t.g_bad_streak <- 0
+          end
+        end
+        else begin
+          t.g_bad_streak <- 0;
+          t.g_good_streak <- t.g_good_streak + 1;
+          if t.g_good_streak >= cfg.gv_recover_after && t.st.rt_gov_level > 0
+          then begin
+            gov_transition t ~level_to:(t.st.rt_gov_level - 1) ~drop_pct
+              ~stale_pct;
+            t.g_good_streak <- 0
+          end
+        end;
+        t.g_window_start <- now;
+        t.g_pf_done <- t.st.rt_prefetch_os_done;
+        t.g_pf_dropped <- t.st.rt_prefetch_os_dropped;
+        t.g_stale <- t.st.rt_release_stale_dropped;
+        t.g_rescued <- t.asp.As.stats.rescued_releaser;
+        t.g_issued <- t.st.rt_release_issued
+      end
+
+let gov_level t = t.st.rt_gov_level
+let governor_level = gov_level
+
+(* Level 2: pure demand paging — the hint is charged (the instrumented
+   binary still executes the call) but goes no further. *)
+let gov_suppressed t =
+  t.gov <> None
+  && t.st.rt_gov_level >= 2
+  &&
+  (t.st.rt_gov_suppressed <- t.st.rt_gov_suppressed + 1;
+   true)
+
 let prefetch_page t ~vpn =
   t.st.rt_prefetch_requests <- t.st.rt_prefetch_requests + 1;
   charge_filter t;
-  if Os.page_resident t.asp ~vpn then
+  gov_tick t;
+  if gov_suppressed t then ()
+  else if Os.page_resident t.asp ~vpn then
     t.st.rt_prefetch_filtered <- t.st.rt_prefetch_filtered + 1
   else begin
     t.st.rt_prefetch_enqueued <- t.st.rt_prefetch_enqueued + 1;
@@ -156,10 +296,15 @@ let handle_release t ~vpn ~priority ~tag =
     if tracing t then emit t (Trace.Rt_release_filtered { vpn; reason = "bitmap" })
   end
   else
-    match t.pol with
+    (* Degraded to level >= 1: stop buffering — under an active fault the
+       buffer only grows stale — and issue everything immediately. *)
+    let effective = if gov_level t >= 1 then Aggressive else t.pol in
+    match effective with
     | Aggressive -> issue_release t [| vpn |]
     | Buffered ->
-        if priority = 0 then issue_release t [| vpn |]
+        (* Non-positive priorities mean "no reuse expected": they route to
+           the immediate path ([Release_buffer.add] would reject them). *)
+        if priority <= 0 then issue_release t [| vpn |]
         else begin
           t.st.rt_release_buffered <- t.st.rt_release_buffered + 1;
           if tracing t then
@@ -168,17 +313,23 @@ let handle_release t ~vpn ~priority ~tag =
           maybe_drain t
         end
     | Reactive ->
-        (* hold everything; the buffer requires positive priorities, so
-           shift by one *)
-        t.st.rt_release_buffered <- t.st.rt_release_buffered + 1;
-        if tracing t then
-          emit t (Trace.Rt_release_buffered { vpn; tag; priority });
-        Release_buffer.add t.buffer ~tag ~priority:(priority + 1) ~vpn
+        (* hold everything releasable; the buffer requires positive
+           priorities, so shift by one — negative priorities still mean
+           "no reuse expected" and go straight out *)
+        if priority < 0 then issue_release t [| vpn |]
+        else begin
+          t.st.rt_release_buffered <- t.st.rt_release_buffered + 1;
+          if tracing t then
+            emit t (Trace.Rt_release_buffered { vpn; tag; priority });
+          Release_buffer.add t.buffer ~tag ~priority:(priority + 1) ~vpn
+        end
 
 let release_page t ~vpn ~priority ~tag =
   t.st.rt_release_requests <- t.st.rt_release_requests + 1;
   charge_filter t;
-  if not (Os.page_resident t.asp ~vpn) then begin
+  gov_tick t;
+  if gov_suppressed t then ()
+  else if not (Os.page_resident t.asp ~vpn) then begin
     t.st.rt_release_filtered_bitmap <- t.st.rt_release_filtered_bitmap + 1;
     if tracing t then emit t (Trace.Rt_release_filtered { vpn; reason = "bitmap" })
   end

@@ -38,7 +38,47 @@ type stats = {
   mutable rt_release_stale_dropped : int;
       (** buffered entries found non-resident at drain time (the OS stole or
           freed the page first) and silently dropped before issue *)
+  mutable rt_prefetch_os_done : int;
+      (** enqueued prefetches the OS completed (fetched, rescued or found
+          already resident) *)
+  mutable rt_prefetch_os_dropped : int;
+      (** enqueued prefetches the OS discarded for lack of free memory *)
+  mutable rt_gov_level : int;  (** current degradation level, 0..2 *)
+  mutable rt_gov_degrades : int;  (** level-up transitions *)
+  mutable rt_gov_recoveries : int;  (** level-down transitions *)
+  mutable rt_gov_suppressed : int;
+      (** hints swallowed while at level 2 (directives off) *)
 }
+
+(** Hysteresis parameters of the graceful-degradation governor.  The
+    governor watches two rolling-window signals — the OS-side prefetch drop
+    rate and the release badness rate (stale drops + releaser rescues over
+    issues) — and walks a degradation ladder: level 0 runs the configured
+    policy, level 1 forces {!Aggressive} (no buffering: under an active
+    fault, held pages only go stale), level 2 turns directives off entirely
+    (pure demand paging).  A window is {e bad} when it holds at least
+    [gv_min_samples] observations and either signal reaches [gv_bad_rate];
+    [gv_degrade_after] consecutive bad windows move one level down the
+    ladder, [gv_recover_after] consecutive good windows move one level back
+    up.  At level 2 hints are suppressed, so windows go quiet and count as
+    good — recovery probes back to level 1 and re-degrades if the fault
+    persists.  Every transition is a {!Memhog_sim.Trace.Governor_transition}
+    event and a counter.
+
+    Windows are closed lazily on hint arrival (zero simulated-time cost),
+    never by a dedicated fiber — so enabling the governor does not perturb
+    the engine schedule of a healthy run. *)
+type governor_cfg = {
+  gv_window_ns : Memhog_sim.Time_ns.t;  (** rolling window length *)
+  gv_min_samples : int;  (** observations needed to judge a window *)
+  gv_bad_rate : float;  (** signal threshold in [0,1] *)
+  gv_degrade_after : int;  (** consecutive bad windows per level down *)
+  gv_recover_after : int;  (** consecutive good windows per level up *)
+}
+
+val default_governor : governor_cfg
+(** 200 ms windows, 8 samples, 0.5 bad-rate, degrade after 2, recover
+    after 4. *)
 
 type t
 
@@ -47,6 +87,7 @@ val create :
   ?release_target:int ->
   ?headroom:int ->
   ?filter_ns:Memhog_sim.Time_ns.t ->
+  ?governor:governor_cfg ->
   os:Memhog_vm.Os.t ->
   asp:Memhog_vm.Address_space.t ->
   policy:policy ->
@@ -55,7 +96,9 @@ val create :
 (** [release_target] is the number of pages drained per buffering decision
     (the paper fixes 100 and notes it did not experiment with it);
     [headroom] is how close to the upper limit usage may get before a
-    drain; [filter_ns] is the per-request user-time cost of the checks. *)
+    drain; [filter_ns] is the per-request user-time cost of the checks.
+    [governor] (default off) enables graceful degradation — it is switched
+    on by the experiment driver whenever a chaos plan is active. *)
 
 val start : t -> unit
 (** Spawn the helper threads (call once, from any process or before run). *)
@@ -64,12 +107,20 @@ val policy : t -> policy
 val stats : t -> stats
 val buffered_pages : t -> int
 
+val governor_level : t -> int
+(** Current degradation level (always 0 when the governor is off). *)
+
 val prefetch_page : t -> vpn:int -> unit
 (** Called by the application for each page named by a compiler prefetch
     hint.  Cheap: filters and enqueues. *)
 
 val release_page : t -> vpn:int -> priority:int -> tag:int -> unit
-(** Called for each page named by a compiler release hint. *)
+(** Called for each page named by a compiler release hint.  Non-positive
+    priorities mean "no reuse expected" and always route to the immediate
+    path, never into the priority buffer (whose {!Release_buffer.add}
+    rejects them): under {!Buffered}, [priority <= 0] is issued directly;
+    under {!Reactive}, [priority < 0] is issued directly and [priority = 0]
+    is held at the buffer's minimum level. *)
 
 val advise_evict : t -> int option
 (** Reactive path: the page the application prefers to surrender (lowest

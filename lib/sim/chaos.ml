@@ -1,0 +1,568 @@
+type stats = {
+  mutable disk_faults : int;
+  mutable disk_retries : int;
+  mutable disk_backoff_ns : int;
+  mutable slow_requests : int;
+  mutable releaser_stall_ns : int;
+  mutable daemon_stall_ns : int;
+  mutable directives_dropped : int;
+  mutable pressure_spikes : int;
+  mutable pressure_pages : int;
+}
+
+let fresh_stats () =
+  {
+    disk_faults = 0;
+    disk_retries = 0;
+    disk_backoff_ns = 0;
+    slow_requests = 0;
+    releaser_stall_ns = 0;
+    daemon_stall_ns = 0;
+    directives_dropped = 0;
+    pressure_spikes = 0;
+    pressure_pages = 0;
+  }
+
+type kind =
+  | Disk_fault
+  | Disk_slow
+  | Releaser_stall
+  | Releaser_drop
+  | Daemon_stall
+  | Pressure
+
+(* One parsed clause.  Fields irrelevant to a kind keep their defaults and
+   are never read; each rule owns an independent RNG stream so the draw
+   sequence of one rule cannot disturb another's. *)
+type rule = {
+  kind : kind;
+  start : Time_ns.t;
+  stop : Time_ns.t;
+  p : float;
+  retries : int;
+  fails : int option;
+  backoff : Time_ns.t;
+  factor : float;
+  pages : int;
+  hold : Time_ns.t;
+  rng : Rng.t;
+}
+
+type t = { rules : rule list; st : stats }
+
+let none = { rules = []; st = fresh_stats () }
+let is_none t = t.rules = []
+let stats t = t.st
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>disk faults: %d (%d retries, %s backoff)@,\
+     slow requests: %d@,\
+     stalls: releaser %s, daemon %s@,\
+     directives dropped: %d@,\
+     pressure: %d spikes, %d pages@]"
+    s.disk_faults s.disk_retries
+    (Time_ns.to_string s.disk_backoff_ns)
+    s.slow_requests
+    (Time_ns.to_string s.releaser_stall_ns)
+    (Time_ns.to_string s.daemon_stall_ns)
+    s.directives_dropped s.pressure_spikes s.pressure_pages
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let bad fmt = Format.kasprintf (fun s -> raise (Bad s)) fmt
+
+let kind_of_string = function
+  | "disk-fault" -> Disk_fault
+  | "disk-slow" -> Disk_slow
+  | "releaser-stall" -> Releaser_stall
+  | "releaser-drop" -> Releaser_drop
+  | "daemon-stall" -> Daemon_stall
+  | "pressure" -> Pressure
+  | s -> bad "unknown fault kind %S" s
+
+let parse_time s =
+  let s = String.trim s in
+  let num, unit_ =
+    let n = String.length s in
+    let rec split i =
+      if i = 0 then bad "bad time %S" s
+      else
+        let c = s.[i - 1] in
+        if (c >= '0' && c <= '9') || c = '.' then
+          (String.sub s 0 i, String.sub s i (n - i))
+        else split (i - 1)
+    in
+    if n = 0 then bad "empty time" else split n
+  in
+  let v =
+    match float_of_string_opt num with
+    | Some v when v >= 0.0 -> v
+    | _ -> bad "bad time %S" s
+  in
+  let scale =
+    match unit_ with
+    | "ns" -> 1.0
+    | "us" -> 1e3
+    | "ms" -> 1e6
+    | "" | "s" -> 1e9
+    | "m" -> 60e9
+    | "h" -> 3600e9
+    | u -> bad "unknown time unit %S in %S" u s
+  in
+  int_of_float (v *. scale)
+
+let parse_float k s =
+  match float_of_string_opt (String.trim s) with
+  | Some v -> v
+  | None -> bad "bad number %S for %s" s k
+
+let parse_int k s =
+  match int_of_string_opt (String.trim s) with
+  | Some v -> v
+  | None -> bad "bad integer %S for %s" s k
+
+(* A clause before RNG assignment. *)
+type proto = {
+  pr_kind : kind;
+  pr_start : Time_ns.t;
+  pr_stop : Time_ns.t;
+  pr_params : (string * string) list;  (* values still textual *)
+}
+
+let split_on_string ~sep s =
+  (* OCaml's String.split_on_char is enough: all our separators are chars *)
+  String.split_on_char sep s
+
+let parse_clause clause =
+  match String.index_opt clause '@' with
+  | None -> bad "clause %S: expected kind@start-stop[:params]" clause
+  | Some at ->
+      let kind = kind_of_string (String.trim (String.sub clause 0 at)) in
+      let rest = String.sub clause (at + 1) (String.length clause - at - 1) in
+      let window, params =
+        match String.index_opt rest ':' with
+        | None -> (rest, [])
+        | Some c ->
+            let w = String.sub rest 0 c in
+            let p = String.sub rest (c + 1) (String.length rest - c - 1) in
+            let kvs =
+              List.filter_map
+                (fun kv ->
+                  let kv = String.trim kv in
+                  if kv = "" then None
+                  else
+                    match String.index_opt kv '=' with
+                    | None -> bad "bad parameter %S (expected key=value)" kv
+                    | Some e ->
+                        Some
+                          ( String.trim (String.sub kv 0 e),
+                            String.sub kv (e + 1) (String.length kv - e - 1)
+                          ))
+                (split_on_string ~sep:',' p)
+            in
+            (w, kvs)
+      in
+      let start, stop =
+        match split_on_string ~sep:'-' window with
+        | [ a; b ] -> (parse_time a, parse_time b)
+        | _ -> bad "bad window %S (expected start-stop)" window
+      in
+      { pr_kind = kind; pr_start = start; pr_stop = stop; pr_params = params }
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON reader (self-contained: this library sits below the
+   metrics layer, so it cannot reuse Metrics_io's parser).              *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> bad "JSON: expected %C at offset %d" c !pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> bad "JSON: unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+          | Some 'n' ->
+              Buffer.add_char buf '\n';
+              advance ();
+              go ()
+          | Some 't' ->
+              Buffer.add_char buf '\t';
+              advance ();
+              go ()
+          | _ -> bad "JSON: unsupported escape in string")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> bad "JSON: unexpected end of input"
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (
+          advance ();
+          Jobj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> bad "JSON: expected ',' or '}' at offset %d" !pos
+          in
+          Jobj (members [])
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (
+          advance ();
+          Jarr [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> bad "JSON: expected ',' or ']' at offset %d" !pos
+          in
+          Jarr (elements [])
+    | Some 't' ->
+        if !pos + 4 <= n && String.sub s !pos 4 = "true" then (
+          pos := !pos + 4;
+          Jbool true)
+        else bad "JSON: bad literal at offset %d" !pos
+    | Some 'f' ->
+        if !pos + 5 <= n && String.sub s !pos 5 = "false" then (
+          pos := !pos + 5;
+          Jbool false)
+        else bad "JSON: bad literal at offset %d" !pos
+    | Some 'n' ->
+        if !pos + 4 <= n && String.sub s !pos 4 = "null" then (
+          pos := !pos + 4;
+          Jnull)
+        else bad "JSON: bad literal at offset %d" !pos
+    | Some _ ->
+        let start = !pos in
+        let rec num_end () =
+          match peek () with
+          | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') ->
+              advance ();
+              num_end ()
+          | _ -> ()
+        in
+        num_end ();
+        let lit = String.sub s start (!pos - start) in
+        (match float_of_string_opt lit with
+        | Some v -> Jnum v
+        | None -> bad "JSON: bad number %S at offset %d" lit start)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then bad "JSON: trailing garbage at offset %d" !pos;
+  v
+
+let json_time = function
+  | Jstr s -> parse_time s
+  | Jnum v when v >= 0.0 -> int_of_float (v *. 1e9)
+  | _ -> bad "JSON: bad time value"
+
+let json_param_string = function
+  | Jstr s -> s
+  | Jnum v ->
+      if Float.is_integer v then string_of_int (int_of_float v)
+      else string_of_float v
+  | Jbool b -> string_of_bool b
+  | _ -> bad "JSON: bad parameter value"
+
+let proto_of_json = function
+  | Jobj fields ->
+      let find k = List.assoc_opt k fields in
+      let kind =
+        match find "fault" with
+        | Some (Jstr k) -> kind_of_string k
+        | _ -> bad "JSON rule: missing \"fault\" kind"
+      in
+      let start =
+        match find "start" with
+        | Some v -> json_time v
+        | None -> bad "JSON rule: missing \"start\""
+      in
+      let stop =
+        match find "stop" with
+        | Some v -> json_time v
+        | None -> bad "JSON rule: missing \"stop\""
+      in
+      let params =
+        List.filter_map
+          (fun (k, v) ->
+            match k with
+            | "fault" | "start" | "stop" -> None
+            | "backoff" | "hold" ->
+                (* times: normalise to a textual ns value the DSL path
+                   understands *)
+                Some (k, string_of_int (json_time v) ^ "ns")
+            | _ -> Some (k, json_param_string v))
+          fields
+      in
+      { pr_kind = kind; pr_start = start; pr_stop = stop; pr_params = params }
+  | _ -> bad "JSON rule: expected an object"
+
+(* ------------------------------------------------------------------ *)
+(* Rule construction and validation                                    *)
+(* ------------------------------------------------------------------ *)
+
+let default_backoff = Time_ns.us 500
+let default_hold = Time_ns.sec 1
+
+let rule_of_proto ~seed ~index pr =
+  let p = ref 1.0
+  and retries = ref 4
+  and fails = ref None
+  and backoff = ref default_backoff
+  and factor = ref 4.0
+  and pages = ref 64
+  and hold = ref default_hold in
+  List.iter
+    (fun (k, v) ->
+      match k with
+      | "p" -> p := parse_float k v
+      | "retries" -> retries := parse_int k v
+      | "fails" -> fails := Some (parse_int k v)
+      | "backoff" -> backoff := parse_time v
+      | "factor" -> factor := parse_float k v
+      | "pages" -> pages := parse_int k v
+      | "hold" -> hold := parse_time v
+      | _ -> bad "unknown parameter %S" k)
+    pr.pr_params;
+  if pr.pr_stop <= pr.pr_start then
+    bad "window stop (%s) must follow start (%s)"
+      (Time_ns.to_string pr.pr_stop)
+      (Time_ns.to_string pr.pr_start);
+  if !p < 0.0 || !p > 1.0 then bad "p=%g out of [0,1]" !p;
+  if !retries < 1 then bad "retries=%d must be >= 1" !retries;
+  (match !fails with
+  | Some f when f < 1 || f > !retries ->
+      bad "fails=%d out of [1,retries=%d]" f !retries
+  | _ -> ());
+  if !factor < 1.0 then bad "factor=%g must be >= 1" !factor;
+  if !pages < 1 then bad "pages=%d must be >= 1" !pages;
+  if !hold < 1 then bad "hold must be positive";
+  if !backoff < 1 then bad "backoff must be positive";
+  {
+    kind = pr.pr_kind;
+    start = pr.pr_start;
+    stop = pr.pr_stop;
+    p = !p;
+    retries = !retries;
+    fails = !fails;
+    backoff = !backoff;
+    factor = !factor;
+    pages = !pages;
+    hold = !hold;
+    (* A distinct stream per rule: the golden-ratio multiplier decorrelates
+       neighbouring indices even under a zero seed. *)
+    rng = Rng.create ~seed:(seed lxor (0x9E3779B9 * (index + 1)));
+  }
+
+let build ~seed protos =
+  let rules = List.mapi (fun i pr -> rule_of_proto ~seed ~index:i pr) protos in
+  { rules; st = fresh_stats () }
+
+let parse ?(seed = 0) spec =
+  let trimmed = String.trim spec in
+  try
+    if trimmed = "" then Ok { none with st = fresh_stats () }
+    else if trimmed.[0] = '[' || trimmed.[0] = '{' then (
+      let j = parse_json trimmed in
+      let seed, rules_json =
+        match j with
+        | Jarr rules -> (seed, rules)
+        | Jobj fields -> (
+            let s =
+              match List.assoc_opt "seed" fields with
+              | Some (Jnum v) -> int_of_float v
+              | Some _ -> bad "JSON: \"seed\" must be a number"
+              | None -> seed
+            in
+            match List.assoc_opt "rules" fields with
+            | Some (Jarr rules) -> (s, rules)
+            | _ -> bad "JSON: expected a \"rules\" array")
+        | _ -> bad "JSON: expected an array of rules or an object"
+      in
+      Ok (build ~seed (List.map proto_of_json rules_json)))
+    else
+      let clauses =
+        List.filter_map
+          (fun c ->
+            let c = String.trim c in
+            if c = "" then None else Some c)
+          (split_on_string ~sep:';' trimmed)
+      in
+      let seed =
+        List.fold_left
+          (fun acc c ->
+            match String.index_opt c '=' with
+            | Some e
+              when String.index_opt c '@' = None
+                   && String.trim (String.sub c 0 e) = "seed" ->
+                parse_int "seed"
+                  (String.sub c (e + 1) (String.length c - e - 1))
+            | _ -> acc)
+          seed clauses
+      in
+      let protos =
+        List.filter_map
+          (fun c ->
+            match String.index_opt c '@' with
+            | Some _ -> Some (parse_clause c)
+            | None -> (
+                (* only seed= clauses may omit the window; anything else
+                   without one is a typo, not something to ignore *)
+                match String.index_opt c '=' with
+                | Some e when String.trim (String.sub c 0 e) = "seed" -> None
+                | _ ->
+                    bad "clause %S: expected kind@start-stop[:params] or seed=N"
+                      c))
+          clauses
+      in
+      Ok (build ~seed protos)
+  with Bad msg -> Error (Printf.sprintf "chaos spec: %s" msg)
+
+let create ?seed spec =
+  match parse ?seed spec with
+  | Ok t -> t
+  | Error msg -> invalid_arg msg
+
+(* ------------------------------------------------------------------ *)
+(* Hook points                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let active r ~now = now >= r.start && now < r.stop
+
+let disk_fault t ~now =
+  let rec find = function
+    | [] -> None
+    | r :: rest when r.kind = Disk_fault && active r ~now ->
+        if r.p >= 1.0 || Rng.float r.rng 1.0 < r.p then (
+          let k =
+            match r.fails with
+            | Some k -> k
+            | None -> 1 + Rng.int r.rng r.retries
+          in
+          t.st.disk_faults <- t.st.disk_faults + 1;
+          Some (k, r.backoff))
+        else find rest
+    | _ :: rest -> find rest
+  in
+  find t.rules
+
+let note_disk_retry t ~backoff =
+  t.st.disk_retries <- t.st.disk_retries + 1;
+  t.st.disk_backoff_ns <- t.st.disk_backoff_ns + backoff
+
+let disk_slow_factor t ~now =
+  let f =
+    List.fold_left
+      (fun acc r ->
+        if r.kind = Disk_slow && active r ~now then Float.max acc r.factor
+        else acc)
+      1.0 t.rules
+  in
+  if f > 1.0 then t.st.slow_requests <- t.st.slow_requests + 1;
+  f
+
+let stall_until t who ~now =
+  let kind = match who with `Releaser -> Releaser_stall | `Daemon -> Daemon_stall in
+  List.fold_left
+    (fun acc r ->
+      if r.kind = kind && active r ~now then
+        match acc with
+        | Some stop -> Some (max stop r.stop)
+        | None -> Some r.stop
+      else acc)
+    None t.rules
+
+let note_stall t who d =
+  match who with
+  | `Releaser -> t.st.releaser_stall_ns <- t.st.releaser_stall_ns + d
+  | `Daemon -> t.st.daemon_stall_ns <- t.st.daemon_stall_ns + d
+
+let drop_directive t ~now =
+  let rec find = function
+    | [] -> false
+    | r :: rest when r.kind = Releaser_drop && active r ~now ->
+        if r.p >= 1.0 || Rng.float r.rng 1.0 < r.p then (
+          t.st.directives_dropped <- t.st.directives_dropped + 1;
+          true)
+        else find rest
+    | _ :: rest -> find rest
+  in
+  find t.rules
+
+let pressure_spikes t =
+  t.rules
+  |> List.filter_map (fun r ->
+         if r.kind = Pressure then Some (r.start, r.pages, r.hold) else None)
+  |> List.sort compare
+
+let note_pressure t ~pages =
+  t.st.pressure_spikes <- t.st.pressure_spikes + 1;
+  t.st.pressure_pages <- t.st.pressure_pages + pages

@@ -23,6 +23,17 @@ type event =
   | Upper_limit_sample of { owner : int; pages : int }
   | Phase_begin of { name : string }
   | Phase_end of { name : string }
+  | Chaos_disk_fault of { disk : int; block : int; attempt : int }
+  | Chaos_stall of { who : string; until : int }
+  | Chaos_drop_directive of { count : int }
+  | Chaos_pressure of { pages : int; hold : int }
+  | Chaos_pressure_end of { pages : int }
+  | Governor_transition of {
+      level_from : int;
+      level_to : int;
+      drop_pct : int;
+      stale_pct : int;
+    }
 
 (* The ring is three parallel arrays rather than an array of records so that
    a retained trace costs two unboxed words per event plus the event value
@@ -125,6 +136,12 @@ let event_name = function
   | Upper_limit_sample _ -> "upper_limit_sample"
   | Phase_begin _ -> "phase_begin"
   | Phase_end _ -> "phase_end"
+  | Chaos_disk_fault _ -> "chaos_disk_fault"
+  | Chaos_stall _ -> "chaos_stall"
+  | Chaos_drop_directive _ -> "chaos_drop_directive"
+  | Chaos_pressure _ -> "chaos_pressure"
+  | Chaos_pressure_end _ -> "chaos_pressure_end"
+  | Governor_transition _ -> "governor_transition"
 
 let event_args = function
   | Hard_fault { vpn }
@@ -160,6 +177,24 @@ let event_args = function
   | Rss_sample { owner; pages } | Upper_limit_sample { owner; pages } ->
       [ ("owner", string_of_int owner); ("pages", string_of_int pages) ]
   | Phase_begin { name } | Phase_end { name } -> [ ("name", name) ]
+  | Chaos_disk_fault { disk; block; attempt } ->
+      [
+        ("disk", string_of_int disk);
+        ("block", string_of_int block);
+        ("attempt", string_of_int attempt);
+      ]
+  | Chaos_stall { who; until } -> [ ("who", who); ("until", string_of_int until) ]
+  | Chaos_drop_directive { count } -> [ ("count", string_of_int count) ]
+  | Chaos_pressure { pages; hold } ->
+      [ ("pages", string_of_int pages); ("hold", string_of_int hold) ]
+  | Chaos_pressure_end { pages } -> [ ("pages", string_of_int pages) ]
+  | Governor_transition { level_from; level_to; drop_pct; stale_pct } ->
+      [
+        ("level_from", string_of_int level_from);
+        ("level_to", string_of_int level_to);
+        ("drop_pct", string_of_int drop_pct);
+        ("stale_pct", string_of_int stale_pct);
+      ]
 
 let counts t =
   let tbl = Hashtbl.create 32 in
@@ -182,3 +217,4 @@ let daemon_stream = -1
 let releaser_stream = -2
 let writeback_stream = -3
 let kernel_stream = -4
+let chaos_stream = -5

@@ -50,6 +50,18 @@ type event =
   (* Application phases (lib/exec). *)
   | Phase_begin of { name : string }
   | Phase_end of { name : string }
+  (* Fault injection ({!Chaos}) and the runtime's degradation governor. *)
+  | Chaos_disk_fault of { disk : int; block : int; attempt : int }
+  | Chaos_stall of { who : string; until : int }
+  | Chaos_drop_directive of { count : int }
+  | Chaos_pressure of { pages : int; hold : int }
+  | Chaos_pressure_end of { pages : int }
+  | Governor_transition of {
+      level_from : int;
+      level_to : int;
+      drop_pct : int;  (** window prefetch-drop rate, percent *)
+      stale_pct : int;  (** window release-badness rate, percent *)
+    }
 
 type t
 
@@ -109,3 +121,6 @@ val writeback_stream : int
 
 val kernel_stream : int
 (** kernel-wide samples (free-list depth): -4 *)
+
+val chaos_stream : int
+(** injected-fault events ({!Chaos} hooks): -5 *)

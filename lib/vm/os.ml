@@ -32,6 +32,7 @@ type t = {
   releaser_box : releaser_msg Mailbox.t;
   gstats : Vm_stats.global;
   trace : Trace.t;
+  chaos : Chaos.t;
   h_fault : Histogram.t;
       (* service time of every demand fault (non-Fast touch), wall start to
          wall end including lock and I/O waits *)
@@ -56,6 +57,7 @@ let free_pages t = Free_list.length t.free
 let cpus t = t.cpus
 let address_spaces t = List.rev t.space_list
 let trace t = t.trace
+let chaos t = t.chaos
 let fault_histogram t = t.h_fault
 let prefetch_histogram t = t.h_prefetch
 
@@ -605,20 +607,51 @@ let releaser_process_batch t (asp : As.t) (vpns : int array) =
   writeback_and_free t (List.rev !writebacks);
   update_limits t asp
 
+(* Injected stall: sleep out the rest of the fault window before doing any
+   work, as if the daemon were descheduled by a sick kernel. *)
+let chaos_stall t who ~name =
+  if not (Chaos.is_none t.chaos) then
+    match Chaos.stall_until t.chaos who ~now:(Engine.now ()) with
+    | None -> ()
+    | Some until ->
+        let d = until - Engine.now () in
+        if d > 0 then begin
+          if tracing t then
+            emit t ~stream:Trace.chaos_stream
+              (Trace.Chaos_stall { who = name; until });
+          Chaos.note_stall t.chaos who d;
+          Engine.delay ~cat:Account.Sleep d
+        end
+
 let releaser_loop t () =
   let quit = ref false in
   while not (t.stop || !quit) do
     match Mailbox.recv t.releaser_box with
     | R_quit -> quit := true
     | R_batch req ->
-        let n = Array.length req.req_vpns in
-        let batch = t.config.releaser_batch in
-        let i = ref 0 in
-        while !i < n do
-          let len = min batch (n - !i) in
-          releaser_process_batch t req.req_as (Array.sub req.req_vpns !i len);
-          i := !i + len
-        done
+        if
+          (not (Chaos.is_none t.chaos))
+          && Chaos.drop_directive t.chaos ~now:(Engine.now ())
+        then begin
+          (* Discarding a directive is safe — never corrupting: the
+             requester already cleared the residency bits and invalidated
+             the mappings, so the pages simply stay resident and the next
+             touch soft-faults them back in. *)
+          if tracing t then
+            emit t ~stream:Trace.chaos_stream
+              (Trace.Chaos_drop_directive { count = Array.length req.req_vpns })
+        end
+        else begin
+          chaos_stall t `Releaser ~name:"releaser";
+          let n = Array.length req.req_vpns in
+          let batch = t.config.releaser_batch in
+          let i = ref 0 in
+          while !i < n do
+            let len = min batch (n - !i) in
+            releaser_process_batch t req.req_as (Array.sub req.req_vpns !i len);
+            i := !i + len
+          done
+        end
   done
 
 (* ------------------------------------------------------------------ *)
@@ -811,6 +844,7 @@ let paging_daemon_loop t () =
   let active = ref false in
   while not t.stop do
     daemon_sleep t cfg.daemon_interval_ns;
+    chaos_stall t `Daemon ~name:"daemon";
     if tracing t then
       emit t ~stream:Trace.kernel_stream
         (Trace.Free_depth { pages = Free_list.length t.free });
@@ -837,14 +871,61 @@ let paging_daemon_loop t () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Phantom memory-pressure competitor                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Walk the plan's pressure spikes: at each start time grab up to [pages]
+   frames straight off the free list (slamming [tot_freemem] the way a
+   surging sibling process would), hold them, then give them back.  Grabbed
+   frames are disassociated (owner -1, not on the list), so they sit in the
+   same "unowned in-flight" class as frames being filled by a fault and the
+   structural invariants keep holding mid-spike. *)
+let chaos_phantom_loop t spikes () =
+  List.iter
+    (fun (start, pages, hold) ->
+      let now = Engine.now () in
+      if start > now then Engine.delay ~cat:Account.Sleep (start - now);
+      if not t.stop then begin
+        Semaphore.acquire t.memory_lock;
+        let grabbed = ref [] in
+        let n = ref 0 in
+        let exhausted = ref false in
+        while (not !exhausted) && !n < pages do
+          match Free_list.pop_head t.free with
+          | Some f ->
+              disassociate t f;
+              grabbed := f :: !grabbed;
+              incr n
+          | None -> exhausted := true
+        done;
+        Semaphore.release t.memory_lock;
+        if !n > 0 then begin
+          Chaos.note_pressure t.chaos ~pages:!n;
+          if tracing t then
+            emit t ~stream:Trace.chaos_stream
+              (Trace.Chaos_pressure { pages = !n; hold });
+          Engine.delay ~cat:Account.Sleep hold;
+          Semaphore.acquire t.memory_lock;
+          List.iter (fun f -> Free_list.push_tail t.free f) !grabbed;
+          Condition.broadcast t.free_cond;
+          Semaphore.release t.memory_lock;
+          if tracing t then
+            emit t ~stream:Trace.chaos_stream
+              (Trace.Chaos_pressure_end { pages = !n })
+        end
+      end)
+    spikes
+
+(* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ?swap_config ?(trace = Trace.null) ~config:(cfg : Config.t) ~engine
-    () =
+let create ?swap_config ?(trace = Trace.null) ?(chaos = Chaos.none)
+    ~config:(cfg : Config.t) ~engine () =
   let swap =
     Swap.create
       ?config:swap_config
+      ~chaos ~trace
       ~page_bytes:cfg.page_bytes ()
   in
   let frames = Array.init cfg.total_frames Frame.make in
@@ -865,6 +946,7 @@ let create ?swap_config ?(trace = Trace.null) ~config:(cfg : Config.t) ~engine
       releaser_box = Mailbox.create ~name:"releaser" ();
       gstats = Vm_stats.create_global ();
       trace;
+      chaos;
       h_fault = Histogram.create ();
       h_prefetch = Histogram.create ();
       advisors = Hashtbl.create 4;
@@ -881,6 +963,13 @@ let create ?swap_config ?(trace = Trace.null) ~config:(cfg : Config.t) ~engine
   Trace.set_stream_name trace Trace.kernel_stream "kernel";
   ignore (Engine.spawn engine ~name:"paging-daemon" (paging_daemon_loop t));
   ignore (Engine.spawn engine ~name:"releaser-daemon" (releaser_loop t));
+  if not (Chaos.is_none chaos) then
+    Trace.set_stream_name trace Trace.chaos_stream "chaos";
+  (match Chaos.pressure_spikes chaos with
+  | [] -> ()
+  | spikes ->
+      ignore
+        (Engine.spawn engine ~name:"chaos-phantom" (chaos_phantom_loop t spikes)));
   t
 
 let shutdown t =
@@ -927,8 +1016,79 @@ let check_invariants t =
       (fun _ asp acc -> acc && As.resident_pages asp = asp.As.rss)
       t.spaces true
   in
+  (* Frame conservation: every frame falls into exactly one of four
+     classes — free, resident, writeback-in-flight (owned, PTE marked for
+     rescue, waiting for its write to finish) or unowned-in-flight (popped
+     by an allocator or the chaos phantom, not yet installed) — and the
+     class populations sum back to the frame count.  A frame that fits no
+     class (e.g. owned but pointing at someone else's PTE) is a leak. *)
+  let free_ct = ref 0
+  and resident_ct = ref 0
+  and inflight_ct = ref 0
+  and unclassified = ref 0 in
+  Array.iter
+    (fun (f : Frame.t) ->
+      if f.on_free_list then incr free_ct
+      else if f.owner < 0 then incr inflight_ct
+      else
+        let pte =
+          match Hashtbl.find_opt t.spaces f.owner with
+          | None -> None
+          | Some asp -> (
+              match As.find_segment asp ~vpn:f.vpn with
+              | exception Not_found -> None
+              | seg -> Some (As.get_pte seg ~vpn:f.vpn))
+        in
+        match pte with
+        | Some (As.Resident i) when i = f.idx -> incr resident_ct
+        | Some (As.On_free_list i) when i = f.idx && f.freed_by <> None ->
+            incr inflight_ct
+        | _ -> incr unclassified)
+    t.frames;
+  let total_rss =
+    Hashtbl.fold (fun _ asp acc -> acc + asp.As.rss) t.spaces 0
+  in
+  let ok_conservation =
+    !unclassified = 0
+    && !free_ct + !resident_ct + !inflight_ct = Array.length t.frames
+    && !resident_ct = total_rss
+    && !free_ct = Free_list.length t.free
+  in
+  (* Free-list structure: every linked frame is flagged, no duplicates. *)
+  let ok_free_membership =
+    let seen = Array.make (Array.length t.frames) false in
+    let ok = ref true in
+    Free_list.iter t.free (fun f ->
+        if seen.(f.Frame.idx) || not f.Frame.on_free_list then ok := false;
+        seen.(f.Frame.idx) <- true);
+    !ok
+  in
+  (* No page both on the free list and mapped without rescue marking: a
+     listed frame still owned by a process must be reachable only through
+     an [On_free_list] PTE (the rescue marking); a [Resident] PTE pointing
+     at a listed frame would let the owner use memory the allocator is
+     about to hand to someone else. *)
+  let ok_rescue_marking =
+    Array.for_all
+      (fun (f : Frame.t) ->
+        (not f.on_free_list) || f.owner < 0
+        ||
+        match Hashtbl.find_opt t.spaces f.owner with
+        | None -> false
+        | Some asp -> (
+            match As.find_segment asp ~vpn:f.vpn with
+            | exception Not_found -> false
+            | seg -> (
+                match As.get_pte seg ~vpn:f.vpn with
+                | As.On_free_list i -> i = f.idx
+                | _ -> false)))
+      t.frames
+  in
   [
     ("free-list count matches frame flags", ok_free_count);
     ("owned frames agree with PTEs", ok_frame_pte);
     ("rss counters match page tables", ok_rss);
+    ("frame conservation: free + resident + in-flight = total", ok_conservation);
+    ("free-list membership is consistent and duplicate-free", ok_free_membership);
+    ("listed frames are mapped only via rescue marking", ok_rescue_marking);
   ]

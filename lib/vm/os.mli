@@ -35,6 +35,7 @@ type prefetch_result =
 val create :
   ?swap_config:Memhog_disk.Swap.config ->
   ?trace:Memhog_sim.Trace.t ->
+  ?chaos:Memhog_sim.Chaos.t ->
   config:Config.t ->
   engine:Memhog_sim.Engine.t ->
   unit ->
@@ -43,7 +44,16 @@ val create :
     processes.  [trace] (default {!Memhog_sim.Trace.null}) receives kernel
     events: faults, prefetch outcomes, daemon steals and invalidations,
     releaser frees and skips, writeback completions, and free-list depth
-    samples at each daemon tick. *)
+    samples at each daemon tick.
+
+    [chaos] (default {!Memhog_sim.Chaos.none}) is the fault-injection plan:
+    it is handed to every swap disk (transient errors and latency spikes),
+    consulted by the releaser (stall windows, dropped directives — safe to
+    drop, since residency bits were already cleared at request time and a
+    re-touch soft-faults the page back) and the paging daemon (stall
+    windows), and its [pressure] rules spawn a phantom-competitor fiber
+    that grabs free frames at the planned times and holds them, slamming
+    [tot_freemem] through Equation 1. *)
 
 val config : t -> Config.t
 val engine : t -> Memhog_sim.Engine.t
@@ -52,6 +62,9 @@ val trace : t -> Memhog_sim.Trace.t
 (** The event trace this kernel emits into ({!Memhog_sim.Trace.null} when
     tracing was not requested); upper layers reuse it for their own
     events. *)
+
+val chaos : t -> Memhog_sim.Chaos.t
+(** The active fault plan ({!Memhog_sim.Chaos.none} when not injecting). *)
 
 val swap : t -> Memhog_disk.Swap.t
 val global_stats : t -> Vm_stats.global
@@ -132,4 +145,8 @@ val shutdown : t -> unit
 
 val check_invariants : t -> (string * bool) list
 (** Structural invariants (for tests): frame/PTE agreement, free-list
-    consistency, rss counters. *)
+    consistency, rss counters, frame conservation (every frame is exactly
+    one of free / resident / in-flight, and the classes sum to the frame
+    count), duplicate-free free-list membership, and the rescue-marking
+    rule (no page both on the free list and mapped [Resident]).  Asserted
+    after every chaos scenario in the test suite. *)

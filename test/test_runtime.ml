@@ -50,7 +50,27 @@ let test_buffer_rejects_zero_priority () =
   let b = Release_buffer.create () in
   Alcotest.check_raises "zero priority"
     (Invalid_argument "Release_buffer.add: priority must be > 0") (fun () ->
-      Release_buffer.add b ~tag:1 ~priority:0 ~vpn:1)
+      Release_buffer.add b ~tag:1 ~priority:0 ~vpn:1);
+  Alcotest.check_raises "negative priority"
+    (Invalid_argument "Release_buffer.add: priority must be > 0") (fun () ->
+      Release_buffer.add b ~tag:1 ~priority:(-3) ~vpn:1)
+
+let test_buffer_same_tag_pop_flush_interleaved () =
+  (* pop_lowest and flush_tag interleaved on one tag: a partial pop must
+     leave the tag's queue intact (FIFO), flush must return exactly the
+     remainder, and the flushed tag must be reusable at a new priority. *)
+  let b = Release_buffer.create () in
+  List.iter (fun v -> Release_buffer.add b ~tag:1 ~priority:2 ~vpn:v) [ 10; 11; 12 ];
+  Alcotest.(check (array int)) "partial pop" [| 10 |]
+    (Release_buffer.pop_lowest b ~max:1);
+  List.iter (fun v -> Release_buffer.add b ~tag:1 ~priority:2 ~vpn:v) [ 13; 14 ];
+  Alcotest.(check (array int)) "flush returns the rest in order"
+    [| 11; 12; 13; 14 |]
+    (Release_buffer.flush_tag b ~tag:1);
+  check_int "empty after flush" 0 (Release_buffer.total b);
+  Release_buffer.add b ~tag:1 ~priority:1 ~vpn:99;
+  Alcotest.(check (array int)) "reused tag pops at its new priority" [| 99 |]
+    (Release_buffer.pop_lowest b ~max:4)
 
 let test_buffer_flush_tag () =
   let b = Release_buffer.create () in
@@ -223,13 +243,16 @@ let prop_buffer_interleaved_ops =
 let small_config =
   { Vm.Config.default with Vm.Config.total_frames = 64; min_freemem = 4; desfree = 8 }
 
-let with_rt ?(policy = Runtime.Aggressive) f =
+let with_rt ?(policy = Runtime.Aggressive) ?(config = small_config)
+    ?(seg_pages = 32) ?governor f =
   let engine = Engine.create ~max_time:(Time_ns.sec 3600) () in
-  let os = Os.create ~config:small_config ~engine () in
+  let os = Os.create ~config ~engine () in
   let asp = Os.new_process os ~name:"app" in
-  let seg = Os.map_segment os asp ~name:"data" ~bytes:(32 * 16384) ~on_swap:true in
+  let seg =
+    Os.map_segment os asp ~name:"data" ~bytes:(seg_pages * 16384) ~on_swap:true
+  in
   Os.attach_paging_directed os asp seg;
-  let rt = Runtime.create ~os ~asp ~policy () in
+  let rt = Runtime.create ?governor ~os ~asp ~policy () in
   ignore
     (Engine.spawn engine ~name:"main" (fun () ->
          Fun.protect ~finally:Engine.stop (fun () ->
@@ -421,6 +444,175 @@ let test_zero_priority_bypasses_buffer () =
   in
   check_int "buffer untouched" 0 (Runtime.stats rt).Runtime.rt_release_buffered
 
+let test_negative_priority_bypasses_buffer () =
+  (* priority < 0 means "no reuse expected": under Buffered it must take
+     the immediate path, never Release_buffer.add (which would raise). *)
+  let rt =
+    with_rt ~policy:Runtime.Buffered (fun os asp seg rt ->
+        for i = 0 to 1 do
+          ignore (Os.touch os asp ~vpn:(seg.As.base_vpn + i) ~write:false)
+        done;
+        Runtime.release_page rt ~vpn:seg.As.base_vpn ~priority:(-2) ~tag:4;
+        Runtime.release_page rt ~vpn:(seg.As.base_vpn + 1) ~priority:(-2) ~tag:4;
+        settle ();
+        check_bool "negative priority issued immediately" false
+          (Os.page_resident asp ~vpn:seg.As.base_vpn))
+  in
+  check_int "buffer untouched" 0 (Runtime.stats rt).Runtime.rt_release_buffered;
+  check_int "issued" 1 (Runtime.stats rt).Runtime.rt_release_issued
+
+let test_reactive_priority_routing () =
+  (* Reactive holds pages for advise_evict, but priority < 0 still means
+     the application expects no reuse: issue at once.  Priority 0 is legal
+     under Reactive and is held at the buffer's minimum level. *)
+  let rt =
+    with_rt ~policy:Runtime.Reactive (fun os asp seg rt ->
+        for i = 0 to 3 do
+          ignore (Os.touch os asp ~vpn:(seg.As.base_vpn + i) ~write:false)
+        done;
+        Runtime.release_page rt ~vpn:seg.As.base_vpn ~priority:(-1) ~tag:1;
+        Runtime.release_page rt ~vpn:(seg.As.base_vpn + 1) ~priority:(-1) ~tag:1;
+        settle ();
+        check_bool "negative priority issued" false
+          (Os.page_resident asp ~vpn:seg.As.base_vpn);
+        Runtime.release_page rt ~vpn:(seg.As.base_vpn + 2) ~priority:0 ~tag:2;
+        Runtime.release_page rt ~vpn:(seg.As.base_vpn + 3) ~priority:0 ~tag:2;
+        settle ();
+        check_bool "zero priority held for advise_evict" true
+          (Os.page_resident asp ~vpn:(seg.As.base_vpn + 2));
+        check_int "buffered" 1 (Runtime.buffered_pages rt))
+  in
+  check_int "one issued" 1 (Runtime.stats rt).Runtime.rt_release_issued
+
+(* Satellite: under Reactive, advise_evict must never surrender a page the
+   residency bitmap shows non-resident — even when the OS reclaimed
+   buffered pages behind the runtime's back, and even when the one-behind
+   filter let the same vpn into the buffer twice. *)
+let prop_reactive_advise_only_resident =
+  QCheck.Test.make ~name:"reactive: advise_evict only surrenders resident pages"
+    ~count:15
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 2 14) (int_bound 15))
+        (list_of_size (Gen.int_range 0 8) (int_bound 15)))
+    (fun (hints, steals) ->
+      let ok = ref true in
+      let advised = ref 0 in
+      ignore
+        (with_rt ~policy:Runtime.Reactive (fun os asp seg rt ->
+             for i = 0 to 15 do
+               ignore (Os.touch os asp ~vpn:(seg.As.base_vpn + i) ~write:false)
+             done;
+             (* feed hints through the one-behind filter into the buffer;
+                priorities >= 0, so Reactive never issues on its own *)
+             (* tag = priority: a buffer tag may not span priorities *)
+             List.iter
+               (fun p ->
+                 Runtime.release_page rt ~vpn:(seg.As.base_vpn + p)
+                   ~priority:(p mod 3) ~tag:(p mod 3))
+               hints;
+             settle ();
+             (* the OS reclaims some of them without telling the runtime *)
+             (match
+                List.sort_uniq compare
+                  (List.map (fun p -> seg.As.base_vpn + p) steals)
+              with
+             | [] -> ()
+             | vpns -> Os.release_request os asp ~vpns:(Array.of_list vpns));
+             settle ();
+             let rec loop () =
+               match Runtime.advise_evict rt with
+               | None -> ()
+               | Some vpn ->
+                   incr advised;
+                   if not (Os.page_resident asp ~vpn) then ok := false;
+                   (* surrender it, as the OS would on our advice *)
+                   Os.release_request os asp ~vpns:[| vpn |];
+                   settle ();
+                   loop ()
+             in
+             loop ()));
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful-degradation governor                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A machine small enough that touches exhaust the free list, with the
+   paging daemon parked (10 s interval) so nothing replenishes it: every
+   OS-side prefetch is then deterministically dropped. *)
+let gov_config =
+  {
+    Vm.Config.default with
+    Vm.Config.total_frames = 32;
+    min_freemem = 2;
+    desfree = 4;
+    daemon_interval_ns = Time_ns.sec 10;
+  }
+
+let tiny_governor =
+  {
+    Runtime.gv_window_ns = Time_ns.ms 1;
+    gv_min_samples = 1;
+    gv_bad_rate = 0.5;
+    gv_degrade_after = 1;
+    gv_recover_after = 2;
+  }
+
+let test_governor_ladder () =
+  let rt =
+    with_rt ~config:gov_config ~seg_pages:64 ~governor:tiny_governor
+      (fun os asp seg rt ->
+        (* exhaust the free list *)
+        let i = ref 0 in
+        while Os.free_pages os > 0 do
+          ignore (Os.touch os asp ~vpn:(seg.As.base_vpn + !i) ~write:false);
+          incr i
+        done;
+        (* prefetch hints for non-resident pages: each is dropped by the
+           OS, each 2 ms gap closes a 1 ms window, and every bad window
+           steps the ladder down until directives are off entirely *)
+        let j = ref 40 in
+        while Runtime.governor_level rt < 2 && !j < 60 do
+          Runtime.prefetch_page rt ~vpn:(seg.As.base_vpn + !j);
+          incr j;
+          Engine.delay ~cat:Account.Sleep (Time_ns.ms 2)
+        done;
+        check_int "degraded to demand paging" 2 (Runtime.governor_level rt);
+        (* hints now arrive during the quiet spell: at level 2 they are
+           suppressed (no OS samples), so windows count good and the
+           governor probes its way back to the configured policy *)
+        for _ = 1 to 10 do
+          Runtime.prefetch_page rt ~vpn:seg.As.base_vpn;
+          Engine.delay ~cat:Account.Sleep (Time_ns.ms 2)
+        done;
+        check_int "recovered" 0 (Runtime.governor_level rt))
+  in
+  let s = Runtime.stats rt in
+  check_bool "suppressed hints counted" true (s.Runtime.rt_gov_suppressed > 0);
+  check_bool "degrades counted" true (s.Runtime.rt_gov_degrades >= 2);
+  check_bool "recoveries counted" true (s.Runtime.rt_gov_recoveries >= 2);
+  check_int "final level in stats" 0 s.Runtime.rt_gov_level;
+  check_bool "drops were observed" true (s.Runtime.rt_prefetch_os_dropped > 0)
+
+let test_governor_off_by_default () =
+  let rt =
+    with_rt ~config:gov_config ~seg_pages:64 (fun os asp seg rt ->
+        let i = ref 0 in
+        while Os.free_pages os > 0 do
+          ignore (Os.touch os asp ~vpn:(seg.As.base_vpn + !i) ~write:false);
+          incr i
+        done;
+        for j = 40 to 50 do
+          Runtime.prefetch_page rt ~vpn:(seg.As.base_vpn + j);
+          Engine.delay ~cat:Account.Sleep (Time_ns.ms 2)
+        done;
+        check_int "level stays 0" 0 (Runtime.governor_level rt))
+  in
+  let s = Runtime.stats rt in
+  check_int "no transitions" 0 (s.Runtime.rt_gov_degrades + s.Runtime.rt_gov_recoveries);
+  check_bool "drops happened anyway" true (s.Runtime.rt_prefetch_os_dropped > 0)
+
 let () =
   Alcotest.run "memhog_runtime"
     [
@@ -433,6 +625,8 @@ let () =
           Alcotest.test_case "zero priority rejected" `Quick
             test_buffer_rejects_zero_priority;
           Alcotest.test_case "flush tag" `Quick test_buffer_flush_tag;
+          Alcotest.test_case "same-tag pop/flush interleaved" `Quick
+            test_buffer_same_tag_pop_flush_interleaved;
         ] );
       ( "filters",
         [
@@ -453,6 +647,16 @@ let () =
             test_aggressive_policy_issues_immediately;
           Alcotest.test_case "zero priority bypasses" `Quick
             test_zero_priority_bypasses_buffer;
+          Alcotest.test_case "negative priority bypasses" `Quick
+            test_negative_priority_bypasses_buffer;
+          Alcotest.test_case "reactive priority routing" `Quick
+            test_reactive_priority_routing;
+        ] );
+      ( "governor",
+        [
+          Alcotest.test_case "ladder degrades and recovers" `Quick
+            test_governor_ladder;
+          Alcotest.test_case "off by default" `Quick test_governor_off_by_default;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
@@ -460,5 +664,6 @@ let () =
             prop_buffer_conserves_pages;
             prop_buffer_priority_order;
             prop_buffer_interleaved_ops;
+            prop_reactive_advise_only_resident;
           ] );
     ]
