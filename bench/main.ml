@@ -31,6 +31,13 @@
                                          and governor checks; writes
                                          CHAOS_metrics.json (CI gate; see
                                          @chaos-smoke)
+     bench/main.exe audit --quick ...    page-lifecycle ledger audit: the
+                                         ledger's totals must reconcile
+                                         exactly with the VM's counters,
+                                         and the serialized metrics must
+                                         be byte-identical between serial
+                                         and pooled runs (see
+                                         @audit-smoke)
      bench/main.exe --chaos SPEC ...     inject the given fault plan into
                                          every matrix cell
      bench/main.exe microbench           bechamel microbenchmarks of the
@@ -49,7 +56,7 @@
    Experiment ids: table1 table2 fig1 fig7 fig8 table3 fig9 fig10a fig10b
    fig10c ablation-batch ablation-hwbits ablation-conservative
    ablation-rescue ablation-drop ablation-tlb ext-freemem ext-reactive
-   ext-two-hogs smoke chaos microbench *)
+   ext-two-hogs smoke chaos audit microbench *)
 
 open Memhog_core
 
@@ -432,6 +439,71 @@ let chaos_experiment ~machine ~jobs () =
         ~rows fmt ())
 
 (* ------------------------------------------------------------------ *)
+(* Audit: ledger reconciliation + --jobs determinism                    *)
+(* ------------------------------------------------------------------ *)
+
+module Ledger = Memhog_sim.Ledger
+
+(* The page-lifecycle ledger makes two hard promises (see @audit-smoke):
+   its totals reconcile exactly with the VM's own counters, and the
+   serialized metrics (ledger object included) are byte-identical whether
+   the cell ran on the main domain or inside the worker pool. *)
+let audit_experiment ~machine ~jobs () =
+  let wl = Workload.find "EMBAR" in
+  let run () = E.run (E.setup ~machine ~workload:wl ~variant:E.B ()) in
+  log (Printf.sprintf "audit: EMBAR/B serial + %d pooled replicas" jobs);
+  let serial = run () in
+  let pooled =
+    match Pool.map ~jobs run [ (); () ] with
+    | r :: _ -> r
+    | [] -> failwith "audit: pool returned no results"
+  in
+  let render r =
+    Metrics_io.to_string
+      (Metrics_io.metrics_json (Metrics.of_results ~label:"audit" [ r ]))
+  in
+  if render serial <> render pooled then
+    failwith "audit: metrics (ledger included) differ between serial and pooled runs";
+  let l = serial.E.r_ledger in
+  let s = serial.E.r_app_stats in
+  let module VS = Memhog_vm.Vm_stats in
+  let checks =
+    [
+      ("hard faults", l.Ledger.ls_hard_faults, s.VS.hard_faults);
+      ("soft faults", l.Ledger.ls_soft_faults, s.VS.soft_faults);
+      ("validation faults", l.Ledger.ls_validation_faults, s.VS.validation_faults);
+      ("zero fills", l.Ledger.ls_zero_fills, s.VS.zero_fills);
+      ("rescues", l.Ledger.ls_rescues, s.VS.rescued_daemon + s.VS.rescued_releaser);
+      ("prefetches issued", l.Ledger.ls_prefetches_issued, s.VS.prefetches_issued);
+      ("prefetches dropped", l.Ledger.ls_prefetches_dropped, s.VS.prefetches_dropped);
+      ("releases freed", l.Ledger.ls_releases_freed, s.VS.freed_by_releaser);
+      ("releases skipped", l.Ledger.ls_releases_skipped, s.VS.releases_skipped);
+    ]
+  in
+  List.iter
+    (fun (name, lv, vv) ->
+      if lv <> vv then
+        failwith
+          (Printf.sprintf "audit: %s: ledger %d <> vm %d" name lv vv))
+    checks;
+  if not (Ledger.invariants_ok l) then
+    failwith "audit: ledger summary violates its structural invariants";
+  Format.asprintf "@[<v>%t@]" (fun fmt ->
+      Report.table
+        ~title:
+          (Printf.sprintf
+             "Ledger audit: EMBAR/B, %d sites, %d pages (serial == pooled)"
+             (List.length l.Ledger.ls_sites)
+             l.Ledger.ls_pages_tracked)
+        ~header:[ "counter"; "ledger"; "vm" ]
+        ~rows:
+          (List.map
+             (fun (name, lv, vv) ->
+               [ name; Report.count lv; Report.count vv ])
+             checks)
+        fmt ())
+
+(* ------------------------------------------------------------------ *)
 (* Experiment registry                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -459,6 +531,7 @@ let experiments ~machine ~jobs =
     ("ext-two-hogs", fun () -> Figures.ext_two_hogs ~machine ~jobs ~log ());
     ("smoke", fun () -> smoke ~machine ~jobs ());
     ("chaos", fun () -> chaos_experiment ~machine ~jobs ());
+    ("audit", fun () -> audit_experiment ~machine ~jobs ());
   ]
 
 let usage () =
@@ -535,7 +608,10 @@ let () =
   let registry = experiments ~machine ~jobs in
   let to_run =
     match selected with
-    | [] -> List.filter (fun (n, _) -> n <> "smoke" && n <> "chaos") registry
+    | [] ->
+        List.filter
+          (fun (n, _) -> n <> "smoke" && n <> "chaos" && n <> "audit")
+          registry
     | names ->
         List.map
           (fun n ->

@@ -8,6 +8,7 @@
      sweep      interactive response vs sleep time for any benchmark
      report     render metrics JSON files as human-readable tables
      compare    diff two metrics JSON files (the CI regression gate)
+     audit      per-directive-site efficacy report from the page ledger
 *)
 
 open Cmdliner
@@ -493,6 +494,202 @@ let compare_cmd =
           runs this with --tolerance 0 against a committed baseline.")
     Term.(const run $ baseline $ current $ tolerance)
 
+(* ------------------------------------------------------------------ *)
+(* audit                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Ledger = Memhog_sim.Ledger
+module Pir = Memhog_compiler.Pir
+
+let audit_cmd =
+  let variant =
+    Arg.(
+      value
+      & opt variant_conv Experiment.R
+      & info [ "variant"; "v" ] ~docv:"V" ~doc:"Variant to audit (O, P, R, B).")
+  in
+  let iterations =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "iterations"; "n" ] ~docv:"N" ~doc:"Main-computation passes.")
+  in
+  let conservative =
+    Arg.(
+      value & flag
+      & info [ "conservative" ]
+          ~doc:"Use the idealized section-2.3.2 insertion rule.")
+  in
+  let run machine workload variant iterations conservative =
+    let r =
+      Experiment.run
+        (Experiment.setup ~machine ?iterations ~conservative ~workload ~variant
+           ())
+    in
+    let l = r.Experiment.r_ledger in
+    let site_info tag =
+      List.find_opt (fun si -> si.Pir.si_tag = tag) r.Experiment.r_sites
+    in
+    let site_desc tag =
+      if tag = Memhog_sim.Trace.no_site then "(unattributed)"
+      else
+        match site_info tag with
+        | Some si -> si.Pir.si_desc
+        | None -> "?"
+    in
+    let table ~title ~header ~rows =
+      if rows <> [] then
+        Format.printf "@[<v>%t@]@."
+          (fun fmt -> Report.table ~title ~header ~rows fmt ())
+    in
+    Format.printf "audit: %s/%s on %s, %d passes, elapsed %s@."
+      r.Experiment.r_workload
+      (Experiment.variant_name r.Experiment.r_variant)
+      machine.Machine.m_name r.Experiment.r_iterations
+      (Time_ns.to_string r.Experiment.r_elapsed);
+    Format.printf "%d static directive sites, %d pages tracked@.@."
+      (List.length r.Experiment.r_sites)
+      l.Ledger.ls_pages_tracked;
+    (* --- per-site efficacy: prefetch sites --------------------------- *)
+    let is_release (row : Ledger.site_row) =
+      match site_info row.sr_site with
+      | Some si -> si.Pir.si_kind = Pir.S_release
+      | None -> row.sr_rel_hints > 0 || row.sr_rel_freed > 0
+    in
+    let pf_rows =
+      List.filter_map
+        (fun (row : Ledger.site_row) ->
+          if is_release row || row.sr_pf_sent = 0 then None
+          else
+            Some
+              [
+                (if row.sr_site = Memhog_sim.Trace.no_site then "-"
+                 else string_of_int row.sr_site);
+                site_desc row.sr_site;
+                Report.count row.sr_pf_sent;
+                Report.count row.sr_pf_issued;
+                Report.count row.sr_pf_dropped;
+                Report.count row.sr_pf_raced;
+                Report.count row.sr_pf_done;
+                Report.count row.sr_pf_referenced;
+                Report.count row.sr_pf_useless;
+                Report.count row.sr_pf_late;
+                Report.ns row.sr_pf_saved_ns;
+              ])
+        l.Ledger.ls_sites
+    in
+    table ~title:"Prefetch sites"
+      ~header:
+        [
+          "site"; "directive"; "sent"; "issued"; "dropped"; "raced"; "done";
+          "refd"; "useless"; "late"; "latency saved";
+        ]
+      ~rows:pf_rows;
+    (* --- per-site efficacy: release sites ---------------------------- *)
+    let rel_rows =
+      List.filter_map
+        (fun (row : Ledger.site_row) ->
+          if not (is_release row) then None
+          else
+            let static_prio =
+              match site_info row.sr_site with
+              | Some si -> string_of_int si.Pir.si_priority
+              | None -> "-"
+            in
+            Some
+              [
+                (if row.sr_site = Memhog_sim.Trace.no_site then "-"
+                 else string_of_int row.sr_site);
+                site_desc row.sr_site;
+                static_prio;
+                Report.f1 row.sr_priority_mean;
+                Report.count row.sr_rel_hints;
+                Report.count row.sr_rel_filtered;
+                Report.count row.sr_rel_buffered;
+                Report.count row.sr_rel_stale;
+                Report.count row.sr_rel_sent;
+                Report.count row.sr_rel_skipped;
+                Report.count row.sr_rel_freed;
+                Report.count row.sr_rel_rescued;
+                Report.count row.sr_rel_refaulted;
+                Report.count row.sr_rel_reused;
+                Report.count row.sr_rel_unreclaimed;
+                Report.pct row.sr_refault_pct;
+              ])
+        l.Ledger.ls_sites
+    in
+    table ~title:"Release sites (Eq. 2 priority vs observed refault rate)"
+      ~header:
+        [
+          "site"; "directive"; "prio"; "mean"; "hints"; "filt"; "buf"; "stale";
+          "sent"; "skip"; "freed"; "resc"; "refault"; "reused"; "unrecl";
+          "refault%";
+        ]
+      ~rows:rel_rows;
+    (* --- wasted-work taxonomy ---------------------------------------- *)
+    table ~title:"Wasted-work taxonomy"
+      ~header:[ "category"; "pages" ]
+      ~rows:
+        [
+          [ "useless prefetches (fetched, never referenced)";
+            Report.count l.Ledger.ls_useless_prefetches ];
+          [ "late prefetches (demand fault won the race)";
+            Report.count l.Ledger.ls_late_prefetches ];
+          [ "too-early releases, rescued (cheap)";
+            Report.count l.Ledger.ls_early_rescued ];
+          [ "too-early releases, refaulted (expensive)";
+            Report.count l.Ledger.ls_early_refaulted ];
+          [ "useful releases (freed frame reused)";
+            Report.count l.Ledger.ls_useful_releases ];
+          [ "unnecessary releases (freed, never reclaimed)";
+            Report.count l.Ledger.ls_unnecessary_releases ];
+        ];
+    (* --- reconciliation against the VM's own counters ---------------- *)
+    let s = r.Experiment.r_app_stats in
+    let checks =
+      [
+        ("hard faults", l.Ledger.ls_hard_faults, s.VS.hard_faults);
+        ("soft faults", l.Ledger.ls_soft_faults, s.VS.soft_faults);
+        ( "validation faults",
+          l.Ledger.ls_validation_faults,
+          s.VS.validation_faults );
+        ("zero fills", l.Ledger.ls_zero_fills, s.VS.zero_fills);
+        ("rescues", l.Ledger.ls_rescues, s.VS.rescued_daemon + s.VS.rescued_releaser);
+        ("prefetches issued", l.Ledger.ls_prefetches_issued, s.VS.prefetches_issued);
+        ("prefetches dropped", l.Ledger.ls_prefetches_dropped, s.VS.prefetches_dropped);
+        ("releases freed", l.Ledger.ls_releases_freed, s.VS.freed_by_releaser);
+        ("releases skipped", l.Ledger.ls_releases_skipped, s.VS.releases_skipped);
+      ]
+    in
+    table ~title:"Reconciliation (ledger vs Vm_stats)"
+      ~header:[ "counter"; "ledger"; "vm"; "status" ]
+      ~rows:
+        (List.map
+           (fun (name, lv, vv) ->
+             [
+               name; Report.count lv; Report.count vv;
+               (if lv = vv then "ok" else "MISMATCH");
+             ])
+           checks);
+    let reconciled = List.for_all (fun (_, lv, vv) -> lv = vv) checks in
+    let legal = Ledger.invariants_ok l in
+    if not legal then Format.printf "ledger invariants: VIOLATED@.";
+    Format.printf "audit: %s@."
+      (if reconciled && legal then "all counters reconcile"
+       else "RECONCILIATION FAILED");
+    if reconciled && legal && r.Experiment.r_invariants_ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Run one fixed-seed experiment and report the page-lifecycle \
+          ledger: per-directive-site efficacy, the wasted-work taxonomy, \
+          and an exact reconciliation of the ledger's totals against the \
+          VM's own counters (exits non-zero when they disagree).")
+    Term.(
+      const run $ machine_term $ workload_term $ variant $ iterations
+      $ conservative)
+
 let () =
   let doc =
     "compiler-inserted releases for out-of-core applications (OSDI 2000 \
@@ -504,5 +701,5 @@ let () =
           (Cmd.info "memhog" ~version:"1.0.0" ~doc)
           [
             list_cmd; machine_cmd; compile_cmd; run_cmd; sweep_cmd;
-            report_cmd; compare_cmd;
+            report_cmd; compare_cmd; audit_cmd;
           ]))

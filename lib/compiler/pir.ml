@@ -60,6 +60,47 @@ let find_proc prog name =
   | Some p -> p
   | None -> invalid_arg (Printf.sprintf "Pir: unknown procedure %s" name)
 
+type site_kind = S_prefetch | S_release
+
+type site_info = {
+  si_tag : int;
+  si_kind : site_kind;
+  si_array : string;
+  si_desc : string;
+  si_priority : int;
+}
+
+let sites prog =
+  let acc = ref [] in
+  let rec walk = function
+    | P_seq ss -> List.iter walk ss
+    | P_loop { body; _ } -> walk body
+    | P_touch _ | P_compute _ | P_indirect _ | P_call _ -> ()
+    | P_prefetch d ->
+        acc :=
+          {
+            si_tag = d.d_tag;
+            si_kind = S_prefetch;
+            si_array = d.d_array;
+            si_desc = d.d_desc;
+            si_priority = 0;
+          }
+          :: !acc
+    | P_release { dir = d; priority } ->
+        acc :=
+          {
+            si_tag = d.d_tag;
+            si_kind = S_release;
+            si_array = d.d_array;
+            si_desc = d.d_desc;
+            si_priority = priority;
+          }
+          :: !acc
+  in
+  walk prog.px_main;
+  List.iter (fun (_, p) -> walk p) prog.px_procs;
+  List.sort (fun a b -> compare a.si_tag b.si_tag) !acc
+
 let rec pp_stmt fmt = function
   | P_seq ss -> Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt fmt ss
   | P_loop { var; step; body; _ } ->

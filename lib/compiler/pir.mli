@@ -67,6 +67,21 @@ type prog = {
 
 val find_proc : prog -> string -> pstmt
 
+type site_kind = S_prefetch | S_release
+
+type site_info = {
+  si_tag : int;       (** directive tag = ledger site id *)
+  si_kind : site_kind;
+  si_array : string;
+  si_desc : string;   (** human-readable site description *)
+  si_priority : int;  (** Eq. 2 static priority (releases; 0 for prefetches) *)
+}
+
+val sites : prog -> site_info list
+(** Every static prefetch/release directive site in the program, sorted by
+    tag.  Joins the ledger's per-site efficacy rows back to source-level
+    descriptions for the audit report. *)
+
 val pp : Format.formatter -> prog -> unit
 (** Structural dump with directive descriptions (index closures cannot be
     printed; the [d_desc] strings recorded at generation time are shown). *)

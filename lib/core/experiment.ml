@@ -73,6 +73,8 @@ type result = {
   r_response_hist : Histogram.t option;
   r_chaos : Chaos.stats option;
   r_disk_timeouts : int;
+  r_ledger : Ledger.summary;
+  r_sites : Pir.site_info list;
 }
 
 type setup = {
@@ -135,8 +137,12 @@ let run (s : setup) =
     | Some spec -> Chaos.create ~seed:m.Machine.m_seed spec
     | None -> Chaos.none
   in
+  (* The lifecycle ledger is always on: it is cheap (hash-table updates at
+     emit points, no simulated-time interaction) and private to this cell,
+     so its summary is byte-identical at any --jobs level. *)
+  let ledger = Ledger.create () in
   let os =
-    Os.create ~swap_config:m.Machine.m_swap ?trace:s.trace ~chaos
+    Os.create ~swap_config:m.Machine.m_swap ?trace:s.trace ~ledger ~chaos
       ~config:m.Machine.m_config ~engine ()
   in
   let trace = Os.trace os in
@@ -296,6 +302,8 @@ let run (s : setup) =
         (fun acc d -> acc + Memhog_disk.Disk.timeouts d)
         0
         (Memhog_disk.Swap.disks swap);
+    r_ledger = Ledger.summarize ledger;
+    r_sites = Pir.sites prog;
   }
 
 let run_interactive_alone ?(machine = Machine.paper) ~sleep ~duration () =

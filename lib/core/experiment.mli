@@ -77,6 +77,13 @@ type result = {
   r_disk_timeouts : int;
       (** swap requests whose total latency (queueing + retries + service)
           exceeded the per-request deadline, summed over disks *)
+  r_ledger : Memhog_sim.Ledger.summary;
+      (** the page-lifecycle ledger's close-out: per-directive-site efficacy
+          rows plus the wasted-work taxonomy.  Always collected (the ledger
+          is cell-private and byte-deterministic at any [--jobs]). *)
+  r_sites : Memhog_compiler.Pir.site_info list;
+      (** the compiled program's static directive sites, for joining ledger
+          rows back to source-level descriptions *)
 }
 
 type setup = {

@@ -1,0 +1,27 @@
+(* The one JSON string escaper of the repo: {!Metrics_io} and
+   {!Trace_export} both route through it, so a workload name that renders
+   fine in metrics.json cannot corrupt the Chrome trace. *)
+
+let add_escaped_body buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  add_escaped_body buf s;
+  Buffer.contents buf
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  add_escaped_body buf s;
+  Buffer.add_char buf '"'

@@ -122,6 +122,9 @@ type cell = {
   c_swap_writes : int;
   c_governor : governor_summary option;
   c_chaos : chaos_summary option;
+  c_trace_dropped : int;
+  c_ledger : Ledger.summary;
+  c_sites : Memhog_compiler.Pir.site_info list;
 }
 
 let governor_of (rt : Runtime.stats) =
@@ -168,6 +171,9 @@ let of_result (r : E.result) =
     c_governor = Option.map governor_of r.E.r_runtime;
     c_chaos =
       Option.map (chaos_of ~disk_timeouts:r.E.r_disk_timeouts) r.E.r_chaos;
+    c_trace_dropped = Trace.dropped r.E.r_trace;
+    c_ledger = r.E.r_ledger;
+    c_sites = r.E.r_sites;
   }
 
 type totals = {

@@ -106,6 +106,16 @@ type cell = {
       (** present whenever the cell has a run-time layer (all variants but
           O), even with the governor off, so the field's shape is stable *)
   c_chaos : chaos_summary option;  (** present only for chaos runs *)
+  c_trace_dropped : int;
+      (** events the cell's trace ring overwrote (0 when tracing was off);
+          a non-zero value warns that the exported Chrome trace is
+          truncated — the ledger, fed at the emit point, is not *)
+  c_ledger : Memhog_sim.Ledger.summary;
+      (** page-lifecycle close-out: wasted-work taxonomy and the
+          per-directive-site efficacy table *)
+  c_sites : Memhog_compiler.Pir.site_info list;
+      (** static directive sites of the cell's compiled program, joining
+          ledger rows back to source-level descriptions *)
 }
 
 (** Matrix-wide aggregates, built with {!Memhog_sim.Account.add_to},

@@ -26,21 +26,8 @@ let num_of_float f =
 (* Writer                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let add_escaped buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
+let escape_string = Json_str.escape
+let add_escaped = Json_str.add_escaped
 
 let is_scalar = function
   | Null | Bool _ | Num _ | Str _ -> true
@@ -264,8 +251,10 @@ let parse s =
 
 let schema = "memhog-metrics"
 
-(* v2: cells gained "governor" and "chaos" objects (null when absent). *)
-let schema_version = 2
+(* v2: cells gained "governor" and "chaos" objects (null when absent).
+   v3: cells gained "trace_dropped" and the page-lifecycle "ledger" object
+   (wasted-work taxonomy + per-directive-site efficacy table). *)
+let schema_version = 3
 
 let breakdown_json (b : Experiment.breakdown) =
   Obj
@@ -349,6 +338,75 @@ let chaos_json (ch : Metrics.chaos_summary) =
       ("pressure_pages", num_of_int ch.Metrics.ch_pressure_pages);
     ]
 
+let ledger_json (c : Metrics.cell) =
+  let module L = Memhog_sim.Ledger in
+  let module P = Memhog_compiler.Pir in
+  let l = c.Metrics.c_ledger in
+  let label tag =
+    List.find_opt (fun (si : P.site_info) -> si.P.si_tag = tag) c.Metrics.c_sites
+  in
+  let row (r : L.site_row) =
+    let kind, desc, static_priority =
+      match label r.L.sr_site with
+      | Some si ->
+          ( (match si.P.si_kind with
+            | P.S_prefetch -> "prefetch"
+            | P.S_release -> "release"),
+            si.P.si_desc,
+            si.P.si_priority )
+      | None -> ("unattributed", "", 0)
+    in
+    Obj
+      [
+        ("site", num_of_int r.L.sr_site);
+        ("kind", Str kind);
+        ("desc", Str desc);
+        ("static_priority", num_of_int static_priority);
+        ("pf_sent", num_of_int r.L.sr_pf_sent);
+        ("pf_issued", num_of_int r.L.sr_pf_issued);
+        ("pf_dropped", num_of_int r.L.sr_pf_dropped);
+        ("pf_raced", num_of_int r.L.sr_pf_raced);
+        ("pf_done", num_of_int r.L.sr_pf_done);
+        ("pf_referenced", num_of_int r.L.sr_pf_referenced);
+        ("pf_useless", num_of_int r.L.sr_pf_useless);
+        ("pf_late", num_of_int r.L.sr_pf_late);
+        ("pf_saved_ns", num_of_int r.L.sr_pf_saved_ns);
+        ("rel_hints", num_of_int r.L.sr_rel_hints);
+        ("rel_filtered", num_of_int r.L.sr_rel_filtered);
+        ("rel_buffered", num_of_int r.L.sr_rel_buffered);
+        ("rel_stale", num_of_int r.L.sr_rel_stale);
+        ("rel_sent", num_of_int r.L.sr_rel_sent);
+        ("rel_skipped", num_of_int r.L.sr_rel_skipped);
+        ("rel_freed", num_of_int r.L.sr_rel_freed);
+        ("rel_rescued", num_of_int r.L.sr_rel_rescued);
+        ("rel_refaulted", num_of_int r.L.sr_rel_refaulted);
+        ("rel_reused", num_of_int r.L.sr_rel_reused);
+        ("rel_unreclaimed", num_of_int r.L.sr_rel_unreclaimed);
+        ("priority_mean", num_of_float r.L.sr_priority_mean);
+        ("refault_pct", num_of_float r.L.sr_refault_pct);
+      ]
+  in
+  Obj
+    [
+      ("pages_tracked", num_of_int l.L.ls_pages_tracked);
+      ("useless_prefetches", num_of_int l.L.ls_useless_prefetches);
+      ("late_prefetches", num_of_int l.L.ls_late_prefetches);
+      ("early_rescued", num_of_int l.L.ls_early_rescued);
+      ("early_refaulted", num_of_int l.L.ls_early_refaulted);
+      ("useful_releases", num_of_int l.L.ls_useful_releases);
+      ("unnecessary_releases", num_of_int l.L.ls_unnecessary_releases);
+      ("hard_faults", num_of_int l.L.ls_hard_faults);
+      ("soft_faults", num_of_int l.L.ls_soft_faults);
+      ("validation_faults", num_of_int l.L.ls_validation_faults);
+      ("zero_fills", num_of_int l.L.ls_zero_fills);
+      ("rescues", num_of_int l.L.ls_rescues);
+      ("prefetches_issued", num_of_int l.L.ls_prefetches_issued);
+      ("prefetches_dropped", num_of_int l.L.ls_prefetches_dropped);
+      ("releases_freed", num_of_int l.L.ls_releases_freed);
+      ("releases_skipped", num_of_int l.L.ls_releases_skipped);
+      ("sites", Arr (List.map row l.L.ls_sites));
+    ]
+
 let cell_json (c : Metrics.cell) =
   Obj
     [
@@ -370,6 +428,8 @@ let cell_json (c : Metrics.cell) =
       ("swap_writes", num_of_int c.Metrics.c_swap_writes);
       ("governor", opt governor_json c.Metrics.c_governor);
       ("chaos", opt chaos_json c.Metrics.c_chaos);
+      ("trace_dropped", num_of_int c.Metrics.c_trace_dropped);
+      ("ledger", ledger_json c);
     ]
 
 let proc_json (p : Memhog_vm.Vm_stats.proc) =
@@ -659,6 +719,92 @@ let render j =
                ])
              cells)
         fmt ();
+      let with_ledger =
+        List.filter
+          (fun c ->
+            match member "ledger" c with Some (Obj _) -> true | _ -> false)
+          cells
+      in
+      if with_ledger <> [] then begin
+        Format.fprintf fmt "@,";
+        Report.table ~title:"Wasted work (page-lifecycle ledger)"
+          ~header:
+            [
+              "run"; "pages"; "useless pf"; "late pf"; "early rel (resc/refault)";
+              "useful rel"; "unnecessary rel"; "trace drops";
+            ]
+          ~rows:
+            (List.map
+               (fun c ->
+                 let l = Option.value (member "ledger" c) ~default:Null in
+                 [
+                   run c;
+                   icount "pages_tracked" l;
+                   icount "useless_prefetches" l;
+                   icount "late_prefetches" l;
+                   Printf.sprintf "%s/%s" (icount "early_rescued" l)
+                     (icount "early_refaulted" l);
+                   icount "useful_releases" l;
+                   icount "unnecessary_releases" l;
+                   icount "trace_dropped" c;
+                 ])
+               with_ledger)
+          fmt ();
+        let site_rows =
+          List.concat_map
+            (fun c ->
+              match member "ledger" c with
+              | Some l -> (
+                  match member "sites" l with
+                  | Some (Arr rows) ->
+                      List.filter_map
+                        (fun r ->
+                          (* only rows with activity: keep the report short *)
+                          let any k =
+                            match int_member k r with
+                            | Some v -> v > 0
+                            | None -> false
+                          in
+                          if any "pf_sent" || any "rel_hints" then
+                            Some
+                              [
+                                run c;
+                                icount "site" r;
+                                Printf.sprintf "%s %s" (istr "kind" r)
+                                  (istr "desc" r);
+                                Printf.sprintf "%s/%s" (icount "pf_issued" r)
+                                  (icount "pf_dropped" r);
+                                Printf.sprintf "%s/%s"
+                                  (icount "pf_referenced" r)
+                                  (icount "pf_useless" r);
+                                ins "pf_saved_ns" r;
+                                Printf.sprintf "%s/%s" (icount "rel_sent" r)
+                                  (icount "rel_freed" r);
+                                Printf.sprintf "%s/%s"
+                                  (icount "rel_rescued" r)
+                                  (icount "rel_refaulted" r);
+                                icount "static_priority" r;
+                                (match float_member "refault_pct" r with
+                                | Some f -> Report.pct (f /. 100.0)
+                                | None -> "-");
+                              ]
+                          else None)
+                        rows
+                  | _ -> [])
+              | None -> [])
+            with_ledger
+        in
+        if site_rows <> [] then begin
+          Format.fprintf fmt "@,";
+          Report.table ~title:"Per-site efficacy"
+            ~header:
+              [
+                "run"; "site"; "directive"; "pf iss/drop"; "pf ref/useless";
+                "saved"; "rel sent/freed"; "resc/refault"; "prio"; "refault%";
+              ]
+            ~rows:site_rows fmt ()
+        end
+      end;
       Format.fprintf fmt "@,";
       Report.table ~title:"Telemetry (min / mean / max)"
         ~header:[ "run"; "series"; "samples"; "min"; "mean"; "max" ]

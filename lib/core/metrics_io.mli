@@ -21,6 +21,10 @@ type json =
 val num_of_int : int -> json
 val num_of_float : float -> json
 
+val escape_string : string -> string
+(** JSON string-body escaping (no surrounding quotes): {!Json_str.escape},
+    the single escaper shared by this writer and {!Trace_export}. *)
+
 val to_string : json -> string
 (** Canonical rendering: 2-space indent, keys in the order given. *)
 

@@ -1,19 +1,8 @@
 open Memhog_sim
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* One escaper for every JSON writer in the repo (quotes, backslashes,
+   control characters): see {!Json_str}. *)
+let json_escape = Json_str.escape
 
 (* Chrome's trace format has no notion of negative thread ids, so daemon
    streams (-1 ..) are remapped above any plausible process pid. *)
@@ -23,14 +12,24 @@ let tid_of_stream stream = if stream >= 0 then stream else 1_000_000 - stream
    precision in the fraction. *)
 let ts_of_time time = Printf.sprintf "%.3f" (float_of_int time /. 1000.0)
 
+(* Only strict decimal integers stay numbers ([int_of_string_opt] would
+   also accept "0x1f" and "1_000", silently changing the payload). *)
+let is_decimal s =
+  let n = String.length s in
+  let start = if n > 0 && s.[0] = '-' then 1 else 0 in
+  let ok = ref (n > start) in
+  for i = start to n - 1 do
+    if not (s.[i] >= '0' && s.[i] <= '9') then ok := false
+  done;
+  !ok
+
 let args_json args =
   String.concat ","
     (List.map
        (fun (k, v) ->
          (* numeric payloads stay numbers; everything else is a string *)
-         match int_of_string_opt v with
-         | Some n -> Printf.sprintf "\"%s\":%d" (json_escape k) n
-         | None -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+         if is_decimal v then Printf.sprintf "\"%s\":%s" (json_escape k) v
+         else Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
        args)
 
 let event_row ~time ~stream ev =
@@ -51,10 +50,99 @@ let event_row ~time ~stream ev =
       Printf.sprintf "{\"name\":\"%s\",\"ph\":\"B\",%s}" (json_escape name) common
   | Trace.Phase_end { name } ->
       Printf.sprintf "{\"name\":\"%s\",\"ph\":\"E\",%s}" (json_escape name) common
+  | Trace.Disk_io { disk; block; write; ns } ->
+      (* the completion event spans the whole request: render it as a
+         duration slice ending at the emission time *)
+      Printf.sprintf
+        "{\"name\":\"disk%d %s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":{\"block\":%d}}"
+        disk
+        (if write then "write" else "read")
+        tid
+        (ts_of_time (time - ns))
+        (ts_of_time ns) block
   | ev ->
       Printf.sprintf "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",%s,\"args\":{%s}}"
         (Trace.event_name ev) common
         (args_json (Trace.event_args ev))
+
+(* ------------------------------------------------------------------ *)
+(* Flow events: directive -> OS action -> fault/rescue                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Chrome flow events ("s" start, "t" step, "f" finish) draw arrows across
+   lanes.  Two chain kinds, keyed by (owner pid, vpn):
+
+   - prefetch: Rt_prefetch_sent -> Prefetch_issued -> Prefetch_done ->
+     first fault on the page (validation = the hidden-latency payoff,
+     hard = the prefetch lost), or Prefetch_dropped/Raced;
+   - release: Rt_release_sent -> Releaser_free -> Rescue / Hard_fault
+     (too-early release) / Frame_reused (the free paid off), or
+     Release_skipped.
+
+   Chains whose start fell off the ring simply produce no arrows. *)
+type flows = {
+  mutable next_id : int;
+  pf : (int * int, int) Hashtbl.t;
+  rel : (int * int, int) Hashtbl.t;
+}
+
+let flow_row ~name ~ph ~id ~stream ~time =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"cat\":\"flow\",\"ph\":\"%s\"%s,\"id\":%d,\"pid\":0,\"tid\":%d,\"ts\":%s}"
+    name ph
+    (if ph = "f" then ",\"bp\":\"e\"" else "")
+    id (tid_of_stream stream) (ts_of_time time)
+
+let flow_rows fl ~time ~stream ev =
+  let start table ~key ~name =
+    let id = fl.next_id in
+    fl.next_id <- id + 1;
+    Hashtbl.replace table key id;
+    [ flow_row ~name ~ph:"s" ~id ~stream ~time ]
+  in
+  let step table ~key ~name =
+    match Hashtbl.find_opt table key with
+    | Some id -> [ flow_row ~name ~ph:"t" ~id ~stream ~time ]
+    | None -> []
+  in
+  let finish table ~key ~name =
+    match Hashtbl.find_opt table key with
+    | Some id ->
+        Hashtbl.remove table key;
+        [ flow_row ~name ~ph:"f" ~id ~stream ~time ]
+    | None -> []
+  in
+  let pf_name site = Printf.sprintf "pf-site%d" site in
+  let rel_name site = Printf.sprintf "rel-site%d" site in
+  match ev with
+  | Trace.Rt_prefetch_sent { vpn; site } when stream >= 0 ->
+      start fl.pf ~key:(stream, vpn) ~name:(pf_name site)
+  | Trace.Prefetch_issued { vpn; site } ->
+      step fl.pf ~key:(stream, vpn) ~name:(pf_name site)
+  | Trace.Prefetch_done { vpn; site; _ } ->
+      step fl.pf ~key:(stream, vpn) ~name:(pf_name site)
+  | Trace.Prefetch_dropped { vpn; site } | Trace.Prefetch_raced { vpn; site }
+    ->
+      finish fl.pf ~key:(stream, vpn) ~name:(pf_name site)
+  | Trace.Rt_release_sent { vpn; site } when stream >= 0 ->
+      start fl.rel ~key:(stream, vpn) ~name:(rel_name site)
+  | Trace.Releaser_free { vpn; owner; site } ->
+      step fl.rel ~key:(owner, vpn) ~name:(rel_name site)
+  | Trace.Release_skipped { vpn; owner; site } ->
+      finish fl.rel ~key:(owner, vpn) ~name:(rel_name site)
+  | Trace.Rescue { vpn; site; _ } when stream >= 0 ->
+      finish fl.rel ~key:(stream, vpn) ~name:(rel_name site)
+  | Trace.Frame_reused { vpn; owner } ->
+      finish fl.rel ~key:(owner, vpn) ~name:(rel_name Trace.no_site)
+  | Trace.Validation_fault { vpn } | Trace.Soft_fault { vpn }
+    when stream >= 0 ->
+      finish fl.pf ~key:(stream, vpn) ~name:(pf_name Trace.no_site)
+  | Trace.Hard_fault { vpn } when stream >= 0 ->
+      (* a hard fault terminates whichever chains are open on the page:
+         an in-flight prefetch it beat, a release it refaulted *)
+      finish fl.pf ~key:(stream, vpn) ~name:(pf_name Trace.no_site)
+      @ finish fl.rel ~key:(stream, vpn) ~name:(rel_name Trace.no_site)
+  | _ -> []
 
 let to_chrome_json trace =
   let buf = Buffer.create 65536 in
@@ -75,8 +163,13 @@ let to_chrome_json trace =
                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
                (tid_of_stream stream) (json_escape name)))
     (Trace.stream_ids trace);
-  Trace.iter trace (fun ~time ~stream ev -> add (event_row ~time ~stream ev));
-  Buffer.add_string buf "]}\n";
+  let fl = { next_id = 1; pf = Hashtbl.create 256; rel = Hashtbl.create 256 } in
+  Trace.iter trace (fun ~time ~stream ev ->
+      add (event_row ~time ~stream ev);
+      List.iter add (flow_rows fl ~time ~stream ev));
+  Buffer.add_string buf
+    (Printf.sprintf "],\"metadata\":{\"dropped_events\":%d}}\n"
+       (Trace.dropped trace));
   Buffer.contents buf
 
 let write_file ~path content =

@@ -6,11 +6,17 @@
       for faults/steals/releases, counter tracks for free-list depth and
       RSS samples, and begin/end pairs for application phases.  Timestamps
       are simulated nanoseconds rendered as the format's microseconds.
+      Disk request completions render as duration slices, and {e flow
+      events} (arrows) link each directive's chain across lanes:
+      prefetch-sent → issued → done → the fault it absorbed, and
+      release-sent → releaser-free → rescue / refault / frame reuse.
+      The document's [metadata.dropped_events] records ring overflow, so
+      a truncated export is detectable.
     - CSV time series ([series,time_ns,value] rows) for figure
       regeneration. *)
 
 val to_chrome_json : Memhog_sim.Trace.t -> string
-(** The complete [{"traceEvents": [...]}] document. *)
+(** The complete [{"traceEvents": [...], "metadata": {...}}] document. *)
 
 val write_chrome_json : Memhog_sim.Trace.t -> path:string -> unit
 

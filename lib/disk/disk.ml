@@ -147,8 +147,14 @@ let do_io ?(cat = Account.Io_stall) t ~block ~bytes ~is_write =
       Semaphore.release bus
   | None -> Engine.delay ~cat transfer);
   Semaphore.release t.arm;
-  if Engine.now () - started > t.params.request_timeout_ns then
-    t.timeouts <- t.timeouts + 1
+  let elapsed = Engine.now () - started in
+  if elapsed > t.params.request_timeout_ns then t.timeouts <- t.timeouts + 1;
+  (* One completion event per request, spanning queueing + positioning +
+     transfer (+ injected retries); the Chrome exporter links directive →
+     disk request → fault chains through these. *)
+  if Trace.enabled t.trace then
+    Trace.emit t.trace ~time:(Engine.now ()) ~stream:Trace.disk_stream
+      (Trace.Disk_io { disk = t.id; block; write = is_write; ns = elapsed })
 
 let read ?cat t ~block ~bytes = do_io ?cat t ~block ~bytes ~is_write:false
 let write ?cat t ~block ~bytes = do_io ?cat t ~block ~bytes ~is_write:true

@@ -176,7 +176,7 @@ let rec exec t (stmt : Pir.pstmt) =
   | Pir.P_prefetch d ->
       iter_pages t d.Pir.d_array ~first:(d.Pir.d_first t.env)
         ~count:(d.Pir.d_count t.env) ~stride:(d.Pir.d_stride t.env) (fun vpn ->
-          Runtime.prefetch_page t.rt ~vpn)
+          Runtime.prefetch_page t.rt ~vpn ~site:d.Pir.d_tag)
   | Pir.P_release { dir = d; priority } ->
       iter_pages t d.Pir.d_array ~first:(d.Pir.d_first t.env)
         ~count:(d.Pir.d_count t.env) ~stride:(d.Pir.d_stride t.env) (fun vpn ->

@@ -45,7 +45,11 @@ let default_governor =
     gv_recover_after = 4;
   }
 
-type work = W_prefetch of int | W_release of int array
+(* Work items carry the static directive site so the OS-side events stay
+   attributable after the asynchronous hop through the helper threads. *)
+type work =
+  | W_prefetch of int * int  (* vpn, site *)
+  | W_release of (int * int) array  (* (vpn, site) pairs *)
 
 type t = {
   os : Os.t;
@@ -75,12 +79,15 @@ type t = {
   mutable g_issued : int;
 }
 
-let tracing t = Trace.enabled (Os.trace t.os)
+(* Events feed both the trace ring and the lifecycle ledger; a single guard
+   keeps the hot path to one branch when neither observer is on. *)
+let tracing t =
+  Trace.enabled (Os.trace t.os) || Ledger.enabled (Os.ledger t.os)
 
 let emit t ev =
-  Trace.emit (Os.trace t.os)
-    ~time:(Engine.now_of (Os.engine t.os))
-    ~stream:t.asp.As.pid ev
+  let time = Engine.now_of (Os.engine t.os) in
+  Trace.emit (Os.trace t.os) ~time ~stream:t.asp.As.pid ev;
+  Ledger.observe (Os.ledger t.os) ~time ~stream:t.asp.As.pid ev
 
 let create ?(nthreads = 16) ?(release_target = 100) ?(headroom = 0)
     ?(filter_ns = 200) ?governor ~os ~asp ~policy () =
@@ -135,13 +142,15 @@ let buffered_pages t = Release_buffer.total t.buffer
 let thread_loop t () =
   while true do
     match Mailbox.recv t.queue with
-    | W_prefetch vpn -> (
-        match Os.prefetch t.os t.asp ~vpn with
+    | W_prefetch (vpn, site) -> (
+        match Os.prefetch t.os t.asp ~vpn ~site with
         | Os.P_dropped ->
             t.st.rt_prefetch_os_dropped <- t.st.rt_prefetch_os_dropped + 1
         | Os.P_fetched | Os.P_rescued | Os.P_already ->
             t.st.rt_prefetch_os_done <- t.st.rt_prefetch_os_done + 1)
-    | W_release vpns -> Os.release_request t.os t.asp ~vpns
+    | W_release pairs ->
+        Os.release_request t.os t.asp ~vpns:(Array.map fst pairs)
+          ~sites:(Array.map snd pairs)
   done
 
 let start t =
@@ -242,7 +251,7 @@ let gov_suppressed t =
   (t.st.rt_gov_suppressed <- t.st.rt_gov_suppressed + 1;
    true)
 
-let prefetch_page t ~vpn =
+let prefetch_page ?(site = Trace.no_site) t ~vpn =
   t.st.rt_prefetch_requests <- t.st.rt_prefetch_requests + 1;
   charge_filter t;
   gov_tick t;
@@ -251,29 +260,35 @@ let prefetch_page t ~vpn =
     t.st.rt_prefetch_filtered <- t.st.rt_prefetch_filtered + 1
   else begin
     t.st.rt_prefetch_enqueued <- t.st.rt_prefetch_enqueued + 1;
-    Mailbox.send t.queue (W_prefetch vpn)
+    if tracing t then emit t (Trace.Rt_prefetch_sent { vpn; site });
+    Mailbox.send t.queue (W_prefetch (vpn, site))
   end
 
-let issue_release t vpns =
-  if Array.length vpns > 0 then begin
-    t.st.rt_release_issued <- t.st.rt_release_issued + Array.length vpns;
-    if tracing t then emit t (Trace.Rt_release_issued { count = Array.length vpns });
-    Mailbox.send t.queue (W_release vpns)
+let issue_release t pairs =
+  if Array.length pairs > 0 then begin
+    t.st.rt_release_issued <- t.st.rt_release_issued + Array.length pairs;
+    if tracing t then begin
+      Array.iter
+        (fun (vpn, site) -> emit t (Trace.Rt_release_sent { vpn; site }))
+        pairs;
+      emit t (Trace.Rt_release_issued { count = Array.length pairs })
+    end;
+    Mailbox.send t.queue (W_release pairs)
   end
 
 (* Stale entries (pages already stolen or released behind our back) are
    cheap to drop before issuing, but not free to ignore: each one is a hint
    the buffer held too long, so they are counted and traced. *)
-let drop_stale t vpns =
+let drop_stale t pairs =
   List.filter
-    (fun vpn ->
+    (fun (vpn, site) ->
       let live = Os.page_resident t.asp ~vpn in
       if not live then begin
         t.st.rt_release_stale_dropped <- t.st.rt_release_stale_dropped + 1;
-        if tracing t then emit t (Trace.Rt_stale_dropped { vpn })
+        if tracing t then emit t (Trace.Rt_stale_dropped { vpn; site })
       end;
       live)
-    vpns
+    pairs
 
 (* Drain the lowest-priority queues when usage approaches the limit the OS
    published in the shared page. *)
@@ -282,29 +297,30 @@ let maybe_drain t =
   let limit = Os.shared_upper_limit t.os t.asp in
   if usage + t.headroom >= limit && Release_buffer.total t.buffer > 0 then begin
     t.st.rt_buffer_drains <- t.st.rt_buffer_drains + 1;
-    let vpns = Release_buffer.pop_lowest t.buffer ~max:t.release_target in
-    let vpns = Array.of_list (drop_stale t (Array.to_list vpns)) in
+    let pairs = Release_buffer.pop_lowest t.buffer ~max:t.release_target in
+    let pairs = Array.of_list (drop_stale t (Array.to_list pairs)) in
     if tracing t then
-      emit t (Trace.Rt_release_drained { count = Array.length vpns });
-    issue_release t vpns
+      emit t (Trace.Rt_release_drained { count = Array.length pairs });
+    issue_release t pairs
   end
 
 (* Handle a release that survived the one-behind filter. *)
 let handle_release t ~vpn ~priority ~tag =
   if not (Os.page_resident t.asp ~vpn) then begin
     t.st.rt_release_filtered_bitmap <- t.st.rt_release_filtered_bitmap + 1;
-    if tracing t then emit t (Trace.Rt_release_filtered { vpn; reason = "bitmap" })
+    if tracing t then
+      emit t (Trace.Rt_release_filtered { vpn; reason = "bitmap"; site = tag })
   end
   else
     (* Degraded to level >= 1: stop buffering — under an active fault the
        buffer only grows stale — and issue everything immediately. *)
     let effective = if gov_level t >= 1 then Aggressive else t.pol in
     match effective with
-    | Aggressive -> issue_release t [| vpn |]
+    | Aggressive -> issue_release t [| (vpn, tag) |]
     | Buffered ->
         (* Non-positive priorities mean "no reuse expected": they route to
            the immediate path ([Release_buffer.add] would reject them). *)
-        if priority <= 0 then issue_release t [| vpn |]
+        if priority <= 0 then issue_release t [| (vpn, tag) |]
         else begin
           t.st.rt_release_buffered <- t.st.rt_release_buffered + 1;
           if tracing t then
@@ -316,7 +332,7 @@ let handle_release t ~vpn ~priority ~tag =
         (* hold everything releasable; the buffer requires positive
            priorities, so shift by one — negative priorities still mean
            "no reuse expected" and go straight out *)
-        if priority < 0 then issue_release t [| vpn |]
+        if priority < 0 then issue_release t [| (vpn, tag) |]
         else begin
           t.st.rt_release_buffered <- t.st.rt_release_buffered + 1;
           if tracing t then
@@ -328,10 +344,12 @@ let release_page t ~vpn ~priority ~tag =
   t.st.rt_release_requests <- t.st.rt_release_requests + 1;
   charge_filter t;
   gov_tick t;
+  if tracing t then emit t (Trace.Rt_release_hint { vpn; site = tag; priority });
   if gov_suppressed t then ()
   else if not (Os.page_resident t.asp ~vpn) then begin
     t.st.rt_release_filtered_bitmap <- t.st.rt_release_filtered_bitmap + 1;
-    if tracing t then emit t (Trace.Rt_release_filtered { vpn; reason = "bitmap" })
+    if tracing t then
+      emit t (Trace.Rt_release_filtered { vpn; reason = "bitmap"; site = tag })
   end
   else
     (* One-request-behind: the first request for a tag is recorded; a repeat
@@ -343,7 +361,7 @@ let release_page t ~vpn ~priority ~tag =
     | Some (prev, _) when prev = vpn ->
         t.st.rt_release_filtered_same <- t.st.rt_release_filtered_same + 1;
         if tracing t then
-          emit t (Trace.Rt_release_filtered { vpn; reason = "same" })
+          emit t (Trace.Rt_release_filtered { vpn; reason = "same"; site = tag })
     | Some (prev, prev_priority) ->
         Hashtbl.replace t.last_release tag (vpn, priority);
         handle_release t ~vpn:prev ~priority:prev_priority ~tag
@@ -352,23 +370,31 @@ let release_page t ~vpn ~priority ~tag =
 let rec advise_evict t =
   let batch = Release_buffer.pop_lowest t.buffer ~max:1 in
   if Array.length batch = 0 then None
-  else if Os.page_resident t.asp ~vpn:batch.(0) then Some batch.(0)
-  else advise_evict t (* stale entry: the page is already gone *)
+  else
+    let vpn, _site = batch.(0) in
+    if Os.page_resident t.asp ~vpn then Some vpn
+    else advise_evict t (* stale entry: the page is already gone *)
 
 let drain t =
   t.st.rt_buffer_drains <- t.st.rt_buffer_drains + 1;
   (* Flush the one-behind filter: at exit nothing is still in use, so every
-     recorded page is releasable (priority no longer matters). *)
+     recorded page is releasable (priority no longer matters).  The table
+     key is the directive tag, so each flushed page keeps its site. *)
   let pending =
-    Hashtbl.fold (fun _tag (vpn, _priority) acc -> vpn :: acc) t.last_release []
+    Hashtbl.fold
+      (fun tag (vpn, _priority) acc -> (vpn, tag) :: acc)
+      t.last_release []
+    (* Hashtbl.fold order is seed-dependent across stdlib versions; sort so
+       the flush (and everything downstream of it) is deterministic. *)
+    |> List.sort compare
   in
   Hashtbl.reset t.last_release;
   let pending = drop_stale t pending in
   issue_release t (Array.of_list pending);
   let rec go drained =
-    let vpns = Release_buffer.pop_lowest t.buffer ~max:t.release_target in
-    if Array.length vpns > 0 then begin
-      let live = drop_stale t (Array.to_list vpns) in
+    let pairs = Release_buffer.pop_lowest t.buffer ~max:t.release_target in
+    if Array.length pairs > 0 then begin
+      let live = drop_stale t (Array.to_list pairs) in
       issue_release t (Array.of_list live);
       go (drained + List.length live)
     end

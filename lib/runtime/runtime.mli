@@ -110,12 +110,17 @@ val buffered_pages : t -> int
 val governor_level : t -> int
 (** Current degradation level (always 0 when the governor is off). *)
 
-val prefetch_page : t -> vpn:int -> unit
+val prefetch_page : ?site:int -> t -> vpn:int -> unit
 (** Called by the application for each page named by a compiler prefetch
-    hint.  Cheap: filters and enqueues. *)
+    hint.  Cheap: filters and enqueues.  [site] (default
+    {!Memhog_sim.Trace.no_site}) is the static directive tag
+    ({!Memhog_compiler.Pir.directive}[.d_tag]); it travels with the work
+    item so OS-side events remain attributable to the directive. *)
 
 val release_page : t -> vpn:int -> priority:int -> tag:int -> unit
-(** Called for each page named by a compiler release hint.  Non-positive
+(** Called for each page named by a compiler release hint.  [tag] doubles
+    as the directive's site id and is preserved through the one-behind
+    filter, the priority buffer and the OS queue.  Non-positive
     priorities mean "no reuse expected" and always route to the immediate
     path, never into the priority buffer (whose {!Release_buffer.add}
     rejects them): under {!Buffered}, [priority <= 0] is issued directly;

@@ -3,21 +3,27 @@ type event =
   | Soft_fault of { vpn : int }
   | Validation_fault of { vpn : int }
   | Zero_fill of { vpn : int }
-  | Rescue of { vpn : int; for_prefetch : bool }
-  | Prefetch_issued of { vpn : int }
-  | Prefetch_dropped of { vpn : int }
-  | Prefetch_raced of { vpn : int }
+  | Rescue of { vpn : int; for_prefetch : bool; site : int }
+  | Prefetch_issued of { vpn : int; site : int }
+  | Prefetch_dropped of { vpn : int; site : int }
+  | Prefetch_raced of { vpn : int; site : int }
+  | Prefetch_done of { vpn : int; site : int; ns : int }
   | Daemon_steal of { vpn : int; owner : int }
   | Daemon_invalidate of { vpn : int; owner : int }
-  | Releaser_free of { vpn : int; owner : int }
+  | Releaser_free of { vpn : int; owner : int; site : int }
   | Release_requested of { owner : int; count : int }
-  | Release_skipped of { vpn : int; owner : int }
+  | Release_skipped of { vpn : int; owner : int; site : int }
   | Writeback_complete of { vpn : int; owner : int }
-  | Rt_release_filtered of { vpn : int; reason : string }
+  | Frame_reused of { vpn : int; owner : int }
+  | Rt_prefetch_sent of { vpn : int; site : int }
+  | Rt_release_hint of { vpn : int; site : int; priority : int }
+  | Rt_release_sent of { vpn : int; site : int }
+  | Rt_release_filtered of { vpn : int; reason : string; site : int }
   | Rt_release_buffered of { vpn : int; tag : int; priority : int }
   | Rt_release_issued of { count : int }
   | Rt_release_drained of { count : int }
-  | Rt_stale_dropped of { vpn : int }
+  | Rt_stale_dropped of { vpn : int; site : int }
+  | Disk_io of { disk : int; block : int; write : bool; ns : int }
   | Free_depth of { pages : int }
   | Rss_sample of { owner : int; pages : int }
   | Upper_limit_sample of { owner : int; pages : int }
@@ -34,6 +40,8 @@ type event =
       drop_pct : int;
       stale_pct : int;
     }
+
+let no_site = -1
 
 (* The ring is three parallel arrays rather than an array of records so that
    a retained trace costs two unboxed words per event plus the event value
@@ -120,17 +128,23 @@ let event_name = function
   | Prefetch_issued _ -> "prefetch_issued"
   | Prefetch_dropped _ -> "prefetch_dropped"
   | Prefetch_raced _ -> "prefetch_raced"
+  | Prefetch_done _ -> "prefetch_done"
   | Daemon_steal _ -> "daemon_steal"
   | Daemon_invalidate _ -> "daemon_invalidate"
   | Releaser_free _ -> "releaser_free"
   | Release_requested _ -> "release_requested"
   | Release_skipped _ -> "release_skipped"
   | Writeback_complete _ -> "writeback_complete"
+  | Frame_reused _ -> "frame_reused"
+  | Rt_prefetch_sent _ -> "rt_prefetch_sent"
+  | Rt_release_hint _ -> "rt_release_hint"
+  | Rt_release_sent _ -> "rt_release_sent"
   | Rt_release_filtered _ -> "rt_release_filtered"
   | Rt_release_buffered _ -> "rt_release_buffered"
   | Rt_release_issued _ -> "rt_release_issued"
   | Rt_release_drained _ -> "rt_release_drained"
   | Rt_stale_dropped _ -> "rt_stale_dropped"
+  | Disk_io _ -> "disk_io"
   | Free_depth _ -> "free_depth"
   | Rss_sample _ -> "rss_sample"
   | Upper_limit_sample _ -> "upper_limit_sample"
@@ -147,24 +161,52 @@ let event_args = function
   | Hard_fault { vpn }
   | Soft_fault { vpn }
   | Validation_fault { vpn }
-  | Zero_fill { vpn }
-  | Prefetch_issued { vpn }
-  | Prefetch_dropped { vpn }
-  | Prefetch_raced { vpn }
-  | Rt_stale_dropped { vpn } ->
+  | Zero_fill { vpn } ->
       [ ("vpn", string_of_int vpn) ]
-  | Rescue { vpn; for_prefetch } ->
-      [ ("vpn", string_of_int vpn); ("for_prefetch", string_of_bool for_prefetch) ]
+  | Rescue { vpn; for_prefetch; site } ->
+      [
+        ("vpn", string_of_int vpn);
+        ("for_prefetch", string_of_bool for_prefetch);
+        ("site", string_of_int site);
+      ]
+  | Prefetch_issued { vpn; site }
+  | Prefetch_dropped { vpn; site }
+  | Prefetch_raced { vpn; site }
+  | Rt_prefetch_sent { vpn; site }
+  | Rt_release_sent { vpn; site }
+  | Rt_stale_dropped { vpn; site } ->
+      [ ("vpn", string_of_int vpn); ("site", string_of_int site) ]
+  | Prefetch_done { vpn; site; ns } ->
+      [
+        ("vpn", string_of_int vpn);
+        ("site", string_of_int site);
+        ("ns", string_of_int ns);
+      ]
   | Daemon_steal { vpn; owner }
   | Daemon_invalidate { vpn; owner }
-  | Releaser_free { vpn; owner }
-  | Release_skipped { vpn; owner }
-  | Writeback_complete { vpn; owner } ->
+  | Writeback_complete { vpn; owner }
+  | Frame_reused { vpn; owner } ->
       [ ("vpn", string_of_int vpn); ("owner", string_of_int owner) ]
+  | Releaser_free { vpn; owner; site } | Release_skipped { vpn; owner; site } ->
+      [
+        ("vpn", string_of_int vpn);
+        ("owner", string_of_int owner);
+        ("site", string_of_int site);
+      ]
   | Release_requested { owner; count } ->
       [ ("owner", string_of_int owner); ("count", string_of_int count) ]
-  | Rt_release_filtered { vpn; reason } ->
-      [ ("vpn", string_of_int vpn); ("reason", reason) ]
+  | Rt_release_hint { vpn; site; priority } ->
+      [
+        ("vpn", string_of_int vpn);
+        ("site", string_of_int site);
+        ("priority", string_of_int priority);
+      ]
+  | Rt_release_filtered { vpn; reason; site } ->
+      [
+        ("vpn", string_of_int vpn);
+        ("reason", reason);
+        ("site", string_of_int site);
+      ]
   | Rt_release_buffered { vpn; tag; priority } ->
       [
         ("vpn", string_of_int vpn);
@@ -173,6 +215,13 @@ let event_args = function
       ]
   | Rt_release_issued { count } | Rt_release_drained { count } ->
       [ ("count", string_of_int count) ]
+  | Disk_io { disk; block; write; ns } ->
+      [
+        ("disk", string_of_int disk);
+        ("block", string_of_int block);
+        ("write", string_of_bool write);
+        ("ns", string_of_int ns);
+      ]
   | Free_depth { pages } -> [ ("pages", string_of_int pages) ]
   | Rss_sample { owner; pages } | Upper_limit_sample { owner; pages } ->
       [ ("owner", string_of_int owner); ("pages", string_of_int pages) ]
@@ -218,3 +267,4 @@ let releaser_stream = -2
 let writeback_stream = -3
 let kernel_stream = -4
 let chaos_stream = -5
+let disk_stream = -6

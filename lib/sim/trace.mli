@@ -19,7 +19,12 @@
     ]}
 
     When the buffer is full the oldest events are overwritten and counted in
-    [dropped]. *)
+    [dropped].
+
+    Events that descend from a compiler directive carry a [site] field: the
+    static directive tag ({!Memhog_compiler.Pir.directive}[.d_tag]) threaded
+    through the run-time layer, or {!no_site} when the event was not caused
+    by a directive (demand activity, daemon-initiated work). *)
 
 type event =
   (* VM-layer events (lib/vm/os.ml). *)
@@ -27,22 +32,36 @@ type event =
   | Soft_fault of { vpn : int }
   | Validation_fault of { vpn : int }
   | Zero_fill of { vpn : int }
-  | Rescue of { vpn : int; for_prefetch : bool }
-  | Prefetch_issued of { vpn : int }
-  | Prefetch_dropped of { vpn : int }
-  | Prefetch_raced of { vpn : int }
+  | Rescue of { vpn : int; for_prefetch : bool; site : int }
+  | Prefetch_issued of { vpn : int; site : int }
+  | Prefetch_dropped of { vpn : int; site : int }
+  | Prefetch_raced of { vpn : int; site : int }
+  | Prefetch_done of { vpn : int; site : int; ns : int }
+      (** a prefetch that brought (or rescued) the page in; [ns] is the I/O
+          span the later reference will not pay *)
   | Daemon_steal of { vpn : int; owner : int }
   | Daemon_invalidate of { vpn : int; owner : int }
-  | Releaser_free of { vpn : int; owner : int }
+  | Releaser_free of { vpn : int; owner : int; site : int }
   | Release_requested of { owner : int; count : int }
-  | Release_skipped of { vpn : int; owner : int }
+  | Release_skipped of { vpn : int; owner : int; site : int }
   | Writeback_complete of { vpn : int; owner : int }
+  | Frame_reused of { vpn : int; owner : int }
+      (** a frame freed by release/steal was handed to another allocation:
+          the free genuinely relieved memory pressure *)
   (* Runtime-layer events (lib/runtime/runtime.ml). *)
-  | Rt_release_filtered of { vpn : int; reason : string }
+  | Rt_prefetch_sent of { vpn : int; site : int }
+      (** prefetch intent accepted by the run-time layer (pre-OS) *)
+  | Rt_release_hint of { vpn : int; site : int; priority : int }
+      (** release hint from the application, with its Eq. 2 priority *)
+  | Rt_release_sent of { vpn : int; site : int }
+      (** release forwarded to the OS (immediate or drained) *)
+  | Rt_release_filtered of { vpn : int; reason : string; site : int }
   | Rt_release_buffered of { vpn : int; tag : int; priority : int }
   | Rt_release_issued of { count : int }
   | Rt_release_drained of { count : int }
-  | Rt_stale_dropped of { vpn : int }
+  | Rt_stale_dropped of { vpn : int; site : int }
+  (* Disk-layer events (lib/disk/disk.ml). *)
+  | Disk_io of { disk : int; block : int; write : bool; ns : int }
   (* Periodic samples (counters in the Chrome exporter). *)
   | Free_depth of { pages : int }
   | Rss_sample of { owner : int; pages : int }
@@ -62,6 +81,9 @@ type event =
       drop_pct : int;  (** window prefetch-drop rate, percent *)
       stale_pct : int;  (** window release-badness rate, percent *)
     }
+
+val no_site : int
+(** Site id (-1) for events not attributable to a compiler directive. *)
 
 type t
 
@@ -124,3 +146,6 @@ val kernel_stream : int
 
 val chaos_stream : int
 (** injected-fault events ({!Chaos} hooks): -5 *)
+
+val disk_stream : int
+(** disk request completions ({!Memhog_disk.Disk}): -6 *)

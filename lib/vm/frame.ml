@@ -9,6 +9,9 @@ type t = {
   mutable release_invalidated : bool;
   mutable age : int;
   mutable freed_by : Vm_stats.freer option;
+  mutable free_site : int;
+      (* directive site whose release freed this frame; -1 (Trace.no_site)
+         when freed by the daemon or not freed at all *)
   mutable next : int;
   mutable prev : int;
   mutable on_free_list : bool;
@@ -26,6 +29,7 @@ let make idx =
     release_invalidated = false;
     age = 0;
     freed_by = None;
+    free_site = -1;
     next = -1;
     prev = -1;
     on_free_list = false;
@@ -40,7 +44,8 @@ let reset_association t =
   t.prefetched <- false;
   t.release_invalidated <- false;
   t.age <- 0;
-  t.freed_by <- None
+  t.freed_by <- None;
+  t.free_site <- -1
 
 let pp fmt t =
   Format.fprintf fmt "frame%d(owner=%d vpn=%d%s%s%s)" t.idx t.owner t.vpn

@@ -19,6 +19,10 @@ type t = {
       (** mapping invalidated by a release request rather than the daemon *)
   mutable age : int;    (** daemon visits since last (re)validation *)
   mutable freed_by : Vm_stats.freer option; (** set while on the free list *)
+  mutable free_site : int;
+      (** directive site whose release freed this frame ([-1] =
+          {!Memhog_sim.Trace.no_site} for daemon steals); lets a later
+          rescue be attributed to the releasing directive *)
   mutable next : int;   (** free-list link, or [-1] *)
   mutable prev : int;   (** free-list link, or [-1] *)
   mutable on_free_list : bool;

@@ -12,7 +12,13 @@ type touch_result =
 
 type prefetch_result = P_fetched | P_rescued | P_already | P_dropped
 
-type release_req = { req_as : As.t; req_vpns : int array }
+type release_req = {
+  req_as : As.t;
+  req_vpns : int array;
+  req_sites : int array;
+      (* parallel to req_vpns: the directive site of each page's release,
+         Trace.no_site for unattributed requests *)
+}
 
 (* The releaser's mailbox carries work batches plus a poison message so
    [shutdown] can cut a blocked [Mailbox.recv] short. *)
@@ -32,6 +38,7 @@ type t = {
   releaser_box : releaser_msg Mailbox.t;
   gstats : Vm_stats.global;
   trace : Trace.t;
+  ledger : Ledger.t;
   chaos : Chaos.t;
   h_fault : Histogram.t;
       (* service time of every demand fault (non-Fast touch), wall start to
@@ -57,16 +64,20 @@ let free_pages t = Free_list.length t.free
 let cpus t = t.cpus
 let address_spaces t = List.rev t.space_list
 let trace t = t.trace
+let ledger t = t.ledger
 let chaos t = t.chaos
 let fault_histogram t = t.h_fault
 let prefetch_histogram t = t.h_prefetch
 
-(* Call sites guard with [tracing t] so a disabled trace builds no event
-   values on the hot path. *)
-let tracing t = Trace.enabled t.trace
+(* Call sites guard with [tracing t] so disabled observation builds no event
+   values on the hot path.  Events feed both the trace ring and the
+   lifecycle ledger. *)
+let tracing t = Trace.enabled t.trace || Ledger.enabled t.ledger
 
 let emit t ~stream ev =
-  Trace.emit t.trace ~time:(Engine.now_of t.engine) ~stream ev
+  let time = Engine.now_of t.engine in
+  Trace.emit t.trace ~time ~stream ev;
+  Ledger.observe t.ledger ~time ~stream ev
 
 let sys_delay t d = ignore t; Engine.delay ~cat:Account.System d
 
@@ -95,8 +106,12 @@ let page_resident (asp : As.t) ~vpn =
 (* ------------------------------------------------------------------ *)
 
 (* Break a free frame's association with its previous page: the previous
-   owner loses its chance to rescue.  Caller holds [memory_lock]. *)
-let disassociate t (f : Frame.t) =
+   owner loses its chance to rescue.  Caller holds [memory_lock].
+   [reused] is true when the frame is being handed to a new allocation (the
+   free genuinely relieved pressure) and false when the disassociation is
+   bookkeeping at free time (rescue disabled) — only the former is a
+   [Frame_reused] lifecycle event. *)
+let disassociate ?(reused = true) t (f : Frame.t) =
   if f.owner >= 0 then begin
     (match Hashtbl.find_opt t.spaces f.owner with
     | Some victim -> (
@@ -114,6 +129,9 @@ let disassociate t (f : Frame.t) =
             | _ -> ())
         | exception Not_found -> ())
     | None -> ());
+    if reused && f.freed_by <> None && tracing t then
+      emit t ~stream:Trace.kernel_stream
+        (Trace.Frame_reused { vpn = f.vpn; owner = f.owner });
     Frame.reset_association f
   end
 
@@ -151,13 +169,14 @@ let alloc_frame_opt t =
 (* Put a frame on the free list tail, remembering the page it held so it can
    be rescued.  Caller holds [memory_lock] and the owner's as_lock, and has
    already updated the PTE to [On_free_list]. *)
-let free_frame_locked t (f : Frame.t) ~(freer : Vm_stats.freer) =
+let free_frame_locked t (f : Frame.t) ~(freer : Vm_stats.freer) ~site =
   f.valid <- false;
-  if not t.config.rescue_from_free_list then disassociate t f;
+  if not t.config.rescue_from_free_list then disassociate ~reused:false t f;
   f.prefetched <- false;
   f.referenced <- false;
   f.age <- 0;
   f.freed_by <- Some freer;
+  f.free_site <- site;
   Free_list.push_tail t.free f;
   Condition.broadcast t.free_cond
 
@@ -208,6 +227,7 @@ let install_frame t (asp : As.t) seg ~vpn (f : Frame.t) ~write ~prefetched =
   f.prefetched <- prefetched;
   f.age <- 0;
   f.freed_by <- None;
+  f.free_site <- Trace.no_site;
   As.set_pte seg ~vpn (As.Resident f.idx);
   asp.As.rss <- asp.As.rss + 1;
   As.set_bit seg ~vpn true;
@@ -307,7 +327,9 @@ and fault t asp seg ~vpn ~write =
             | Vm_stats.Releaser ->
                 stats.rescued_releaser <- stats.rescued_releaser + 1);
             if tracing t then
-              emit t ~stream:asp.As.pid (Trace.Rescue { vpn; for_prefetch = false });
+              emit t ~stream:asp.As.pid
+                (Trace.Rescue
+                   { vpn; for_prefetch = false; site = f.free_site });
             install_frame t asp seg ~vpn f ~write ~prefetched:false;
             sys_delay t cfg.rescue_ns;
             Semaphore.release t.memory_lock;
@@ -370,7 +392,7 @@ let touch t asp ~vpn ~write =
 (* PagingDirected requests                                             *)
 (* ------------------------------------------------------------------ *)
 
-let rec prefetch t (asp : As.t) ~vpn =
+let rec prefetch t ?(site = Trace.no_site) (asp : As.t) ~vpn =
   let cfg = t.config in
   let stats = asp.As.stats in
   sys_delay t cfg.pm_call_ns;
@@ -387,7 +409,7 @@ let rec prefetch t (asp : As.t) ~vpn =
       | As.On_free_list fidx when not cfg.rescue_from_free_list ->
           abandon_in_writeback t seg ~vpn fidx;
           Semaphore.release asp.As.as_lock;
-          prefetch t asp ~vpn
+          prefetch t asp ~site ~vpn
       | As.On_free_list fidx ->
           Semaphore.acquire t.memory_lock;
           let result =
@@ -398,7 +420,8 @@ let rec prefetch t (asp : As.t) ~vpn =
                 stats.prefetch_rescues <- stats.prefetch_rescues + 1;
                 if tracing t then
                   emit t ~stream:asp.As.pid
-                    (Trace.Rescue { vpn; for_prefetch = true });
+                    (Trace.Rescue
+                       { vpn; for_prefetch = true; site = f.free_site });
                 (match f.freed_by with
                 | Some Vm_stats.Daemon ->
                     stats.rescued_daemon <- stats.rescued_daemon + 1
@@ -428,7 +451,7 @@ let rec prefetch t (asp : As.t) ~vpn =
           | None ->
               stats.prefetches_dropped <- stats.prefetches_dropped + 1;
               if tracing t then
-                emit t ~stream:asp.As.pid (Trace.Prefetch_dropped { vpn });
+                emit t ~stream:asp.As.pid (Trace.Prefetch_dropped { vpn; site });
               Semaphore.release asp.As.as_lock;
               update_limits t asp;
               P_dropped
@@ -446,7 +469,7 @@ let rec prefetch t (asp : As.t) ~vpn =
                   Semaphore.release asp.As.as_lock;
                   stats.prefetches_issued <- stats.prefetches_issued + 1;
                   if tracing t then
-                    emit t ~stream:asp.As.pid (Trace.Prefetch_issued { vpn });
+                    emit t ~stream:asp.As.pid (Trace.Prefetch_issued { vpn; site });
                   sys_delay t cfg.hard_fault_cpu_ns;
                   if zero then sys_delay t cfg.zero_fill_ns
                   else Swap.read_page t.swap ~page:(As.swap_page seg ~vpn);
@@ -459,7 +482,7 @@ let rec prefetch t (asp : As.t) ~vpn =
               | As.Resident _ | As.In_transit _ | As.On_free_list _ ->
                   stats.prefetches_useless <- stats.prefetches_useless + 1;
                   if tracing t then
-                    emit t ~stream:asp.As.pid (Trace.Prefetch_raced { vpn });
+                    emit t ~stream:asp.As.pid (Trace.Prefetch_raced { vpn; site });
                   Semaphore.acquire t.memory_lock;
                   Free_list.push_tail t.free f;
                   Condition.broadcast t.free_cond;
@@ -473,16 +496,30 @@ let rec prefetch t (asp : As.t) ~vpn =
    no-ops and would only blur the service-time distribution. *)
 let prefetch_inner = prefetch
 
-let prefetch t asp ~vpn =
+let prefetch t ?(site = Trace.no_site) asp ~vpn =
   let t0 = Engine.now_of t.engine in
-  let r = prefetch_inner t asp ~vpn in
+  let r = prefetch_inner t asp ~site ~vpn in
   (match r with
   | P_fetched | P_rescued ->
-      Histogram.record t.h_prefetch (Engine.now_of t.engine - t0)
+      let ns = Engine.now_of t.engine - t0 in
+      Histogram.record t.h_prefetch ns;
+      (* The completed fetch (or rescue) is the I/O span a later reference
+         will not pay: the ledger credits it to the site once the page is
+         actually touched. *)
+      if tracing t then
+        emit t ~stream:asp.As.pid (Trace.Prefetch_done { vpn; site; ns })
   | P_already | P_dropped -> ());
   r
 
-let release_request t (asp : As.t) ~vpns =
+let release_request t ?sites (asp : As.t) ~vpns =
+  let sites =
+    match sites with
+    | Some s ->
+        if Array.length s <> Array.length vpns then
+          invalid_arg "Os.release_request: sites length mismatch";
+        s
+    | None -> Array.make (Array.length vpns) Trace.no_site
+  in
   let stats = asp.As.stats in
   sys_delay t t.config.pm_call_ns;
   stats.releases_requested <- stats.releases_requested + Array.length vpns;
@@ -511,7 +548,8 @@ let release_request t (asp : As.t) ~vpns =
   if tracing t then
     emit t ~stream:asp.As.pid
       (Trace.Release_requested { owner = asp.As.pid; count = Array.length vpns });
-  Mailbox.send t.releaser_box (R_batch { req_as = asp; req_vpns = vpns });
+  Mailbox.send t.releaser_box
+    (R_batch { req_as = asp; req_vpns = vpns; req_sites = sites });
   update_limits t asp
 
 (* ------------------------------------------------------------------ *)
@@ -533,7 +571,8 @@ let writeback_and_free t writebacks =
                 during the write clears the marker (install_frame). *)
              (if f.freed_by <> None && not f.on_free_list then begin
                 Free_list.push_tail t.free f;
-                if not t.config.rescue_from_free_list then disassociate t f;
+                if not t.config.rescue_from_free_list then
+                  disassociate ~reused:false t f;
                 Condition.broadcast t.free_cond
               end);
              Semaphore.release t.memory_lock;
@@ -544,7 +583,8 @@ let writeback_and_free t writebacks =
 
 
 
-let releaser_process_batch t (asp : As.t) (vpns : int array) =
+let releaser_process_batch t (asp : As.t) (vpns : int array)
+    (sites : int array) =
   let cfg = t.config in
   (* Phase A: under locks, identify pages that are still resident and have
      not been re-referenced (residency bit still clear), detach the clean
@@ -553,8 +593,9 @@ let releaser_process_batch t (asp : As.t) (vpns : int array) =
   Semaphore.acquire t.memory_lock;
   let writebacks = ref [] in
   let freed = ref 0 in
-  Array.iter
-    (fun vpn ->
+  Array.iteri
+    (fun i vpn ->
+      let site = sites.(i) in
       match As.find_segment asp ~vpn with
       | exception Not_found -> ()
       | seg -> (
@@ -563,7 +604,7 @@ let releaser_process_batch t (asp : As.t) (vpns : int array) =
             asp.As.stats.releases_skipped <- asp.As.stats.releases_skipped + 1;
             if tracing t then
               emit t ~stream:Trace.releaser_stream
-                (Trace.Release_skipped { vpn; owner = asp.As.pid })
+                (Trace.Release_skipped { vpn; owner = asp.As.pid; site })
           end
           else
             match As.get_pte seg ~vpn with
@@ -577,23 +618,24 @@ let releaser_process_batch t (asp : As.t) (vpns : int array) =
                 incr freed;
                 if tracing t then
                   emit t ~stream:Trace.releaser_stream
-                    (Trace.Releaser_free { vpn; owner = asp.As.pid });
+                    (Trace.Releaser_free { vpn; owner = asp.As.pid; site });
                 if f.dirty then begin
                   f.dirty <- false;
                   f.valid <- false;
                   f.prefetched <- false;
                   f.referenced <- false;
                   f.freed_by <- Some Vm_stats.Releaser;
+                  f.free_site <- site;
                   asp.As.stats.writebacks <- asp.As.stats.writebacks + 1;
                   writebacks := (seg, vpn, asp.As.pid, f) :: !writebacks
                 end
-                else free_frame_locked t f ~freer:Vm_stats.Releaser
+                else free_frame_locked t f ~freer:Vm_stats.Releaser ~site
             | As.Untouched | As.Swapped | As.On_free_list _ | As.In_transit _
               ->
                 asp.As.stats.releases_skipped <- asp.As.stats.releases_skipped + 1;
                 if tracing t then
                   emit t ~stream:Trace.releaser_stream
-                    (Trace.Release_skipped { vpn; owner = asp.As.pid }))
+                    (Trace.Release_skipped { vpn; owner = asp.As.pid; site }))
       )
     vpns;
   (* The releaser is specialized: little per-page work while locks are
@@ -648,7 +690,11 @@ let releaser_loop t () =
           let i = ref 0 in
           while !i < n do
             let len = min batch (n - !i) in
-            releaser_process_batch t req.req_as (Array.sub req.req_vpns !i len);
+            (* vpns and sites are parallel arrays: sub them in lockstep so
+               chunked batches keep each page's attribution aligned. *)
+            releaser_process_batch t req.req_as
+              (Array.sub req.req_vpns !i len)
+              (Array.sub req.req_sites !i len);
             i := !i + len
           done
         end
@@ -749,11 +795,12 @@ and daemon_steal t (asp : As.t) (f : Frame.t) =
     f.prefetched <- false;
     f.referenced <- false;
     f.freed_by <- Some Vm_stats.Daemon;
+    f.free_site <- Trace.no_site;
     stats.writebacks <- stats.writebacks + 1;
     Some (seg, f.vpn, asp.As.pid, f)
   end
   else begin
-    free_frame_locked t f ~freer:Vm_stats.Daemon;
+    free_frame_locked t f ~freer:Vm_stats.Daemon ~site:Trace.no_site;
     None
   end
 
@@ -920,8 +967,8 @@ let chaos_phantom_loop t spikes () =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ?swap_config ?(trace = Trace.null) ?(chaos = Chaos.none)
-    ~config:(cfg : Config.t) ~engine () =
+let create ?swap_config ?(trace = Trace.null) ?(ledger = Ledger.null)
+    ?(chaos = Chaos.none) ~config:(cfg : Config.t) ~engine () =
   let swap =
     Swap.create
       ?config:swap_config
@@ -946,6 +993,7 @@ let create ?swap_config ?(trace = Trace.null) ?(chaos = Chaos.none)
       releaser_box = Mailbox.create ~name:"releaser" ();
       gstats = Vm_stats.create_global ();
       trace;
+      ledger;
       chaos;
       h_fault = Histogram.create ();
       h_prefetch = Histogram.create ();
@@ -961,6 +1009,7 @@ let create ?swap_config ?(trace = Trace.null) ?(chaos = Chaos.none)
   Trace.set_stream_name trace Trace.releaser_stream "releaser-daemon";
   Trace.set_stream_name trace Trace.writeback_stream "writeback";
   Trace.set_stream_name trace Trace.kernel_stream "kernel";
+  Trace.set_stream_name trace Trace.disk_stream "disk";
   ignore (Engine.spawn engine ~name:"paging-daemon" (paging_daemon_loop t));
   ignore (Engine.spawn engine ~name:"releaser-daemon" (releaser_loop t));
   if not (Chaos.is_none chaos) then

@@ -35,6 +35,7 @@ type prefetch_result =
 val create :
   ?swap_config:Memhog_disk.Swap.config ->
   ?trace:Memhog_sim.Trace.t ->
+  ?ledger:Memhog_sim.Ledger.t ->
   ?chaos:Memhog_sim.Chaos.t ->
   config:Config.t ->
   engine:Memhog_sim.Engine.t ->
@@ -45,6 +46,11 @@ val create :
     events: faults, prefetch outcomes, daemon steals and invalidations,
     releaser frees and skips, writeback completions, and free-list depth
     samples at each daemon tick.
+
+    [ledger] (default {!Memhog_sim.Ledger.null}) receives the same events
+    directly at the emit point — independent of the trace ring's capacity —
+    and folds them into the per-page lifecycle state machine and the
+    per-directive-site efficacy table.
 
     [chaos] (default {!Memhog_sim.Chaos.none}) is the fault-injection plan:
     it is handed to every swap disk (transient errors and latency spikes),
@@ -62,6 +68,11 @@ val trace : t -> Memhog_sim.Trace.t
 (** The event trace this kernel emits into ({!Memhog_sim.Trace.null} when
     tracing was not requested); upper layers reuse it for their own
     events. *)
+
+val ledger : t -> Memhog_sim.Ledger.t
+(** The lifecycle ledger this kernel feeds ({!Memhog_sim.Ledger.null} when
+    not requested); upper layers feed it their own events alongside the
+    trace. *)
 
 val chaos : t -> Memhog_sim.Chaos.t
 (** The active fault plan ({!Memhog_sim.Chaos.none} when not injecting). *)
@@ -106,15 +117,22 @@ val attach_paging_directed : t -> Address_space.t -> Address_space.segment -> un
 val touch : t -> Address_space.t -> vpn:int -> write:bool -> touch_result
 (** Reference one virtual page, faulting as needed. *)
 
-val prefetch : t -> Address_space.t -> vpn:int -> prefetch_result
+val prefetch : t -> ?site:int -> Address_space.t -> vpn:int -> prefetch_result
 (** PagingDirected prefetch request: like a fault, except it is discarded
     when memory is exhausted, and the page is left unvalidated (no TLB
-    entry) so it cannot displace active mappings. *)
+    entry) so it cannot displace active mappings.  [site] (default
+    {!Memhog_sim.Trace.no_site}) is the static directive site stamped on
+    the emitted prefetch events. *)
 
-val release_request : t -> Address_space.t -> vpns:int array -> unit
+val release_request :
+  t -> ?sites:int array -> Address_space.t -> vpns:int array -> unit
 (** PagingDirected release request: clears the residency bits and posts the
     pages to the releaser daemon's work queue.  Non-blocking apart from the
-    trap cost. *)
+    trap cost.  [sites] (parallel to [vpns]; defaults to all
+    {!Memhog_sim.Trace.no_site}) carries each page's directive site through
+    the releaser so frees, skips and later rescues stay attributable.
+    @raise Invalid_argument when [sites] is given with a different length
+    than [vpns]. *)
 
 (** {1 Shared-page information (read-only to applications)} *)
 

@@ -24,9 +24,11 @@ let test_buffer_lowest_priority_first () =
   check_int "total" 4 (Release_buffer.total b);
   check_bool "lowest" true (Release_buffer.lowest_priority b = Some 1);
   let first = Release_buffer.pop_lowest b ~max:2 in
-  Alcotest.(check (array int)) "priority-1 pages first" [| 200; 201 |] first;
+  Alcotest.(check (array (pair int int)))
+    "priority-1 pages first" [| (200, 2); (201, 2) |] first;
   let second = Release_buffer.pop_lowest b ~max:10 in
-  Alcotest.(check (array int)) "then priority-2 pages" [| 100; 101 |] second;
+  Alcotest.(check (array (pair int int)))
+    "then priority-2 pages" [| (100, 1); (101, 1) |] second;
   check_int "drained" 0 (Release_buffer.total b)
 
 let test_buffer_round_robin_same_priority () =
@@ -35,7 +37,8 @@ let test_buffer_round_robin_same_priority () =
   List.iter (fun v -> Release_buffer.add b ~tag:1 ~priority:1 ~vpn:v) [ 10; 11; 12 ];
   List.iter (fun v -> Release_buffer.add b ~tag:2 ~priority:1 ~vpn:v) [ 20; 21; 22 ];
   let out = Release_buffer.pop_lowest b ~max:4 in
-  Alcotest.(check (array int)) "round robin" [| 10; 20; 11; 21 |] out
+  Alcotest.(check (array (pair int int)))
+    "round robin" [| (10, 1); (20, 2); (11, 1); (21, 2) |] out
 
 let test_buffer_respects_max () =
   let b = Release_buffer.create () in
@@ -61,7 +64,7 @@ let test_buffer_same_tag_pop_flush_interleaved () =
      remainder, and the flushed tag must be reusable at a new priority. *)
   let b = Release_buffer.create () in
   List.iter (fun v -> Release_buffer.add b ~tag:1 ~priority:2 ~vpn:v) [ 10; 11; 12 ];
-  Alcotest.(check (array int)) "partial pop" [| 10 |]
+  Alcotest.(check (array (pair int int))) "partial pop" [| (10, 1) |]
     (Release_buffer.pop_lowest b ~max:1);
   List.iter (fun v -> Release_buffer.add b ~tag:1 ~priority:2 ~vpn:v) [ 13; 14 ];
   Alcotest.(check (array int)) "flush returns the rest in order"
@@ -69,8 +72,41 @@ let test_buffer_same_tag_pop_flush_interleaved () =
     (Release_buffer.flush_tag b ~tag:1);
   check_int "empty after flush" 0 (Release_buffer.total b);
   Release_buffer.add b ~tag:1 ~priority:1 ~vpn:99;
-  Alcotest.(check (array int)) "reused tag pops at its new priority" [| 99 |]
+  Alcotest.(check (array (pair int int)))
+    "reused tag pops at its new priority" [| (99, 1) |]
     (Release_buffer.pop_lowest b ~max:4)
+
+let test_buffer_preserves_site_ids () =
+  (* Regression for the ledger's site attribution: pages from two sites
+     interleaved at the same priority must each come back stamped with the
+     tag they were added under — through partial pops, a mid-stream flush
+     of one tag, and refills of the other. *)
+  let b = Release_buffer.create () in
+  let site_of = Hashtbl.create 16 in
+  let add ~tag vpn =
+    Hashtbl.replace site_of vpn tag;
+    Release_buffer.add b ~tag ~priority:1 ~vpn
+  in
+  List.iter (fun v -> add ~tag:3 v) [ 30; 31 ];
+  List.iter (fun v -> add ~tag:5 v) [ 50; 51 ];
+  List.iter (fun v -> add ~tag:3 v) [ 32 ];
+  let check_pairs what pairs =
+    Array.iter
+      (fun (v, tag) ->
+        check_int (Printf.sprintf "%s: vpn %d keeps its site" what v)
+          (Hashtbl.find site_of v) tag)
+      pairs
+  in
+  check_pairs "first pop" (Release_buffer.pop_lowest b ~max:3);
+  (* flush one site; its pages report under the flushed tag by construction *)
+  let flushed = Release_buffer.flush_tag b ~tag:5 in
+  Array.iter
+    (fun v -> check_int "flushed page belonged to site 5" 5
+        (Hashtbl.find site_of v))
+    flushed;
+  List.iter (fun v -> add ~tag:5 v) [ 52 ];
+  check_pairs "after flush and refill" (Release_buffer.pop_lowest b ~max:10);
+  check_int "all drained" 0 (Release_buffer.total b)
 
 let test_buffer_flush_tag () =
   let b = Release_buffer.create () in
@@ -80,7 +116,7 @@ let test_buffer_flush_tag () =
     (Release_buffer.flush_tag b ~tag:1);
   check_int "others stay" 2 (Release_buffer.total b);
   Alcotest.(check (array int)) "missing tag" [||] (Release_buffer.flush_tag b ~tag:7);
-  Alcotest.(check (array int)) "rest pops" [| 20; 21 |]
+  Alcotest.(check (array (pair int int))) "rest pops" [| (20, 2); (21, 2) |]
     (Release_buffer.pop_lowest b ~max:10);
   (* a flushed tag is fully forgotten: it may be reused at a new priority *)
   Release_buffer.add b ~tag:1 ~priority:3 ~vpn:99;
@@ -128,7 +164,9 @@ let prop_buffer_priority_order =
       let rec drain () =
         let batch = Release_buffer.pop_lowest b ~max:3 in
         if Array.length batch > 0 then begin
-          Array.iter (fun v -> order := Hashtbl.find prio_of v :: !order) batch;
+          Array.iter
+            (fun (v, _) -> order := Hashtbl.find prio_of v :: !order)
+            batch;
           drain ()
         end
       in
@@ -167,10 +205,19 @@ let prop_buffer_interleaved_ops =
           if !ok then begin
             (match kind with
             | 2 ->
-                let popped = Array.to_list (Release_buffer.pop_lowest b ~max:k) in
+                let pairs = Array.to_list (Release_buffer.pop_lowest b ~max:k) in
+                let popped = List.map fst pairs in
                 require (List.length popped = min k (List.length !model));
                 let entry vpn = List.find_opt (fun (_, _, v) -> v = vpn) !model in
                 require (List.for_all (fun v -> entry v <> None) popped);
+                (* every popped page carries the tag it was added under *)
+                require
+                  (List.for_all
+                     (fun (v, tg) ->
+                       match entry v with
+                       | Some (t', _, _) -> t' = tg
+                       | None -> false)
+                     pairs);
                 if !ok then begin
                   let prios =
                     List.map
@@ -627,6 +674,8 @@ let () =
           Alcotest.test_case "flush tag" `Quick test_buffer_flush_tag;
           Alcotest.test_case "same-tag pop/flush interleaved" `Quick
             test_buffer_same_tag_pop_flush_interleaved;
+          Alcotest.test_case "site ids preserved" `Quick
+            test_buffer_preserves_site_ids;
         ] );
       ( "filters",
         [

@@ -73,9 +73,11 @@ let test_stream_names_and_tallies () =
 
 let test_event_names_and_args () =
   check_string "name" "rescue"
-    (Trace.event_name (Trace.Rescue { vpn = 1; for_prefetch = true }));
+    (Trace.event_name
+       (Trace.Rescue { vpn = 1; for_prefetch = true; site = Trace.no_site }));
   check_bool "args carry the payload" true
-    (List.mem_assoc "vpn" (Trace.event_args (Trace.Prefetch_raced { vpn = 42 })));
+    (List.mem_assoc "vpn"
+       (Trace.event_args (Trace.Prefetch_raced { vpn = 42; site = 3 })));
   check_string "phase name" "phase_begin"
     (Trace.event_name (Trace.Phase_begin { name = "main" }))
 
@@ -189,15 +191,69 @@ let test_chrome_export_golden () =
   check_contains "phase end" "\"ph\":\"E\"" json;
   check_contains "counter track" "\"name\":\"free_depth\",\"ph\":\"C\"" json;
   (* simulated ns render as the format's microseconds *)
-  check_contains "timestamp in us" "\"ts\":1.000" json
+  check_contains "timestamp in us" "\"ts\":1.000" json;
+  check_contains "dropped metadata" "\"metadata\":{\"dropped_events\":0}" json
+
+let test_chrome_export_escapes_strings () =
+  (* Satellite: args and names with quotes, backslashes and control
+     characters must round through the shared escaper, not corrupt the
+     document. *)
+  let t = Trace.create ~capacity:8 () in
+  Trace.set_stream_name t 0 "app \"main\"\\loop";
+  Trace.emit t ~time:(Time_ns.us 1) ~stream:0
+    (Trace.Phase_begin { name = "pha\"se\\one\r\n" });
+  Trace.emit t ~time:(Time_ns.us 2) ~stream:0
+    (Trace.Chaos_stall { who = "rel\teaser"; until = 7 });
+  let json = Trace_export.to_chrome_json t in
+  check_contains "escaped thread name" "app \\\"main\\\"\\\\loop" json;
+  check_contains "escaped phase name" "pha\\\"se\\\\one\\r\\n" json;
+  check_contains "escaped tab in arg" "rel\\teaser" json;
+  (* the whole document must still parse as JSON *)
+  (match Memhog_core.Metrics_io.parse json with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "export does not parse: %s" e);
+  (* shared escaper: Metrics_io produces the identical escape sequences *)
+  check_string "one escaper" (Memhog_core.Metrics_io.escape_string "a\"b\\c\r")
+    "a\\\"b\\\\c\\r"
+
+let test_chrome_export_strict_decimal_args () =
+  (* "0x2a"-shaped strings must stay strings ([int_of_string_opt] would
+     turn them into the number 42). *)
+  Alcotest.(check bool) "hex stays string" false
+    (contains ~sub:"\"who\":66"
+       (let t = Trace.create ~capacity:4 () in
+        Trace.emit t ~time:Time_ns.zero ~stream:0
+          (Trace.Chaos_stall { who = "0x42"; until = 1 });
+        Trace_export.to_chrome_json t))
+
+let test_chrome_export_flow_events () =
+  (* A full prefetch chain and a full release chain must each produce flow
+     start/step/finish rows sharing one id. *)
+  let t = Trace.create ~capacity:32 () in
+  let e time ev = Trace.emit t ~time ~stream:4 ev in
+  e (Time_ns.us 1) (Trace.Rt_prefetch_sent { vpn = 9; site = 2 });
+  e (Time_ns.us 2) (Trace.Prefetch_issued { vpn = 9; site = 2 });
+  e (Time_ns.us 3) (Trace.Prefetch_done { vpn = 9; site = 2; ns = 900 });
+  e (Time_ns.us 4) (Trace.Validation_fault { vpn = 9 });
+  e (Time_ns.us 5) (Trace.Rt_release_sent { vpn = 9; site = 3 });
+  Trace.emit t ~time:(Time_ns.us 6) ~stream:Trace.releaser_stream
+    (Trace.Releaser_free { vpn = 9; owner = 4; site = 3 });
+  e (Time_ns.us 7) (Trace.Hard_fault { vpn = 9 });
+  let json = Trace_export.to_chrome_json t in
+  check_contains "prefetch flow starts" "\"name\":\"pf-site2\",\"cat\":\"flow\",\"ph\":\"s\"" json;
+  check_contains "prefetch flow finishes" "\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":1" json;
+  check_contains "release flow starts" "\"name\":\"rel-site3\",\"cat\":\"flow\",\"ph\":\"s\"" json;
+  check_contains "release flow steps" "\"name\":\"rel-site3\",\"cat\":\"flow\",\"ph\":\"t\"" json;
+  check_contains "release flow finish id" "\"ph\":\"f\",\"bp\":\"e\",\"id\":2" json
 
 let test_chrome_export_live_parses_shape () =
   let trace = traced_run () in
   let json = Trace_export.to_chrome_json trace in
   check_contains "document shape" "{\"traceEvents\":[" json;
   check_contains "daemon lane named" "\"paging-daemon\"" json;
+  check_contains "dropped metadata" "\"metadata\":{\"dropped_events\":" json;
   check_bool "document closed" true
-    (String.length json >= 3 && String.sub json (String.length json - 3) 3 = "]}\n")
+    (String.length json >= 3 && String.sub json (String.length json - 3) 3 = "}}\n")
 
 let test_series_csv () =
   let s = Series.create ~name:"free" in
@@ -241,6 +297,12 @@ let () =
       ( "export",
         [
           Alcotest.test_case "chrome golden" `Quick test_chrome_export_golden;
+          Alcotest.test_case "chrome escaping" `Quick
+            test_chrome_export_escapes_strings;
+          Alcotest.test_case "strict decimal args" `Quick
+            test_chrome_export_strict_decimal_args;
+          Alcotest.test_case "flow events" `Quick
+            test_chrome_export_flow_events;
           Alcotest.test_case "chrome live shape" `Quick
             test_chrome_export_live_parses_shape;
           Alcotest.test_case "series csv" `Quick test_series_csv;
