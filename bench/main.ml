@@ -38,6 +38,17 @@
                                          be byte-identical between serial
                                          and pooled runs (see
                                          @audit-smoke)
+     bench/main.exe perf --quick ...     wall-clock throughput bench:
+                                         events/sec, faults/sec, sim-ns
+                                         per wall-ns and GC allocation
+                                         rates per cell; writes
+                                         PERF_metrics.json whose "work"
+                                         counters are deterministic (CI
+                                         gate; see @perf-smoke) and whose
+                                         "wall" numbers are informational
+                                         (--perf is an alias;
+                                         --gc-minor-kb KB resizes the
+                                         minor heap first)
      bench/main.exe --chaos SPEC ...     inject the given fault plan into
                                          every matrix cell
      bench/main.exe microbench           bechamel microbenchmarks of the
@@ -56,7 +67,7 @@
    Experiment ids: table1 table2 fig1 fig7 fig8 table3 fig9 fig10a fig10b
    fig10c ablation-batch ablation-hwbits ablation-conservative
    ablation-rescue ablation-drop ablation-tlb ext-freemem ext-reactive
-   ext-two-hogs smoke chaos audit microbench *)
+   ext-two-hogs smoke chaos audit perf microbench *)
 
 open Memhog_core
 
@@ -202,7 +213,7 @@ let microbench ~smoke () =
   in
   let heap_churn n =
     Staged.stage (fun () ->
-        let h = Memhog_sim.Heap.create () in
+        let h = Memhog_sim.Heap.create ~dummy:0 () in
         for i = 0 to n - 1 do
           Memhog_sim.Heap.add h ~key:(i * 7919 mod 1000) ~seq:i i
         done;
@@ -504,8 +515,22 @@ let audit_experiment ~machine ~jobs () =
         fmt ())
 
 (* ------------------------------------------------------------------ *)
-(* Experiment registry                                                 *)
+(* Perf: wall-clock throughput trajectory (see @perf-smoke)             *)
 (* ------------------------------------------------------------------ *)
+
+(* Set by --gc-minor-kb KB: minor-heap tuning knob, recorded in the perf
+   JSON as informational. *)
+let gc_minor_kb : int option ref = ref None
+
+let perf_experiment ~machine ~jobs () =
+  log
+    (Printf.sprintf "perf: %d cells, %d jobs"
+       (List.length Perf.default_cells)
+       jobs);
+  let t = Perf.run ?gc_minor_kb:!gc_minor_kb ~machine ~jobs () in
+  Perf.write_file ~path:"PERF_metrics.json" t;
+  log "wrote PERF_metrics.json (work counters deterministic, wall informational)";
+  Perf.render t
 
 let experiments ~machine ~jobs =
   [
@@ -532,12 +557,13 @@ let experiments ~machine ~jobs =
     ("smoke", fun () -> smoke ~machine ~jobs ());
     ("chaos", fun () -> chaos_experiment ~machine ~jobs ());
     ("audit", fun () -> audit_experiment ~machine ~jobs ());
+    ("perf", fun () -> perf_experiment ~machine ~jobs ());
   ]
 
 let usage () =
   Printf.eprintf
     "usage: main.exe [--quick] [--jobs N] [--json] [--smoke] [--trace DIR] \
-     [--chaos SPEC] [EXPERIMENT ...]\n"
+     [--chaos SPEC] [--perf] [--gc-minor-kb KB] [EXPERIMENT ...]\n"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -578,6 +604,22 @@ let () =
         Printf.eprintf "--trace expects a directory argument\n";
         usage ();
         exit 2
+    | "--perf" :: rest ->
+        selected := "perf" :: !selected;
+        parse rest
+    | "--gc-minor-kb" :: kb :: rest -> (
+        match int_of_string_opt kb with
+        | Some kb when kb >= 32 ->
+            gc_minor_kb := Some kb;
+            parse rest
+        | _ ->
+            Printf.eprintf "--gc-minor-kb expects an integer >= 32, got %s\n" kb;
+            usage ();
+            exit 2)
+    | "--gc-minor-kb" :: [] ->
+        Printf.eprintf "--gc-minor-kb expects a size argument (KiB)\n";
+        usage ();
+        exit 2
     | "--chaos" :: spec :: rest -> (
         match Memhog_sim.Chaos.parse spec with
         | Ok _ ->
@@ -610,7 +652,8 @@ let () =
     match selected with
     | [] ->
         List.filter
-          (fun (n, _) -> n <> "smoke" && n <> "chaos" && n <> "audit")
+          (fun (n, _) ->
+            n <> "smoke" && n <> "chaos" && n <> "audit" && n <> "perf")
           registry
     | names ->
         List.map

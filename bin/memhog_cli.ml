@@ -9,6 +9,7 @@
      report     render metrics JSON files as human-readable tables
      compare    diff two metrics JSON files (the CI regression gate)
      audit      per-directive-site efficacy report from the page ledger
+     perf       wall-clock throughput bench (events/sec; work counters gated)
 *)
 
 open Cmdliner
@@ -690,6 +691,122 @@ let audit_cmd =
       const run $ machine_term $ workload_term $ variant $ iterations
       $ conservative)
 
+(* ------------------------------------------------------------------ *)
+(* perf                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let perf_cmd =
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Run the perf cells on $(docv) worker domains.  The gated work \
+             counters are identical at any job count; only the wall-clock \
+             members change.")
+  in
+  let gc_minor_kb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gc-minor-kb" ] ~docv:"KB"
+          ~doc:
+            "Resize the GC minor heap to $(docv) KiB before running (a \
+             tuning knob; recorded in the output as informational).")
+  in
+  let ledger =
+    Arg.(
+      value & flag
+      & info [ "ledger" ]
+          ~doc:
+            "Keep the page-lifecycle ledger on inside the cells (the \
+             production default) instead of benchmarking the bare kernel.  \
+             Work counters are identical either way.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the PERF metrics JSON to $(docv).")
+  in
+  let check =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check" ] ~docv:"BASELINE"
+          ~doc:
+            "Gate mode: compare deterministic work counters against the \
+             baseline PERF file (tolerance 0); exits non-zero on any \
+             divergence.  Wall-clock members are never compared.")
+  in
+  let current =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "current" ] ~docv:"FILE"
+          ~doc:
+            "With --check: compare this already-written PERF file instead \
+             of running the bench.")
+  in
+  let gate baseline current_json =
+    let diffs =
+      Metrics_io.compare_json ~tolerance:0.0
+        (Perf.work_projection baseline)
+        (Perf.work_projection current_json)
+    in
+    match diffs with
+    | [] ->
+        Format.printf "perf work counters match the baseline@.";
+        0
+    | diffs ->
+        Format.printf "%d perf work counter(s) diverged from the baseline:@."
+          (List.length diffs);
+        List.iter
+          (fun d ->
+            Format.printf "  %s: %s@." d.Metrics_io.d_path d.Metrics_io.d_reason)
+          diffs;
+        1
+  in
+  let run machine jobs gc_minor_kb ledger out check current =
+    match (check, current) with
+    | Some baseline, Some cur -> (
+        match (Perf.load_file ~path:baseline, Perf.load_file ~path:cur) with
+        | Error e, _ | _, Error e ->
+            Format.eprintf "memhog perf: %s@." e;
+            2
+        | Ok b, Ok c -> gate b c)
+    | _ -> (
+        let t = Perf.run ?gc_minor_kb ~ledger ~machine ~jobs () in
+        print_string (Perf.render t);
+        Option.iter
+          (fun path ->
+            Perf.write_file ~path t;
+            Format.printf "wrote %s@." path)
+          out;
+        match check with
+        | None -> 0
+        | Some baseline -> (
+            match Perf.load_file ~path:baseline with
+            | Error e ->
+                Format.eprintf "memhog perf: %s@." e;
+                2
+            | Ok b -> gate b (Perf.to_json t)))
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:
+         "Wall-clock throughput bench: run the perf workload cells and \
+          report events/sec, faults/sec, simulated-ns per wall-ns and GC \
+          allocation rates.  Deterministic work counters (events executed, \
+          faults serviced, iterations, simulated time) can be gated against \
+          a committed PERF_metrics.json baseline with $(b,--check); \
+          wall-clock numbers are informational only.")
+    Term.(
+      const run $ machine_term $ jobs $ gc_minor_kb $ ledger $ out $ check
+      $ current)
+
 let () =
   let doc =
     "compiler-inserted releases for out-of-core applications (OSDI 2000 \
@@ -701,5 +818,5 @@ let () =
           (Cmd.info "memhog" ~version:"1.0.0" ~doc)
           [
             list_cmd; machine_cmd; compile_cmd; run_cmd; sweep_cmd;
-            report_cmd; compare_cmd; audit_cmd;
+            report_cmd; compare_cmd; audit_cmd; perf_cmd;
           ]))

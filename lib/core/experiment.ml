@@ -75,6 +75,7 @@ type result = {
   r_disk_timeouts : int;
   r_ledger : Ledger.summary;
   r_sites : Pir.site_info list;
+  r_events_executed : int;
 }
 
 type setup = {
@@ -91,12 +92,13 @@ type setup = {
   trace : Trace.t option;
   chaos : string option;
   governor : Runtime.governor_cfg option;
+  ledger_on : bool;
 }
 
 let setup ?(machine = Machine.paper) ?interactive_sleep ?iterations
     ?(min_sim_time = 0) ?(conservative = false) ?(reactive = false)
     ?release_target ?(max_sim_time = Time_ns.sec 3600) ?trace ?chaos ?governor
-    ~workload ~variant () =
+    ?(ledger_on = true) ~workload ~variant () =
   (* Validate the spec eagerly so a bad --chaos fails before any work. *)
   (match chaos with
   | Some spec -> ignore (Chaos.create ~seed:machine.Machine.m_seed spec)
@@ -115,6 +117,7 @@ let setup ?(machine = Machine.paper) ?interactive_sleep ?iterations
     trace;
     chaos;
     governor;
+    ledger_on;
   }
 
 let summarize_interactive ~sleep (task : Interactive.t) =
@@ -137,10 +140,13 @@ let run (s : setup) =
     | Some spec -> Chaos.create ~seed:m.Machine.m_seed spec
     | None -> Chaos.none
   in
-  (* The lifecycle ledger is always on: it is cheap (hash-table updates at
-     emit points, no simulated-time interaction) and private to this cell,
-     so its summary is byte-identical at any --jobs level. *)
-  let ledger = Ledger.create () in
+  (* The lifecycle ledger is on by default: it is cheap (hash-table updates
+     at emit points, no simulated-time interaction) and private to this
+     cell, so its summary is byte-identical at any --jobs level.  The perf
+     harness turns it off ([ledger_on = false]) to measure the bare kernel;
+     the ledger never interacts with the engine, so all deterministic work
+     counters are unaffected either way. *)
+  let ledger = if s.ledger_on then Ledger.create () else Ledger.null in
   let os =
     Os.create ~swap_config:m.Machine.m_swap ?trace:s.trace ~ledger ~chaos
       ~config:m.Machine.m_config ~engine ()
@@ -304,6 +310,7 @@ let run (s : setup) =
         (Memhog_disk.Swap.disks swap);
     r_ledger = Ledger.summarize ledger;
     r_sites = Pir.sites prog;
+    r_events_executed = Engine.events_executed engine;
   }
 
 let run_interactive_alone ?(machine = Machine.paper) ~sleep ~duration () =

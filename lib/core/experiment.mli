@@ -79,11 +79,16 @@ type result = {
           exceeded the per-request deadline, summed over disks *)
   r_ledger : Memhog_sim.Ledger.summary;
       (** the page-lifecycle ledger's close-out: per-directive-site efficacy
-          rows plus the wasted-work taxonomy.  Always collected (the ledger
-          is cell-private and byte-deterministic at any [--jobs]). *)
+          rows plus the wasted-work taxonomy.  Collected whenever
+          [ledger_on] (the default; the ledger is cell-private and
+          byte-deterministic at any [--jobs]); empty otherwise. *)
   r_sites : Memhog_compiler.Pir.site_info list;
       (** the compiled program's static directive sites, for joining ledger
           rows back to source-level descriptions *)
+  r_events_executed : int;
+      (** engine events popped and run during the cell — deterministic for a
+          fixed setup, so it serves as a gated work counter for the
+          throughput bench *)
 }
 
 type setup = {
@@ -112,6 +117,10 @@ type setup = {
           degradation governor *)
   governor : Memhog_runtime.Runtime.governor_cfg option;
       (** explicit governor configuration (overrides the chaos default) *)
+  ledger_on : bool;
+      (** collect the page-lifecycle ledger (default).  The perf harness
+          disables it to benchmark the bare kernel; the ledger never touches
+          the engine, so work counters are identical either way. *)
 }
 
 val setup :
@@ -126,6 +135,7 @@ val setup :
   ?trace:Memhog_sim.Trace.t ->
   ?chaos:string ->
   ?governor:Memhog_runtime.Runtime.governor_cfg ->
+  ?ledger_on:bool ->
   workload:Memhog_workloads.Workload.t ->
   variant:variant ->
   unit ->

@@ -15,8 +15,11 @@
     ]}
 
     All of [now], [delay], [suspend], [spawn], [self] and [stop] (the
-    unprefixed process operations) may only be called from inside a running
-    process; calling them elsewhere raises [Not_in_simulation]. *)
+    unprefixed process operations) require a running engine on the current
+    domain; calling them outside [run] raises [Not_in_simulation], as do
+    [delay]/[suspend]/[self] when no process fiber is executing (e.g. from
+    a [wake_after] timer thunk).  [now], [stop] and [spawn_child] only
+    need the engine, so they also work from timer thunks and wakers. *)
 
 type t
 
@@ -39,6 +42,11 @@ val create : ?max_time:Time_ns.t -> unit -> t
 
 val now_of : t -> Time_ns.t
 (** Current simulated time (readable from outside processes too). *)
+
+val events_executed : t -> int
+(** Total events popped from the queue and executed so far.  Deterministic:
+    a fixed setup yields the same count on every run, so it doubles as a
+    work counter for throughput benchmarks. *)
 
 val spawn : t -> name:string -> (unit -> unit) -> proc
 (** Register a new process; it starts at the current simulated time once

@@ -6,19 +6,30 @@
     deterministic.
 
     Keys and sequence numbers are stored in flat int arrays (no pointer
-    chasing during sifts); popped slots are nulled out so the heap never
+    chasing during sifts).  Payloads live in a plain array seeded with a
+    caller-supplied [dummy] value, so [add] and [pop] allocate nothing on
+    the hot path; popped slots are reset to [dummy] so the heap never
     retains a reference to an already-delivered payload (the engine stores
-    closures here, and a pinned closure can keep a whole simulation's state
-    alive). *)
+    continuations here, and a pinned continuation can keep a whole
+    simulation's state alive). *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : dummy:'a -> unit -> 'a t
+(** [dummy] is a placeholder payload used to fill empty slots; it is never
+    returned by [pop]/[pop_min]. *)
 
 val is_empty : 'a t -> bool
 val length : 'a t -> int
 
 val add : 'a t -> key:int -> seq:int -> 'a -> unit
+
+val min_key : 'a t -> int
+(** Smallest primary key. @raise Invalid_argument on an empty heap. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the payload with the smallest [(key, seq)] without
+    boxing the key pair. @raise Invalid_argument on an empty heap. *)
 
 val pop_min : 'a t -> (int * int * 'a) option
 (** Remove and return the entry with the smallest [(key, seq)]. *)

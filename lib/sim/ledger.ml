@@ -25,6 +25,22 @@ type pstate =
 
 type page = { mutable st : pstate }
 
+(* Int-specialized hash tables for the two hot lookups ([page] on every
+   fault/touch event, [site_stats] on every charge).  The generic functorial
+   interface with an int key avoids the polymorphic-hash dispatch and the
+   (pid, vpn) tuple allocation per lookup. *)
+module Itbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+(* (owner pid, vpn) packed into one immediate int.  40 bits of vpn is
+   orders of magnitude beyond any simulated address space; pids are small
+   non-negative stream ids. *)
+let page_key ~pid ~vpn = (pid lsl 40) lor vpn
+
 type site_stats = {
   mutable pf_sent : int;
   mutable pf_issued : int;
@@ -52,8 +68,8 @@ type site_stats = {
 
 type t = {
   l_enabled : bool;
-  pages : (int * int, page) Hashtbl.t;  (* (owner pid, vpn) -> state *)
-  sites : (int, site_stats) Hashtbl.t;
+  pages : page Itbl.t;  (* [page_key] -> state *)
+  sites : site_stats Itbl.t;
   (* Global tallies, used to reconcile against Vm_stats. *)
   mutable hard_faults : int;
   mutable soft_faults : int;
@@ -76,8 +92,8 @@ type t = {
 let create () =
   {
     l_enabled = true;
-    pages = Hashtbl.create 4096;
-    sites = Hashtbl.create 64;
+    pages = Itbl.create 4096;
+    sites = Itbl.create 64;
     hard_faults = 0;
     soft_faults = 0;
     validation_faults = 0;
@@ -97,8 +113,8 @@ let create () =
 let null =
   {
     l_enabled = false;
-    pages = Hashtbl.create 1;
-    sites = Hashtbl.create 1;
+    pages = Itbl.create 1;
+    sites = Itbl.create 1;
     hard_faults = 0;
     soft_faults = 0;
     validation_faults = 0;
@@ -118,7 +134,7 @@ let null =
 let enabled t = t.l_enabled
 
 let site_stats t site =
-  match Hashtbl.find_opt t.sites site with
+  match Itbl.find_opt t.sites site with
   | Some s -> s
   | None ->
       let s =
@@ -147,16 +163,16 @@ let site_stats t site =
           priority_n = 0;
         }
       in
-      Hashtbl.add t.sites site s;
+      Itbl.add t.sites site s;
       s
 
 let page t ~pid ~vpn =
-  let key = (pid, vpn) in
-  match Hashtbl.find_opt t.pages key with
+  let key = page_key ~pid ~vpn in
+  match Itbl.find_opt t.pages key with
   | Some p -> p
   | None ->
       let p = { st = Not_resident } in
-      Hashtbl.add t.pages key p;
+      Itbl.add t.pages key p;
       p
 
 (* A prefetched-but-unreferenced page leaving residency (or being released)
@@ -366,17 +382,17 @@ type summary = {
    taxonomy residue.  Charges go to a copy of the site table so [summarize]
    is safe to call more than once (it never mutates the live ledger). *)
 let summarize t =
-  let final = Hashtbl.create (Hashtbl.length t.sites) in
-  Hashtbl.iter
+  let final = Itbl.create (max 1 (Itbl.length t.sites)) in
+  Itbl.iter
     (fun site s ->
-      Hashtbl.replace final site
+      Itbl.replace final site
         {
           s with
           pf_sent = s.pf_sent (* force a copy of the mutable record *);
         })
     t.sites;
   let final_stats site =
-    match Hashtbl.find_opt final site with
+    match Itbl.find_opt final site with
     | Some s -> s
     | None ->
         let s =
@@ -405,12 +421,12 @@ let summarize t =
             priority_n = 0;
           }
         in
-        Hashtbl.add final site s;
+        Itbl.add final site s;
         s
   in
   let useless = ref t.useless_prefetches in
   let unnecessary = ref 0 in
-  Hashtbl.iter
+  Itbl.iter
     (fun _ p ->
       match p.st with
       | Prefetched { site; _ } ->
@@ -428,7 +444,7 @@ let summarize t =
       | _ -> ())
     t.pages;
   let rows =
-    Hashtbl.fold
+    Itbl.fold
       (fun site s acc ->
         {
           sr_site = site;
@@ -468,7 +484,7 @@ let summarize t =
   in
   {
     ls_sites = rows;
-    ls_pages_tracked = Hashtbl.length t.pages;
+    ls_pages_tracked = Itbl.length t.pages;
     ls_useless_prefetches = !useless;
     ls_late_prefetches = t.late_prefetches;
     ls_early_rescued = t.early_rescued;

@@ -7,12 +7,41 @@ type pte =
   | Swapped
   | In_transit of unit Ivar.t
 
+(* Packed page-table entries: state tag in the low 3 bits, frame number in
+   the bits above.  Every value is an immediate OCaml int, so a PTE state
+   transition is a plain array store — no [Resident of int] block allocated
+   per transition on the fault/release/daemon hot paths.  [In_transit] is
+   the one state that carries a pointer (the ivar other accessors wait on);
+   its word stores only the tag and the ivar lives in the segment's
+   [transit] side table, keyed by page offset — in-transit is a rare,
+   transient state (one entry per in-flight disk read), so the table stays
+   tiny. *)
+module Pte = struct
+  let tag_untouched = 0
+  let tag_swapped = 1
+  let tag_resident = 2
+  let tag_on_free_list = 3
+  let tag_in_transit = 4
+
+  let untouched = tag_untouched
+  let swapped = tag_swapped
+  let in_transit = tag_in_transit
+
+  let max_frame = max_int lsr 3
+
+  let resident f = tag_resident lor (f lsl 3)
+  let on_free_list f = tag_on_free_list lor (f lsl 3)
+  let tag p = p land 7
+  let frame p = p lsr 3
+end
+
 type segment = {
   seg_name : string;
   base_vpn : int;
   npages : int;
   swap_base : int;
-  ptes : pte array;
+  ptes : int array;  (* packed [Pte] words *)
+  transit : (int, unit Ivar.t) Hashtbl.t;  (* page offset -> waiters *)
   bits : Bytes.t;
   mutable pm_attached : bool;
 }
@@ -41,6 +70,7 @@ let dummy_segment =
     npages = 0;
     swap_base = 0;
     ptes = [||];
+    transit = Hashtbl.create 1;
     bits = Bytes.empty;
     pm_attached = false;
   }
@@ -69,7 +99,8 @@ let add_segment t ~name ~npages ~swap_base ~on_swap =
       base_vpn = t.next_vpn;
       npages;
       swap_base;
-      ptes = Array.make npages (if on_swap then Swapped else Untouched);
+      ptes = Array.make npages (if on_swap then Pte.swapped else Pte.untouched);
+      transit = Hashtbl.create 8;
       bits = Bytes.make ((npages + 7) / 8) '\000';
       pm_attached = false;
     }
@@ -89,7 +120,20 @@ let add_segment t ~name ~npages ~swap_base ~on_swap =
 
 let attach_pm _t seg = seg.pm_attached <- true
 
-let segments t = Array.to_list (Array.sub t.seg_arr 0 t.nsegs)
+let iter_segments t f =
+  for i = 0 to t.nsegs - 1 do
+    f t.seg_arr.(i)
+  done
+
+let fold_segments t ~init f =
+  let acc = ref init in
+  for i = 0 to t.nsegs - 1 do
+    acc := f !acc t.seg_arr.(i)
+  done;
+  !acc
+
+let segments t =
+  List.rev (fold_segments t ~init:[] (fun acc seg -> seg :: acc))
 
 (* Every page translation funnels through here, so this is the hottest
    lookup in the VM: check the last segment hit (sequential sweeps stay in
@@ -126,8 +170,49 @@ let off seg vpn =
       (Printf.sprintf "Address_space: vpn %d outside segment %s" vpn seg.seg_name);
   o
 
-let get_pte seg ~vpn = seg.ptes.(off seg vpn)
-let set_pte seg ~vpn pte = seg.ptes.(off seg vpn) <- pte
+(* Raw (packed) PTE access — the hot-path API.  [set_raw] refuses the
+   in-transit tag because that state needs an ivar: use [set_in_transit].
+   Overwriting an in-transit word drops its side-table entry, so the table
+   never leaks completed transits. *)
+
+let get_raw seg ~vpn = seg.ptes.(off seg vpn)
+
+let set_raw seg ~vpn p =
+  if Pte.tag p = Pte.tag_in_transit then
+    invalid_arg "Address_space.set_raw: use set_in_transit";
+  let o = off seg vpn in
+  if Pte.tag seg.ptes.(o) = Pte.tag_in_transit then Hashtbl.remove seg.transit o;
+  seg.ptes.(o) <- p
+
+let set_in_transit seg ~vpn ivar =
+  let o = off seg vpn in
+  Hashtbl.replace seg.transit o ivar;
+  seg.ptes.(o) <- Pte.in_transit
+
+let transit_ivar seg ~vpn = Hashtbl.find seg.transit (off seg vpn)
+
+(* Variant view, for tests and cold paths. *)
+
+let decode seg o p =
+  let tag = Pte.tag p in
+  if tag = Pte.tag_untouched then Untouched
+  else if tag = Pte.tag_swapped then Swapped
+  else if tag = Pte.tag_resident then Resident (Pte.frame p)
+  else if tag = Pte.tag_on_free_list then On_free_list (Pte.frame p)
+  else In_transit (Hashtbl.find seg.transit o)
+
+let get_pte seg ~vpn =
+  let o = off seg vpn in
+  decode seg o seg.ptes.(o)
+
+let set_pte seg ~vpn pte =
+  match pte with
+  | Untouched -> set_raw seg ~vpn Pte.untouched
+  | Swapped -> set_raw seg ~vpn Pte.swapped
+  | Resident f -> set_raw seg ~vpn (Pte.resident f)
+  | On_free_list f -> set_raw seg ~vpn (Pte.on_free_list f)
+  | In_transit ivar -> set_in_transit seg ~vpn ivar
+
 let swap_page seg ~vpn = seg.swap_base + off seg vpn
 
 let bit seg ~vpn =
@@ -142,10 +227,9 @@ let set_bit seg ~vpn value =
   Bytes.set seg.bits (o / 8) (Char.chr byte)
 
 let resident_pages t =
-  let acc = ref 0 in
-  for i = 0 to t.nsegs - 1 do
-    Array.iter
-      (fun pte -> match pte with Resident _ -> incr acc | _ -> ())
-      t.seg_arr.(i).ptes
-  done;
-  !acc
+  fold_segments t ~init:0 (fun acc seg ->
+      let n = ref acc in
+      Array.iter
+        (fun p -> if Pte.tag p = Pte.tag_resident then incr n)
+        seg.ptes;
+      !n)

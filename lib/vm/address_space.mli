@@ -17,12 +17,51 @@ type pte =
       (** a hard fault or prefetch is bringing the page in; other accessors
           wait on the ivar *)
 
+(** Packed PTE words: state tag in the low 3 bits, frame number above.
+    Every value is an immediate int, so a state transition is a plain array
+    store with no per-transition allocation.  The in-transit tag carries no
+    frame; its ivar lives in the segment's side table (see
+    {!set_in_transit}/{!transit_ivar}). *)
+module Pte : sig
+  val tag_untouched : int
+  val tag_swapped : int
+  val tag_resident : int
+  val tag_on_free_list : int
+  val tag_in_transit : int
+
+  val untouched : int
+  (** the packed untouched word *)
+
+  val swapped : int
+  (** the packed swapped word *)
+
+  val in_transit : int
+  (** the packed in-transit word (tag only) *)
+
+  val max_frame : int
+  (** largest encodable frame number *)
+
+  val resident : int -> int
+  (** [resident f] packs frame [f] *)
+
+  val on_free_list : int -> int
+  (** [on_free_list f] packs frame [f] *)
+
+  val tag : int -> int
+  (** low 3 bits *)
+
+  val frame : int -> int
+  (** bits above the tag *)
+end
+
 type segment = {
   seg_name : string;
   base_vpn : int;
   npages : int;
   swap_base : int;
-  ptes : pte array;
+  ptes : int array;           (** packed {!Pte} words *)
+  transit : (int, unit Memhog_sim.Ivar.t) Hashtbl.t;
+      (** page offset -> ivar for in-transit pages (rare, transient) *)
   bits : Bytes.t;             (** residency bitmap (shared page) *)
   mutable pm_attached : bool; (** PagingDirected policy module connected *)
 }
@@ -53,7 +92,14 @@ val add_segment :
 val attach_pm : t -> segment -> unit
 
 val segments : t -> segment list
-(** The mapped segments in [base_vpn] order. *)
+(** The mapped segments in [base_vpn] order.  Allocates a fresh list per
+    call: hot callers should use {!iter_segments} or {!fold_segments}. *)
+
+val iter_segments : t -> (segment -> unit) -> unit
+(** Apply to each mapped segment in [base_vpn] order, allocation-free. *)
+
+val fold_segments : t -> init:'a -> ('a -> segment -> 'a) -> 'a
+(** Fold over the mapped segments in [base_vpn] order, allocation-free. *)
 
 val find_segment : t -> vpn:int -> segment
 (** Raises [Not_found] for an unmapped page.  O(1) when [vpn] lands in the
@@ -62,7 +108,26 @@ val find_segment : t -> vpn:int -> segment
     hot path for every touch, prefetch, release and daemon scan. *)
 
 val get_pte : segment -> vpn:int -> pte
+(** Decoded view of the packed word (cold paths, tests). *)
+
 val set_pte : segment -> vpn:int -> pte -> unit
+(** Encode and store; [In_transit] routes through {!set_in_transit}. *)
+
+val get_raw : segment -> vpn:int -> int
+(** The packed {!Pte} word — the allocation-free hot-path read. *)
+
+val set_raw : segment -> vpn:int -> int -> unit
+(** Store a packed word.  Overwriting an in-transit entry drops its ivar
+    from the side table.
+    @raise Invalid_argument for the in-transit tag: use {!set_in_transit}. *)
+
+val set_in_transit : segment -> vpn:int -> unit Memhog_sim.Ivar.t -> unit
+(** Mark the page in transit and register the ivar accessors wait on. *)
+
+val transit_ivar : segment -> vpn:int -> unit Memhog_sim.Ivar.t
+(** The waiting ivar of an in-transit page.
+    @raise Not_found when the page is not in transit. *)
+
 val swap_page : segment -> vpn:int -> int
 
 val bit : segment -> vpn:int -> bool

@@ -122,11 +122,9 @@ let disassociate ?(reused = true) t (f : Frame.t) =
             victim.As.stats.lost_releaser <- victim.As.stats.lost_releaser + 1
         | None -> ());
         match As.find_segment victim ~vpn:f.vpn with
-        | seg -> (
-            match As.get_pte seg ~vpn:f.vpn with
-            | As.On_free_list idx when idx = f.idx ->
-                As.set_pte seg ~vpn:f.vpn As.Swapped
-            | _ -> ())
+        | seg ->
+            if As.get_raw seg ~vpn:f.vpn = As.Pte.on_free_list f.idx then
+              As.set_raw seg ~vpn:f.vpn As.Pte.swapped
         | exception Not_found -> ())
     | None -> ());
     if reused && f.freed_by <> None && tracing t then
@@ -190,7 +188,7 @@ let abandon_in_writeback t seg ~vpn fidx =
   let freer = f.Frame.freed_by in
   Frame.reset_association f;
   f.Frame.freed_by <- freer;
-  As.set_pte seg ~vpn As.Swapped
+  As.set_raw seg ~vpn As.Pte.swapped
 
 (* ------------------------------------------------------------------ *)
 (* Process setup                                                       *)
@@ -228,7 +226,7 @@ let install_frame t (asp : As.t) seg ~vpn (f : Frame.t) ~write ~prefetched =
   f.age <- 0;
   f.freed_by <- None;
   f.free_site <- Trace.no_site;
-  As.set_pte seg ~vpn (As.Resident f.idx);
+  As.set_raw seg ~vpn (As.Pte.resident f.idx);
   asp.As.rss <- asp.As.rss + 1;
   As.set_bit seg ~vpn true;
   (* a demand-installed page enters the TLB; a prefetched page does so only
@@ -239,30 +237,38 @@ let install_frame t (asp : As.t) seg ~vpn (f : Frame.t) ~write ~prefetched =
 
 let rec touch t (asp : As.t) ~vpn ~write =
   let seg = As.find_segment asp ~vpn in
-  match As.get_pte seg ~vpn with
-  | As.Resident fidx
-    when
-      let f = t.frames.(fidx) in
-      f.valid && not f.prefetched ->
-      let f = t.frames.(fidx) in
-      f.referenced <- true;
-      if write then f.dirty <- true;
-      (* the MIPS TLB is refilled in software: a miss on a mapped, valid
-         page still costs a trap *)
-      if not (Tlb.access asp.As.tlb ~vpn) then
-        Engine.delay ~cat:Account.System t.config.tlb_refill_ns;
-      Fast
-  | _ -> fault t asp seg ~vpn ~write
+  (* The packed-PTE read keeps the warm path allocation-free: one int load,
+     one tag test, no variant decode. *)
+  let p = As.get_raw seg ~vpn in
+  if
+    As.Pte.tag p = As.Pte.tag_resident
+    &&
+    let f = t.frames.(As.Pte.frame p) in
+    f.valid && not f.prefetched
+  then begin
+    let f = t.frames.(As.Pte.frame p) in
+    f.referenced <- true;
+    if write then f.dirty <- true;
+    (* the MIPS TLB is refilled in software: a miss on a mapped, valid
+       page still costs a trap *)
+    if not (Tlb.access asp.As.tlb ~vpn) then
+      Engine.delay ~cat:Account.System t.config.tlb_refill_ns;
+    Fast
+  end
+  else fault t asp seg ~vpn ~write
 
 and fault t asp seg ~vpn ~write =
   let cfg = t.config in
   let stats = asp.As.stats in
   Semaphore.acquire asp.As.as_lock;
-  (* Re-examine under the lock: the world may have changed while waiting. *)
+  (* Re-examine under the lock: the world may have changed while waiting.
+     Dispatch on the packed tag (if/else: tags are named constants, not
+     literals, so they cannot head a pattern match). *)
   let result =
-    match As.get_pte seg ~vpn with
-    | As.Resident fidx ->
-        let f = t.frames.(fidx) in
+    let p = As.get_raw seg ~vpn in
+    let tag = As.Pte.tag p in
+    if tag = As.Pte.tag_resident then begin
+        let f = t.frames.(As.Pte.frame p) in
         if f.prefetched then begin
           (* First touch of a prefetched page: cheap validation fault. *)
           f.prefetched <- false;
@@ -304,17 +310,21 @@ and fault t asp seg ~vpn ~write =
           Semaphore.release asp.As.as_lock;
           Fast
         end
-    | As.On_free_list fidx when not cfg.rescue_from_free_list ->
+    end
+    else if tag = As.Pte.tag_on_free_list && not cfg.rescue_from_free_list
+    then begin
         (* Rescue disabled: the only way a PTE still points at a freed frame
            is a writeback in flight.  Abandon it and demand-fetch. *)
-        abandon_in_writeback t seg ~vpn fidx;
+        abandon_in_writeback t seg ~vpn (As.Pte.frame p);
         Semaphore.release asp.As.as_lock;
         touch t asp ~vpn ~write
-    | As.On_free_list fidx ->
+    end
+    else if tag = As.Pte.tag_on_free_list then begin
         (* Rescue path. *)
+        let fidx = As.Pte.frame p in
         Semaphore.acquire t.memory_lock;
-        (match As.get_pte seg ~vpn with
-        | As.On_free_list fidx' when fidx' = fidx ->
+        (* Same packed word = same state and same frame. *)
+        if As.get_raw seg ~vpn = p then begin
             let f = t.frames.(fidx) in
             let freer =
               match f.freed_by with Some w -> w | None -> Vm_stats.Daemon
@@ -335,20 +345,26 @@ and fault t asp seg ~vpn ~write =
             Semaphore.release t.memory_lock;
             Semaphore.release asp.As.as_lock;
             Rescued freer
-        | _ ->
+        end
+        else begin
             (* The frame was reallocated while we took the lock: retry. *)
             Semaphore.release t.memory_lock;
             Semaphore.release asp.As.as_lock;
-            touch t asp ~vpn ~write)
-    | As.In_transit ivar ->
+            touch t asp ~vpn ~write
+        end
+    end
+    else if tag = As.Pte.tag_in_transit then begin
         (* Someone (prefetch thread or another fault) is bringing it in. *)
+        let ivar = As.transit_ivar seg ~vpn in
         Semaphore.release asp.As.as_lock;
         Ivar.read ~cat:Account.Io_stall ivar;
         touch t asp ~vpn ~write
-    | (As.Swapped | As.Untouched) as prev ->
-        let zero = prev = As.Untouched in
+    end
+    else begin
+        (* swapped or untouched *)
+        let zero = tag = As.Pte.tag_untouched in
         let ivar = Ivar.create () in
-        As.set_pte seg ~vpn (As.In_transit ivar);
+        As.set_in_transit seg ~vpn ivar;
         Semaphore.release asp.As.as_lock;
         let f = alloc_frame_blocking t ~for_:asp in
         sys_delay t cfg.hard_fault_cpu_ns;
@@ -369,6 +385,7 @@ and fault t asp seg ~vpn ~write =
         Ivar.fill ivar ();
         Semaphore.release asp.As.as_lock;
         if zero then Zero_filled else Hard
+    end
   in
   result
 
@@ -400,43 +417,49 @@ let rec prefetch t ?(site = Trace.no_site) (asp : As.t) ~vpn =
   | exception Not_found -> P_already
   | seg -> (
       Semaphore.acquire asp.As.as_lock;
-      match As.get_pte seg ~vpn with
-      | As.Resident _ | As.In_transit _ ->
-          stats.prefetches_useless <- stats.prefetches_useless + 1;
-          Semaphore.release asp.As.as_lock;
-          update_limits t asp;
-          P_already
-      | As.On_free_list fidx when not cfg.rescue_from_free_list ->
-          abandon_in_writeback t seg ~vpn fidx;
-          Semaphore.release asp.As.as_lock;
-          prefetch t asp ~site ~vpn
-      | As.On_free_list fidx ->
-          Semaphore.acquire t.memory_lock;
-          let result =
-            match As.get_pte seg ~vpn with
-            | As.On_free_list fidx' when fidx' = fidx ->
-                let f = t.frames.(fidx) in
-                if f.on_free_list then Free_list.remove t.free f;
-                stats.prefetch_rescues <- stats.prefetch_rescues + 1;
-                if tracing t then
-                  emit t ~stream:asp.As.pid
-                    (Trace.Rescue
-                       { vpn; for_prefetch = true; site = f.free_site });
-                (match f.freed_by with
-                | Some Vm_stats.Daemon ->
-                    stats.rescued_daemon <- stats.rescued_daemon + 1
-                | Some Vm_stats.Releaser ->
-                    stats.rescued_releaser <- stats.rescued_releaser + 1
-                | None -> ());
-                install_frame t asp seg ~vpn f ~write:false ~prefetched:true;
-                P_rescued
-            | _ -> P_already
-          in
-          Semaphore.release t.memory_lock;
-          Semaphore.release asp.As.as_lock;
-          update_limits t asp;
-          result
-      | As.Swapped | As.Untouched -> (
+      let p = As.get_raw seg ~vpn in
+      let tag = As.Pte.tag p in
+      if tag = As.Pte.tag_resident || tag = As.Pte.tag_in_transit then begin
+        stats.prefetches_useless <- stats.prefetches_useless + 1;
+        Semaphore.release asp.As.as_lock;
+        update_limits t asp;
+        P_already
+      end
+      else if tag = As.Pte.tag_on_free_list && not cfg.rescue_from_free_list
+      then begin
+        abandon_in_writeback t seg ~vpn (As.Pte.frame p);
+        Semaphore.release asp.As.as_lock;
+        prefetch t asp ~site ~vpn
+      end
+      else if tag = As.Pte.tag_on_free_list then begin
+        let fidx = As.Pte.frame p in
+        Semaphore.acquire t.memory_lock;
+        let result =
+          (* Same packed word = same state and same frame. *)
+          if As.get_raw seg ~vpn = p then begin
+            let f = t.frames.(fidx) in
+            if f.on_free_list then Free_list.remove t.free f;
+            stats.prefetch_rescues <- stats.prefetch_rescues + 1;
+            if tracing t then
+              emit t ~stream:asp.As.pid
+                (Trace.Rescue { vpn; for_prefetch = true; site = f.free_site });
+            (match f.freed_by with
+            | Some Vm_stats.Daemon ->
+                stats.rescued_daemon <- stats.rescued_daemon + 1
+            | Some Vm_stats.Releaser ->
+                stats.rescued_releaser <- stats.rescued_releaser + 1
+            | None -> ());
+            install_frame t asp seg ~vpn f ~write:false ~prefetched:true;
+            P_rescued
+          end
+          else P_already
+        in
+        Semaphore.release t.memory_lock;
+        Semaphore.release asp.As.as_lock;
+        update_limits t asp;
+        result
+      end
+      else (
           match
             (if t.config.drop_prefetch_when_low then alloc_frame_opt t
              else begin
@@ -455,41 +478,45 @@ let rec prefetch t ?(site = Trace.no_site) (asp : As.t) ~vpn =
               Semaphore.release asp.As.as_lock;
               update_limits t asp;
               P_dropped
-          | Some f -> (
+          | Some f ->
               (* While blocked in alloc_frame_blocking the as_lock was free:
                  a concurrent demand fault (or another prefetch) may have
                  installed this page.  Overwriting the PTE would leak that
                  resident frame and corrupt rss, so re-check and surrender
                  the spare frame if the prefetch lost the race. *)
-              match As.get_pte seg ~vpn with
-              | (As.Swapped | As.Untouched) as prev ->
-                  let zero = prev = As.Untouched in
-                  let ivar = Ivar.create () in
-                  As.set_pte seg ~vpn (As.In_transit ivar);
-                  Semaphore.release asp.As.as_lock;
-                  stats.prefetches_issued <- stats.prefetches_issued + 1;
-                  if tracing t then
-                    emit t ~stream:asp.As.pid (Trace.Prefetch_issued { vpn; site });
-                  sys_delay t cfg.hard_fault_cpu_ns;
-                  if zero then sys_delay t cfg.zero_fill_ns
-                  else Swap.read_page t.swap ~page:(As.swap_page seg ~vpn);
-                  Semaphore.acquire asp.As.as_lock;
-                  install_frame t asp seg ~vpn f ~write:zero ~prefetched:true;
-                  Ivar.fill ivar ();
-                  Semaphore.release asp.As.as_lock;
-                  update_limits t asp;
-                  P_fetched
-              | As.Resident _ | As.In_transit _ | As.On_free_list _ ->
-                  stats.prefetches_useless <- stats.prefetches_useless + 1;
-                  if tracing t then
-                    emit t ~stream:asp.As.pid (Trace.Prefetch_raced { vpn; site });
-                  Semaphore.acquire t.memory_lock;
-                  Free_list.push_tail t.free f;
-                  Condition.broadcast t.free_cond;
-                  Semaphore.release t.memory_lock;
-                  Semaphore.release asp.As.as_lock;
-                  update_limits t asp;
-                  P_already)))
+              let tag' = As.Pte.tag (As.get_raw seg ~vpn) in
+              if tag' = As.Pte.tag_swapped || tag' = As.Pte.tag_untouched
+              then begin
+                let zero = tag' = As.Pte.tag_untouched in
+                let ivar = Ivar.create () in
+                As.set_in_transit seg ~vpn ivar;
+                Semaphore.release asp.As.as_lock;
+                stats.prefetches_issued <- stats.prefetches_issued + 1;
+                if tracing t then
+                  emit t ~stream:asp.As.pid (Trace.Prefetch_issued { vpn; site });
+                sys_delay t cfg.hard_fault_cpu_ns;
+                if zero then sys_delay t cfg.zero_fill_ns
+                else Swap.read_page t.swap ~page:(As.swap_page seg ~vpn);
+                Semaphore.acquire asp.As.as_lock;
+                install_frame t asp seg ~vpn f ~write:zero ~prefetched:true;
+                Ivar.fill ivar ();
+                Semaphore.release asp.As.as_lock;
+                update_limits t asp;
+                P_fetched
+              end
+              else begin
+                (* resident, in transit, or back on the free list *)
+                stats.prefetches_useless <- stats.prefetches_useless + 1;
+                if tracing t then
+                  emit t ~stream:asp.As.pid (Trace.Prefetch_raced { vpn; site });
+                Semaphore.acquire t.memory_lock;
+                Free_list.push_tail t.free f;
+                Condition.broadcast t.free_cond;
+                Semaphore.release t.memory_lock;
+                Semaphore.release asp.As.as_lock;
+                update_limits t asp;
+                P_already
+              end))
 
 (* Like [touch]: time prefetches that actually moved a page (I/O performed
    or rescued from the free list); useless and dropped requests are cheap
@@ -534,15 +561,15 @@ let release_request t ?sites (asp : As.t) ~vpns =
       match As.find_segment asp ~vpn with
       | seg ->
           As.set_bit seg ~vpn false;
-          (match As.get_pte seg ~vpn with
-          | As.Resident fidx ->
-              let f = t.frames.(fidx) in
-              if f.valid then begin
-                f.valid <- false;
-                f.release_invalidated <- true;
-                Tlb.invalidate asp.As.tlb ~vpn
-              end
-          | _ -> ())
+          let p = As.get_raw seg ~vpn in
+          if As.Pte.tag p = As.Pte.tag_resident then begin
+            let f = t.frames.(As.Pte.frame p) in
+            if f.valid then begin
+              f.valid <- false;
+              f.release_invalidated <- true;
+              Tlb.invalidate asp.As.tlb ~vpn
+            end
+          end
       | exception Not_found -> ())
     vpns;
   if tracing t then
@@ -607,10 +634,11 @@ let releaser_process_batch t (asp : As.t) (vpns : int array)
                 (Trace.Release_skipped { vpn; owner = asp.As.pid; site })
           end
           else
-            match As.get_pte seg ~vpn with
-            | As.Resident fidx ->
+            let p = As.get_raw seg ~vpn in
+            if As.Pte.tag p = As.Pte.tag_resident then begin
+                let fidx = As.Pte.frame p in
                 let f = t.frames.(fidx) in
-                As.set_pte seg ~vpn (As.On_free_list fidx);
+                As.set_raw seg ~vpn (As.Pte.on_free_list fidx);
                 asp.As.rss <- asp.As.rss - 1;
                 asp.As.stats.freed_by_releaser <-
                   asp.As.stats.freed_by_releaser + 1;
@@ -630,13 +658,14 @@ let releaser_process_batch t (asp : As.t) (vpns : int array)
                   writebacks := (seg, vpn, asp.As.pid, f) :: !writebacks
                 end
                 else free_frame_locked t f ~freer:Vm_stats.Releaser ~site
-            | As.Untouched | As.Swapped | As.On_free_list _ | As.In_transit _
-              ->
+            end
+            else begin
+                (* untouched, swapped, already freed, or in transit *)
                 asp.As.stats.releases_skipped <- asp.As.stats.releases_skipped + 1;
                 if tracing t then
                   emit t ~stream:Trace.releaser_stream
-                    (Trace.Release_skipped { vpn; owner = asp.As.pid; site }))
-      )
+                    (Trace.Release_skipped { vpn; owner = asp.As.pid; site })
+            end))
     vpns;
   (* The releaser is specialized: little per-page work while locks are
      held. *)
@@ -761,10 +790,11 @@ let rec daemon_visit_frame t (asp : As.t) (f : Frame.t) ~free_shortage =
                 | Some vpn -> (
                     match As.find_segment asp ~vpn with
                     | exception Not_found -> pick (budget - 1)
-                    | seg -> (
-                        match As.get_pte seg ~vpn with
-                        | As.Resident fidx -> t.frames.(fidx)
-                        | _ -> pick (budget - 1)))
+                    | seg ->
+                        let p = As.get_raw seg ~vpn in
+                        if As.Pte.tag p = As.Pte.tag_resident then
+                          t.frames.(As.Pte.frame p)
+                        else pick (budget - 1))
             in
             pick 8)
         | None -> f
@@ -780,7 +810,7 @@ let rec daemon_visit_frame t (asp : As.t) (f : Frame.t) ~free_shortage =
 and daemon_steal t (asp : As.t) (f : Frame.t) =
   let stats = asp.As.stats in
   let seg = As.find_segment asp ~vpn:f.vpn in
-  As.set_pte seg ~vpn:f.vpn (As.On_free_list f.idx);
+  As.set_raw seg ~vpn:f.vpn (As.Pte.on_free_list f.idx);
   As.set_bit seg ~vpn:f.vpn false;
   Tlb.invalidate asp.As.tlb ~vpn:f.vpn;
   asp.As.rss <- asp.As.rss - 1;

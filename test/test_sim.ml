@@ -10,7 +10,7 @@ let check_bool = Alcotest.(check bool)
 (* ------------------------------------------------------------------ *)
 
 let test_heap_ordering () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:"" () in
   Heap.add h ~key:5 ~seq:1 "c";
   Heap.add h ~key:1 ~seq:2 "a";
   Heap.add h ~key:3 ~seq:3 "b";
@@ -23,7 +23,7 @@ let test_heap_ordering () =
   Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ]
 
 let test_heap_fifo_ties () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:0 () in
   for i = 1 to 100 do
     Heap.add h ~key:7 ~seq:i i
   done;
@@ -40,7 +40,7 @@ let test_heap_fifo_ties () =
     (List.rev !out)
 
 let test_heap_empty () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:() () in
   check_bool "empty" true (Heap.is_empty h);
   check_bool "pop none" true (Heap.pop_min h = None);
   Heap.add h ~key:1 ~seq:1 ();
@@ -52,7 +52,7 @@ let test_heap_empty () =
    must not pin its payload (space leak across long simulations).  Track
    the payloads with weak pointers and check they get collected. *)
 let test_heap_releases_popped_values () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:(ref 0) () in
   let w = Weak.create 8 in
   let fill () =
     for i = 0 to 7 do
@@ -74,7 +74,7 @@ let test_heap_releases_popped_values () =
   done
 
 let test_heap_clear_releases_values () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:(ref 0) () in
   let w = Weak.create 8 in
   let fill () =
     for i = 0 to 7 do
@@ -96,7 +96,7 @@ let prop_heap_sorts =
   QCheck.Test.make ~name:"heap pops in nondecreasing key order" ~count:200
     QCheck.(list (pair small_int small_int))
     (fun pairs ->
-      let h = Heap.create () in
+      let h = Heap.create ~dummy:0 () in
       List.iteri (fun i (k, v) -> Heap.add h ~key:k ~seq:i v) pairs;
       let rec drain acc =
         match Heap.pop_min h with

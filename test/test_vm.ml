@@ -74,6 +74,55 @@ let prop_bitmap_independent =
       As.set_bit seg ~vpn:a true;
       As.bit seg ~vpn:a && not (As.bit seg ~vpn:b))
 
+(* Packed-PTE roundtrip: each of the five states survives encode -> decode
+   across the full frame range (0 .. Pte.max_frame), the raw tag/frame
+   accessors agree with the variant view, and overwriting an in-transit
+   entry drops its ivar from the side table. *)
+let prop_pte_roundtrip =
+  QCheck.Test.make ~name:"packed pte roundtrip" ~count:500
+    QCheck.(pair (int_bound 4) (map (fun n -> abs n land As.Pte.max_frame) int))
+    (fun (state, frame) ->
+      let asp = As.create ~pid:0 ~name:"p" () in
+      let seg =
+        As.add_segment asp ~name:"s" ~npages:4 ~swap_base:0 ~on_swap:false
+      in
+      let vpn = 2 in
+      match state with
+      | 0 ->
+          As.set_pte seg ~vpn As.Untouched;
+          As.get_pte seg ~vpn = As.Untouched
+          && As.get_raw seg ~vpn = As.Pte.untouched
+      | 1 ->
+          As.set_pte seg ~vpn As.Swapped;
+          As.get_pte seg ~vpn = As.Swapped
+          && As.get_raw seg ~vpn = As.Pte.swapped
+      | 2 ->
+          As.set_pte seg ~vpn (As.Resident frame);
+          As.get_pte seg ~vpn = As.Resident frame
+          &&
+          let p = As.get_raw seg ~vpn in
+          As.Pte.tag p = As.Pte.tag_resident && As.Pte.frame p = frame
+      | 3 ->
+          As.set_pte seg ~vpn (As.On_free_list frame);
+          As.get_pte seg ~vpn = As.On_free_list frame
+          &&
+          let p = As.get_raw seg ~vpn in
+          As.Pte.tag p = As.Pte.tag_on_free_list && As.Pte.frame p = frame
+      | _ ->
+          let ivar = Ivar.create () in
+          As.set_pte seg ~vpn (As.In_transit ivar);
+          (match As.get_pte seg ~vpn with
+          | As.In_transit iv -> iv == ivar && As.transit_ivar seg ~vpn == ivar
+          | _ -> false)
+          && As.Pte.tag (As.get_raw seg ~vpn) = As.Pte.tag_in_transit
+          && begin
+               (* overwriting the in-transit word must clear the side table *)
+               As.set_raw seg ~vpn (As.Pte.resident frame);
+               match As.transit_ivar seg ~vpn with
+               | exception Not_found -> true
+               | _ -> false
+             end)
+
 (* ------------------------------------------------------------------ *)
 (* Free list                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -781,6 +830,7 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [
             prop_bitmap_independent;
+            prop_pte_roundtrip;
             prop_free_list_model;
             prop_invariants_random_load;
             prop_invariants_two_processes;
