@@ -49,6 +49,16 @@
                                          (--perf is an alias;
                                          --gc-minor-kb KB resizes the
                                          minor heap first)
+     bench/main.exe serve --quick ...    open-loop KV server co-run with
+                                         the MATVEC hog at two offered
+                                         loads x {O,B}: p50/p99/p999 and
+                                         SLO attainment, with a built-in
+                                         check that the buffered-release
+                                         hog beats the un-released hog
+                                         on p999 at every load; writes
+                                         SERVE_metrics.json (CI gate;
+                                         see @serve-smoke) (--serve is
+                                         an alias)
      bench/main.exe --chaos SPEC ...     inject the given fault plan into
                                          every matrix cell
      bench/main.exe microbench           bechamel microbenchmarks of the
@@ -67,7 +77,7 @@
    Experiment ids: table1 table2 fig1 fig7 fig8 table3 fig9 fig10a fig10b
    fig10c ablation-batch ablation-hwbits ablation-conservative
    ablation-rescue ablation-drop ablation-tlb ext-freemem ext-reactive
-   ext-two-hogs smoke chaos audit perf microbench *)
+   ext-two-hogs smoke chaos audit perf serve microbench *)
 
 open Memhog_core
 
@@ -532,6 +542,61 @@ let perf_experiment ~machine ~jobs () =
   log "wrote PERF_metrics.json (work counters deterministic, wall informational)";
   Perf.render t
 
+(* ------------------------------------------------------------------ *)
+(* Serve: open-loop tail latency under a hog (see @serve-smoke)        *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Memhog_exec.Server
+
+(* Offered loads at and past the knee of each machine, where the
+   un-released hog's page stealing outruns the server's self-healing
+   urgent re-prefetches.  Below the knee both variants hold the SLO and
+   the comparison is noise. *)
+let serve_rates ~machine =
+  if machine.Machine.m_name = Machine.quick.Machine.m_name then
+    [ 1600.0; 3840.0 ]
+  else Serve.default_rates
+
+let serve_experiment ~machine ~jobs () =
+  let rates = serve_rates ~machine in
+  log
+    (Printf.sprintf "serve: %s hog x {O,B} at %s rps, %d jobs"
+       Serve.default_hog
+       (String.concat ", " (List.map (Printf.sprintf "%g") rates))
+       jobs);
+  let t = Serve.run ~machine ~rates ?chaos:!chaos_spec ~jobs ~log () in
+  Metrics_io.write_file ~path:"SERVE_metrics.json"
+    (Metrics.of_results
+       ~label:
+         (Printf.sprintf "serve %s %s" Serve.default_hog
+            machine.Machine.m_name)
+       (Serve.results t));
+  log "wrote SERVE_metrics.json (deterministic)";
+  (* Built-in physics gate: at every offered load, the buffered-release
+     hog must leave the server a strictly better p999 than the
+     un-released hog. *)
+  List.iter
+    (fun rate ->
+      let p999 v =
+        let _, r =
+          List.find
+            (fun ((c : Serve.cell), _) ->
+              c.Serve.sc_rate = rate && c.Serve.sc_variant = v)
+            (Serve.cells t)
+        in
+        Memhog_sim.Histogram.percentile (Serve.serving_exn r).Server.sm_hist
+          99.9
+      in
+      let o = p999 E.O and b = p999 E.B in
+      if not (b < o) then
+        failwith
+          (Printf.sprintf
+             "serve: at %g rps buffered release must beat the un-released \
+              hog on p999 (O %d ns, B %d ns)"
+             rate o b))
+    rates;
+  Serve.render t ^ "\n" ^ Figures.serve_tail t
+
 let experiments ~machine ~jobs =
   [
     ("table1", fun () -> Figures.table1 ~machine ());
@@ -558,12 +623,13 @@ let experiments ~machine ~jobs =
     ("chaos", fun () -> chaos_experiment ~machine ~jobs ());
     ("audit", fun () -> audit_experiment ~machine ~jobs ());
     ("perf", fun () -> perf_experiment ~machine ~jobs ());
+    ("serve", fun () -> serve_experiment ~machine ~jobs ());
   ]
 
 let usage () =
   Printf.eprintf
     "usage: main.exe [--quick] [--jobs N] [--json] [--smoke] [--trace DIR] \
-     [--chaos SPEC] [--perf] [--gc-minor-kb KB] [EXPERIMENT ...]\n"
+     [--chaos SPEC] [--perf] [--serve] [--gc-minor-kb KB] [EXPERIMENT ...]\n"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -606,6 +672,9 @@ let () =
         exit 2
     | "--perf" :: rest ->
         selected := "perf" :: !selected;
+        parse rest
+    | "--serve" :: rest ->
+        selected := "serve" :: !selected;
         parse rest
     | "--gc-minor-kb" :: kb :: rest -> (
         match int_of_string_opt kb with
@@ -653,7 +722,8 @@ let () =
     | [] ->
         List.filter
           (fun (n, _) ->
-            n <> "smoke" && n <> "chaos" && n <> "audit" && n <> "perf")
+            n <> "smoke" && n <> "chaos" && n <> "audit" && n <> "perf"
+            && n <> "serve")
           registry
     | names ->
         List.map

@@ -6,6 +6,7 @@
      compile    run the compiler on a benchmark and dump analysis + code
      run        run one experiment and print every collected metric
      sweep      interactive response vs sleep time for any benchmark
+     serve      open-loop KV server tail latency vs offered load x hog variant
      report     render metrics JSON files as human-readable tables
      compare    diff two metrics JSON files (the CI regression gate)
      audit      per-directive-site efficacy report from the page ledger
@@ -28,12 +29,12 @@ let machine_term =
 
 let workload_conv =
   let parse s =
-    match Workload.find s with
-    | w -> Ok w
-    | exception Not_found ->
+    match Workload.find_opt s with
+    | Some w -> Ok w
+    | None ->
         Error
           (`Msg
-             (Printf.sprintf "unknown workload %s (try: %s)" s
+             (Printf.sprintf "unknown workload %S (valid: %s)" s
                 (String.concat ", " Workload.names)))
   in
   Arg.conv (parse, fun fmt w -> Format.pp_print_string fmt w.Workload.w_name)
@@ -208,8 +209,18 @@ let run_cmd =
              inject the identical schedule.  Also enables the run-time \
              layer's graceful-degradation governor.")
   in
+  let serve_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "serve" ] ~docv:"RPS"
+          ~doc:
+            "Co-run the open-loop KVSERVE server at $(docv) requests/sec \
+             next to the hog and report its tail latency (responses \
+             measured from arrival).")
+  in
   let run machine workload variant interactive iterations conservative telemetry
-      csv trace metrics chaos =
+      csv trace metrics chaos serve_rate =
     let interactive_sleep = Option.map Time_ns.of_sec_f interactive in
     let min_sim_time =
       match interactive_sleep with
@@ -217,10 +228,15 @@ let run_cmd =
       | None -> 0
     in
     let trace_buf = Option.map (fun _ -> Memhog_sim.Trace.create ()) trace in
+    let serve =
+      Option.map
+        (fun rate_rps -> Experiment.serve_cfg ~machine ~rate_rps ())
+        serve_rate
+    in
     let r =
       Experiment.run
         (Experiment.setup ~machine ?interactive_sleep ?iterations ~min_sim_time
-           ~conservative ?trace:trace_buf ?chaos ~workload ~variant ())
+           ~conservative ?trace:trace_buf ?chaos ?serve ~workload ~variant ())
     in
     let b = r.Experiment.r_breakdown in
     Format.printf "workload:   %s  variant: %s@." r.Experiment.r_workload
@@ -278,6 +294,24 @@ let run_cmd =
               rt.Memhog_runtime.Runtime.rt_prefetch_os_dropped
         | None -> ())
     | None -> ());
+    (match r.Experiment.r_serving with
+    | Some s ->
+        let module Server = Memhog_exec.Server in
+        let h = s.Server.sm_hist in
+        let pct p = Time_ns.to_string (Memhog_sim.Histogram.percentile h p) in
+        Format.printf
+          "serving:    %g rps offered | %d arrived, %d served (%d recorded) \
+           | queue max %d@."
+          s.Server.sm_offered_rps s.Server.sm_arrived s.Server.sm_completed
+          s.Server.sm_recorded s.Server.sm_max_queue;
+        Format.printf
+          "  response: p50 %s | p99 %s | p999 %s | max %s | SLO(%s) %.1f%%@."
+          (pct 50.0) (pct 99.0) (pct 99.9)
+          (Time_ns.to_string
+             (Option.value (Memhog_sim.Histogram.max_value h) ~default:0))
+          (Time_ns.to_string s.Server.sm_slo)
+          (100.0 *. Server.slo_attainment s)
+    | None -> ());
     (match r.Experiment.r_interactive with
     | Some i ->
         Format.printf
@@ -326,7 +360,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one experiment and print every metric.")
     Term.(
       const run $ machine_term $ workload_term $ variant $ interactive
-      $ iterations $ conservative $ telemetry $ csv $ trace $ metrics $ chaos)
+      $ iterations $ conservative $ telemetry $ csv $ trace $ metrics $ chaos
+      $ serve_rate)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -407,6 +442,114 @@ let sweep_cmd =
          "Interactive response vs sleep time for one benchmark across all \
           four variants (Figures 1/10a for any workload).")
     Term.(const run $ machine_term $ workload_term $ sleeps $ jobs)
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let rates =
+    Arg.(
+      value
+      & opt (list float) Serve.default_rates
+      & info [ "rates" ] ~docv:"RPS,RPS,..."
+          ~doc:"Offered loads (requests/sec) to sweep.")
+  in
+  let variants =
+    Arg.(
+      value
+      & opt (list variant_conv) Serve.default_variants
+      & info [ "variants" ] ~docv:"V,V,..."
+          ~doc:"Hog variants to co-run (default: O,B — the bookends).")
+  in
+  let hog =
+    Arg.(
+      value
+      & opt workload_conv (Workload.find Serve.default_hog)
+      & info [ "hog"; "w" ] ~docv:"WORKLOAD"
+          ~doc:"The out-of-core hog co-running with the server.")
+  in
+  let slo =
+    Arg.(
+      value
+      & opt float 0.03
+      & info [ "slo" ] ~docv:"S"
+          ~doc:"Per-request response-time target, in seconds.")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt float 20.0
+      & info [ "duration" ] ~docv:"S"
+          ~doc:"Arrival-window length, in simulated seconds.")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:"Apply this fault-injection plan to every cell.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Run the grid cells on $(docv) worker domains.  Results are \
+             bit-identical to --jobs 1.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the grid's derived metrics (including the per-cell \
+             $(b,serving) object) as canonical JSON.")
+  in
+  let run machine rates variants hog slo duration chaos jobs metrics =
+    (match chaos with
+    | Some spec -> (
+        match Memhog_sim.Chaos.parse spec with
+        | Ok _ -> ()
+        | Error e ->
+            Format.eprintf "memhog serve: bad chaos spec: %s@." e;
+            exit 2)
+    | None -> ());
+    let t =
+      Serve.run ~machine ~workload:hog.Workload.w_name ~rates ~variants
+        ~slo:(Time_ns.of_sec_f slo)
+        ~duration:(Time_ns.of_sec_f duration)
+        ?chaos ~jobs
+        ~log:(fun m -> Format.eprintf "%s@." m)
+        ()
+    in
+    print_string (Serve.render t);
+    print_newline ();
+    print_string (Figures.serve_tail t);
+    (match metrics with
+    | Some path ->
+        let label =
+          Printf.sprintf "%s serve %s" machine.Machine.m_name
+            hog.Workload.w_name
+        in
+        Metrics_io.write_file ~path
+          (Metrics.of_results ~label (Serve.results t));
+        Format.printf "metrics written to %s@." path
+    | None -> ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Sweep the open-loop KVSERVE server over offered load x hog \
+          variant and report tail latency (p50/p99/p999, measured from \
+          arrival) and SLO attainment — the serving analogue of the \
+          paper's interactivity figures.")
+    Term.(
+      const run $ machine_term $ rates $ variants $ hog $ slo $ duration
+      $ chaos $ jobs $ metrics)
 
 (* ------------------------------------------------------------------ *)
 (* report / compare                                                    *)
@@ -818,5 +961,5 @@ let () =
           (Cmd.info "memhog" ~version:"1.0.0" ~doc)
           [
             list_cmd; machine_cmd; compile_cmd; run_cmd; sweep_cmd;
-            report_cmd; compare_cmd; audit_cmd; perf_cmd;
+            serve_cmd; report_cmd; compare_cmd; audit_cmd; perf_cmd;
           ]))

@@ -6,7 +6,9 @@ module Compile = Memhog_compiler.Compile
 module Runtime = Memhog_runtime.Runtime
 module App = Memhog_exec.App
 module Interactive = Memhog_exec.Interactive
+module Server = Memhog_exec.Server
 module Workload = Memhog_workloads.Workload
+module Kvserve = Memhog_workloads.Kvserve
 
 type variant = O | P | R | B
 
@@ -76,6 +78,7 @@ type result = {
   r_ledger : Ledger.summary;
   r_sites : Pir.site_info list;
   r_events_executed : int;
+  r_serving : Server.summary option;
 }
 
 type setup = {
@@ -93,12 +96,40 @@ type setup = {
   chaos : string option;
   governor : Runtime.governor_cfg option;
   ledger_on : bool;
+  serve : Server.cfg option;
 }
+
+(* Machine-relative serving cell: the keyspace shapes come from
+   {!Kvserve.sizing} and the traffic knobs default to a 20-second arrival
+   window, 200 us of compute per request and a 30 ms SLO — far above a
+   warm response (two resident touches) and below a couple of hard
+   faults' worth of stall, so attainment separates the variants. *)
+let serve_cfg ?(slo = Time_ns.ms 30) ?(duration = Time_ns.sec 20)
+    ?(warmup = 32) ?(work_ns = Time_ns.us 200) ?(prefetch = true)
+    ?(machine = Machine.paper) ~rate_rps () =
+  let s =
+    Kvserve.sizing
+      ~mem_bytes:(Machine.mem_bytes machine)
+      ~page_bytes:machine.Machine.m_config.Memhog_vm.Config.page_bytes
+  in
+  {
+    Server.sv_nkeys = s.Kvserve.kv_nkeys;
+    sv_theta = s.Kvserve.kv_theta;
+    sv_index_bytes = s.Kvserve.kv_index_bytes;
+    sv_values_bytes = s.Kvserve.kv_values_bytes;
+    sv_rate_rps = rate_rps;
+    sv_duration = duration;
+    sv_warmup = warmup;
+    sv_work_ns = work_ns;
+    sv_slo = slo;
+    sv_prefetch = prefetch;
+    sv_seed = machine.Machine.m_seed;
+  }
 
 let setup ?(machine = Machine.paper) ?interactive_sleep ?iterations
     ?(min_sim_time = 0) ?(conservative = false) ?(reactive = false)
     ?release_target ?(max_sim_time = Time_ns.sec 3600) ?trace ?chaos ?governor
-    ?(ledger_on = true) ~workload ~variant () =
+    ?(ledger_on = true) ?serve ~workload ~variant () =
   (* Validate the spec eagerly so a bad --chaos fails before any work. *)
   (match chaos with
   | Some spec -> ignore (Chaos.create ~seed:machine.Machine.m_seed spec)
@@ -118,6 +149,7 @@ let setup ?(machine = Machine.paper) ?interactive_sleep ?iterations
     chaos;
     governor;
     ledger_on;
+    serve;
   }
 
 let summarize_interactive ~sleep (task : Interactive.t) =
@@ -189,6 +221,17 @@ let run (s : setup) =
         t)
       s.interactive_sleep
   in
+  (* In serve mode the hog co-runs as load, not as the thing being timed:
+     the server's drained queue stops the engine, cutting the hog off
+     mid-iteration. *)
+  let server =
+    Option.map
+      (fun cfg ->
+        let sv = Server.create ~os ~cfg () in
+        ignore (Server.spawn sv ~on_done:(fun () -> Engine.stop ()));
+        sv)
+      s.serve
+  in
   let iterations =
     Option.value s.iterations ~default:s.workload.Workload.w_iterations
   in
@@ -236,10 +279,17 @@ let run (s : setup) =
         let start = Engine.now () in
         let count = ref 0 in
         (* run at least [iterations] passes, and keep going until
-           [min_sim_time] so the interactive task gets enough sweeps *)
-        while !count < iterations || Engine.now () - start < s.min_sim_time do
+           [min_sim_time] so the interactive task gets enough sweeps; in
+           serve mode keep hogging until the server stops the engine *)
+        while
+          !count < iterations
+          || Engine.now () - start < s.min_sim_time
+          || s.serve <> None
+        do
           App.exec_main app;
-          incr count
+          incr count;
+          iterations_done := !count;
+          elapsed := Engine.now () - start
         done;
         App.finish app;
         iterations_done := !count;
@@ -311,6 +361,7 @@ let run (s : setup) =
     r_ledger = Ledger.summarize ledger;
     r_sites = Pir.sites prog;
     r_events_executed = Engine.events_executed engine;
+    r_serving = Option.map Server.summary server;
   }
 
 let run_interactive_alone ?(machine = Machine.paper) ~sleep ~duration () =

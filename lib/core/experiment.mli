@@ -89,6 +89,9 @@ type result = {
       (** engine events popped and run during the cell — deterministic for a
           fixed setup, so it serves as a gated work counter for the
           throughput bench *)
+  r_serving : Memhog_exec.Server.summary option;
+      (** the open-loop server's close-out (arrivals, completions, SLO
+          counters, response histogram), when the cell ran in serve mode *)
 }
 
 type setup = {
@@ -121,7 +124,28 @@ type setup = {
       (** collect the page-lifecycle ledger (default).  The perf harness
           disables it to benchmark the bare kernel; the ledger never touches
           the engine, so work counters are identical either way. *)
+  serve : Memhog_exec.Server.cfg option;
+      (** [Some cfg]: serve mode — co-run the open-loop key-value server
+          with the workload acting as the memory hog.  The run ends when
+          the server's arrival window closes and its queue drains (the hog
+          is cut off mid-iteration), and the cell's headline numbers are
+          the server's tail latencies rather than the hog's elapsed time. *)
 }
+
+val serve_cfg :
+  ?slo:Memhog_sim.Time_ns.t ->
+  ?duration:Memhog_sim.Time_ns.t ->
+  ?warmup:int ->
+  ?work_ns:Memhog_sim.Time_ns.t ->
+  ?prefetch:bool ->
+  ?machine:Machine.t ->
+  rate_rps:float ->
+  unit ->
+  Memhog_exec.Server.cfg
+(** Machine-relative serving configuration: keyspace shapes from
+    {!Memhog_workloads.Kvserve.sizing}, seeded with the machine seed.
+    Defaults: 30 ms SLO, 20 s arrival window, 32 warm-up requests, 200 us
+    of compute per request, arrival-time prefetching on. *)
 
 val setup :
   ?machine:Machine.t ->
@@ -136,6 +160,7 @@ val setup :
   ?chaos:string ->
   ?governor:Memhog_runtime.Runtime.governor_cfg ->
   ?ledger_on:bool ->
+  ?serve:Memhog_exec.Server.cfg ->
   workload:Memhog_workloads.Workload.t ->
   variant:variant ->
   unit ->

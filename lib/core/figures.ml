@@ -872,3 +872,65 @@ let ext_reactive ?(machine = Machine.paper) ?(jobs = 1) ?(log = no_log) () =
         ~header:
           [ "scheme"; "hog per-pass"; "hog faults/pass"; "daemon stole"; "interactive" ]
         ~rows fmt ())
+
+(* ------------------------------------------------------------------ *)
+(* Serving extension (ROADMAP item 5)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Figures 1/10 retold for an open-loop server: the hog's releases are what
+   keep the server's tail latency flat as offered load rises. *)
+let serve_tail (t : Serve.t) =
+  let module Sv = Memhog_exec.Server in
+  let rates =
+    List.sort_uniq compare
+      (List.map (fun (c, _) -> c.Serve.sc_rate) t.Serve.s_cells)
+  in
+  let variants =
+    List.filter
+      (fun v ->
+        List.exists (fun (c, _) -> c.Serve.sc_variant = v) t.Serve.s_cells)
+      E.all_variants
+  in
+  let lookup rate v =
+    List.find_opt
+      (fun (c, _) -> c.Serve.sc_rate = rate && c.Serve.sc_variant = v)
+      t.Serve.s_cells
+    |> Option.map (fun (_, r) -> Serve.serving_exn r)
+  in
+  let p999 s = Histogram.percentile s.Sv.sm_hist 99.9 in
+  let rows =
+    List.map
+      (fun rate ->
+        let per_variant =
+          List.concat_map
+            (fun v ->
+              match lookup rate v with
+              | Some s -> [ Report.ns (p999 s); Report.pct (Sv.slo_attainment s) ]
+              | None -> [ "-"; "-" ])
+            variants
+        in
+        let spread =
+          match (lookup rate E.O, lookup rate E.B) with
+          | Some o, Some b when p999 b > 0 ->
+              Report.ratio (float_of_int (p999 o) /. float_of_int (p999 b))
+          | _ -> "-"
+        in
+        (Printf.sprintf "%s rps" (Report.f1 rate) :: per_variant) @ [ spread ])
+      rates
+  in
+  render (fun fmt ->
+      Report.table
+        ~title:
+          (Printf.sprintf
+             "Serving tail vs offered load: %s hog, SLO %s from arrival"
+             t.Serve.s_workload
+             (Time_ns.to_string t.Serve.s_slo))
+        ~header:
+          ("offered"
+          :: List.concat_map
+               (fun v ->
+                 let n = E.variant_name v in
+                 [ n ^ " p999"; n ^ " SLO" ])
+               variants
+          @ [ "O/B p999" ])
+        ~rows fmt ())

@@ -159,3 +159,8 @@ val ext_two_hogs :
 (** Two out-of-core applications sharing the machine (the multiprogramming
     scenario section 1 motivates but the paper's evaluation does not run):
     both original vs both prefetch+release. *)
+
+val serve_tail : Serve.t -> string
+(** Figures 1/10 retold for the open-loop server: p999 response and SLO
+    attainment per offered-load level and hog variant, plus the O/B p999
+    ratio — the serving analogue of the normalized-response figure. *)

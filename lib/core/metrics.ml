@@ -12,6 +12,7 @@ type hist_summary = {
   hs_p50 : int;
   hs_p90 : int;
   hs_p99 : int;
+  hs_p999 : int;
   hs_buckets : (int * int) list;
 }
 
@@ -25,6 +26,7 @@ let summarize_hist h =
     hs_p50 = Histogram.percentile h 50.0;
     hs_p90 = Histogram.percentile h 90.0;
     hs_p99 = Histogram.percentile h 99.0;
+    hs_p999 = Histogram.percentile h 99.9;
     hs_buckets = Histogram.to_alist h;
   }
 
@@ -104,6 +106,34 @@ type chaos_summary = {
   ch_pressure_pages : int;
 }
 
+type serving_summary = {
+  sv_offered_rps : float;
+  sv_duration_ns : int;
+  sv_slo_ns : int;
+  sv_arrived : int;
+  sv_completed : int;
+  sv_recorded : int;
+  sv_max_queue : int;
+  sv_slo_ok : int;
+  sv_slo_attainment : float;
+  sv_response : hist_summary;
+}
+
+let serving_of (s : Memhog_exec.Server.summary) =
+  let module Sv = Memhog_exec.Server in
+  {
+    sv_offered_rps = s.Sv.sm_offered_rps;
+    sv_duration_ns = s.Sv.sm_duration;
+    sv_slo_ns = s.Sv.sm_slo;
+    sv_arrived = s.Sv.sm_arrived;
+    sv_completed = s.Sv.sm_completed;
+    sv_recorded = s.Sv.sm_recorded;
+    sv_max_queue = s.Sv.sm_max_queue;
+    sv_slo_ok = s.Sv.sm_slo_ok;
+    sv_slo_attainment = Sv.slo_attainment s;
+    sv_response = summarize_hist s.Sv.sm_hist;
+  }
+
 type cell = {
   c_workload : string;
   c_variant : string;
@@ -125,6 +155,7 @@ type cell = {
   c_trace_dropped : int;
   c_ledger : Ledger.summary;
   c_sites : Memhog_compiler.Pir.site_info list;
+  c_serving : serving_summary option;
 }
 
 let governor_of (rt : Runtime.stats) =
@@ -174,6 +205,7 @@ let of_result (r : E.result) =
     c_trace_dropped = Trace.dropped r.E.r_trace;
     c_ledger = r.E.r_ledger;
     c_sites = r.E.r_sites;
+    c_serving = Option.map serving_of r.E.r_serving;
   }
 
 type totals = {

@@ -19,6 +19,9 @@ type hist_summary = {
   hs_p50 : int;
   hs_p90 : int;
   hs_p99 : int;
+  hs_p999 : int;
+      (** the serving story's headline percentile; from the same clamped
+          bucket walk as the others, so it inherits their tested semantics *)
   hs_buckets : (int * int) list;
       (** (bucket lower bound, count) for each non-empty bucket, ascending;
           enough to rebuild the histogram
@@ -84,6 +87,24 @@ type chaos_summary = {
   ch_pressure_pages : int;
 }
 
+(** The open-loop serving cell's close-out: offered load, SLO attainment
+    and the response-time distribution (responses measured from {e arrival}
+    — queueing delay under memory pressure is charged to the request). *)
+type serving_summary = {
+  sv_offered_rps : float;
+  sv_duration_ns : int;    (** arrival-window length *)
+  sv_slo_ns : int;         (** per-request response target *)
+  sv_arrived : int;
+  sv_completed : int;
+  sv_recorded : int;       (** completed minus warm-up skips *)
+  sv_max_queue : int;      (** deepest request backlog observed *)
+  sv_slo_ok : int;
+  sv_slo_attainment : float;  (** slo_ok / recorded; 1.0 when none *)
+  sv_response : hist_summary; (** p50/p99/p999 response times *)
+}
+
+val serving_of : Memhog_exec.Server.summary -> serving_summary
+
 type cell = {
   c_workload : string;
   c_variant : string;
@@ -116,6 +137,7 @@ type cell = {
   c_sites : Memhog_compiler.Pir.site_info list;
       (** static directive sites of the cell's compiled program, joining
           ledger rows back to source-level descriptions *)
+  c_serving : serving_summary option;  (** present only for serve cells *)
 }
 
 (** Matrix-wide aggregates, built with {!Memhog_sim.Account.add_to},

@@ -253,8 +253,11 @@ let schema = "memhog-metrics"
 
 (* v2: cells gained "governor" and "chaos" objects (null when absent).
    v3: cells gained "trace_dropped" and the page-lifecycle "ledger" object
-   (wasted-work taxonomy + per-directive-site efficacy table). *)
-let schema_version = 3
+   (wasted-work taxonomy + per-directive-site efficacy table).
+   v4: histograms gained "p999_ns" and cells gained the "serving" object
+   (open-loop server cells: offered load, SLO attainment, response
+   percentiles; null for batch cells). *)
+let schema_version = 4
 
 let breakdown_json (b : Experiment.breakdown) =
   Obj
@@ -276,6 +279,7 @@ let hist_json (h : Metrics.hist_summary) =
       ("p50_ns", num_of_int h.Metrics.hs_p50);
       ("p90_ns", num_of_int h.Metrics.hs_p90);
       ("p99_ns", num_of_int h.Metrics.hs_p99);
+      ("p999_ns", num_of_int h.Metrics.hs_p999);
       ( "buckets",
         Arr
           (List.map
@@ -407,6 +411,21 @@ let ledger_json (c : Metrics.cell) =
       ("sites", Arr (List.map row l.L.ls_sites));
     ]
 
+let serving_json (s : Metrics.serving_summary) =
+  Obj
+    [
+      ("offered_rps", num_of_float s.Metrics.sv_offered_rps);
+      ("duration_ns", num_of_int s.Metrics.sv_duration_ns);
+      ("slo_ns", num_of_int s.Metrics.sv_slo_ns);
+      ("arrived", num_of_int s.Metrics.sv_arrived);
+      ("completed", num_of_int s.Metrics.sv_completed);
+      ("recorded", num_of_int s.Metrics.sv_recorded);
+      ("max_queue", num_of_int s.Metrics.sv_max_queue);
+      ("slo_ok", num_of_int s.Metrics.sv_slo_ok);
+      ("slo_attainment", num_of_float s.Metrics.sv_slo_attainment);
+      ("response_hist", hist_json s.Metrics.sv_response);
+    ]
+
 let cell_json (c : Metrics.cell) =
   Obj
     [
@@ -430,6 +449,7 @@ let cell_json (c : Metrics.cell) =
       ("chaos", opt chaos_json c.Metrics.c_chaos);
       ("trace_dropped", num_of_int c.Metrics.c_trace_dropped);
       ("ledger", ledger_json c);
+      ("serving", opt serving_json c.Metrics.c_serving);
     ]
 
 let proc_json (p : Memhog_vm.Vm_stats.proc) =
@@ -681,6 +701,42 @@ let render j =
                  hist_row (run c)
                    (Option.value (member "response_hist" c) ~default:Null))
                with_response)
+          fmt ()
+      end;
+      let with_serving =
+        List.filter (fun c -> match member "serving" c with
+            | Some (Obj _) -> true | _ -> false)
+          cells
+      in
+      if with_serving <> [] then begin
+        Format.fprintf fmt "@,";
+        Report.table ~title:"Serving tail latency (open-loop, SLO from arrival)"
+          ~header:
+            [
+              "run"; "offered"; "served"; "queue max"; "p50"; "p99"; "p999";
+              "max"; "SLO";
+            ]
+          ~rows:
+            (List.map
+               (fun c ->
+                 let s = Option.value (member "serving" c) ~default:Null in
+                 let h = Option.value (member "response_hist" s) ~default:Null in
+                 [
+                   run c;
+                   (match float_member "offered_rps" s with
+                   | Some f -> Printf.sprintf "%s rps" (Report.f1 f)
+                   | None -> "-");
+                   icount "recorded" s;
+                   icount "max_queue" s;
+                   ins "p50_ns" h;
+                   ins "p99_ns" h;
+                   ins "p999_ns" h;
+                   ins "max_ns" h;
+                   (match float_member "slo_attainment" s with
+                   | Some f -> Report.pct f
+                   | None -> "-");
+                 ])
+               with_serving)
           fmt ()
       end;
       Format.fprintf fmt "@,";

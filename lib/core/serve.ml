@@ -1,0 +1,110 @@
+(* The serving experiment grid: the open-loop key-value server co-run with
+   a memory hog, swept over offered load x hog variant.
+
+   Each cell is an independent simulation (own engine, OS, RNG streams), so
+   the grid is bit-identical at any --jobs level; Pool.map only changes
+   wall-clock.  The headline comparison is the paper's interactivity story
+   retold for tail latency: at the same offered load, the un-released hog
+   (O) steals the server's pages and p999 collapses under queueing, while
+   the buffered-release hog (B) keeps the free pool healthy and the tail
+   survives. *)
+
+open Memhog_sim
+module E = Experiment
+module Server = Memhog_exec.Server
+module Workload = Memhog_workloads.Workload
+
+type cell = { sc_rate : float; sc_variant : E.variant }
+
+type t = {
+  s_machine : Machine.t;
+  s_workload : string;
+  s_slo : Time_ns.t;
+  s_chaos : string option;
+  s_cells : (cell * E.result) list;
+}
+
+let default_rates = [ 3200.0; 4480.0 ]
+let default_variants = [ E.O; E.B ]
+let default_hog = "MATVEC"
+
+let cells t = t.s_cells
+let results t = List.map snd t.s_cells
+
+let run ?(machine = Machine.paper) ?(workload = default_hog)
+    ?(rates = default_rates) ?(variants = default_variants)
+    ?(slo = Time_ns.ms 30) ?(duration = Time_ns.sec 20) ?chaos ?(jobs = 1)
+    ?(log = fun (_ : string) -> ()) () =
+  let w = Workload.find workload in
+  let grid =
+    List.concat_map
+      (fun rate ->
+        List.map (fun v -> { sc_rate = rate; sc_variant = v }) variants)
+      rates
+  in
+  let results =
+    Pool.map ~jobs
+      (fun c ->
+        log
+          (Printf.sprintf "serve: %s/%s hog @ %g rps" workload
+             (E.variant_name c.sc_variant) c.sc_rate);
+        let serve =
+          E.serve_cfg ~machine ~slo ~duration ~rate_rps:c.sc_rate ()
+        in
+        E.run
+          (E.setup ~machine ~workload:w ~variant:c.sc_variant ?chaos ~serve ()))
+      grid
+  in
+  {
+    s_machine = machine;
+    s_workload = workload;
+    s_slo = slo;
+    s_chaos = chaos;
+    s_cells = List.combine grid results;
+  }
+
+let serving_exn (r : E.result) =
+  match r.E.r_serving with
+  | Some s -> s
+  | None -> invalid_arg "Serve: result has no serving summary"
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.pp_open_vbox fmt 0;
+  Format.fprintf fmt
+    "Serving under a %s hog (%s)%s@,SLO: %s from arrival@,@," t.s_workload
+    t.s_machine.Machine.m_name
+    (match t.s_chaos with
+    | Some spec -> Printf.sprintf ", chaos: %s" spec
+    | None -> "")
+    (Time_ns.to_string t.s_slo);
+  Report.table ~title:"Tail latency vs offered load"
+    ~header:
+      [
+        "hog"; "offered"; "arrived"; "served"; "queue max"; "p50"; "p99";
+        "p999"; "max"; "SLO";
+      ]
+    ~rows:
+      (List.map
+         (fun (c, r) ->
+           let s = serving_exn r in
+           let h = s.Server.sm_hist in
+           [
+             Printf.sprintf "%s/%s" t.s_workload (E.variant_name c.sc_variant);
+             Printf.sprintf "%s rps" (Report.f1 c.sc_rate);
+             Report.count s.Server.sm_arrived;
+             Report.count s.Server.sm_recorded;
+             Report.count s.Server.sm_max_queue;
+             Report.ns (Histogram.percentile h 50.0);
+             Report.ns (Histogram.percentile h 99.0);
+             Report.ns (Histogram.percentile h 99.9);
+             Report.ns
+               (Option.value (Histogram.max_value h) ~default:0);
+             Report.pct (Server.slo_attainment s);
+           ])
+         t.s_cells)
+    fmt ();
+  Format.pp_close_box fmt ();
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf

@@ -30,7 +30,13 @@ let cheetah_4lp =
 type t = {
   id : int;
   params : params;
-  arm : Semaphore.t;
+  (* The arm is a two-class queue, not a plain FIFO: demand reads (a
+     process is blocked right now) are served before queued background
+     requests (prefetches, write-behind).  Without this, one process's
+     deep prefetch batches starve everyone else's demand misses. *)
+  mutable arm_busy : bool;
+  demand_q : Engine.waker Queue.t;
+  background_q : Engine.waker Queue.t;
   bus : Semaphore.t option;
   chaos : Chaos.t;
   trace : Trace.t;
@@ -45,6 +51,7 @@ type t = {
   mutable retries : int;
   mutable backoff_ns : int;
   mutable timeouts : int;
+  mutable demand_bypasses : int;
 }
 
 let create ?(params = cheetah_4lp) ?bus ?(chaos = Chaos.none)
@@ -52,7 +59,9 @@ let create ?(params = cheetah_4lp) ?bus ?(chaos = Chaos.none)
   {
     id;
     params;
-    arm = Semaphore.create ~name:(Printf.sprintf "disk%d" id) 1;
+    arm_busy = false;
+    demand_q = Queue.create ();
+    background_q = Queue.create ();
     bus;
     chaos;
     trace;
@@ -67,9 +76,35 @@ let create ?(params = cheetah_4lp) ?bus ?(chaos = Chaos.none)
     retries = 0;
     backoff_ns = 0;
     timeouts = 0;
+    demand_bypasses = 0;
   }
 
 let id t = t.id
+
+let acquire_arm ~cat t ~background =
+  (* The arm is never free while requests queue (release hands off
+     directly), so the contended branch is the only place a demand request
+     can overtake queued background work. *)
+  if not t.arm_busy then t.arm_busy <- true
+  else begin
+    if (not background) && not (Queue.is_empty t.background_q) then
+      t.demand_bypasses <- t.demand_bypasses + 1;
+    let q = if background then t.background_q else t.demand_q in
+    let t0 = Engine.now () in
+    Engine.suspend (fun waker -> Queue.add waker q);
+    let waited = Engine.now () - t0 in
+    Account.add (Engine.self ()).account cat waited
+  end
+
+(* Direct handoff: the arm stays busy and ownership moves to the waiter.
+   Demand waiters always drain first. *)
+let release_arm t =
+  match Queue.take_opt t.demand_q with
+  | Some waker -> waker ()
+  | None -> (
+      match Queue.take_opt t.background_q with
+      | Some waker -> waker ()
+      | None -> t.arm_busy <- false)
 
 (* (positioning, transfer): positioning happens on the arm alone; the
    transfer additionally occupies the adapter bus. *)
@@ -123,9 +158,10 @@ let inject_failures ?(cat = Account.Io_stall) t ~block ~is_write =
       done;
       if not is_write then t.last_block <- min_int
 
-let do_io ?(cat = Account.Io_stall) t ~block ~bytes ~is_write =
+let do_io ?(cat = Account.Io_stall) ?(background = false) t ~block ~bytes
+    ~is_write =
   let started = Engine.now () in
-  Semaphore.acquire ~cat t.arm;
+  acquire_arm ~cat t ~background;
   if not (Chaos.is_none t.chaos) then
     inject_failures ~cat t ~block ~is_write;
   let slow =
@@ -146,7 +182,7 @@ let do_io ?(cat = Account.Io_stall) t ~block ~bytes ~is_write =
       Engine.delay ~cat transfer;
       Semaphore.release bus
   | None -> Engine.delay ~cat transfer);
-  Semaphore.release t.arm;
+  release_arm t;
   let elapsed = Engine.now () - started in
   if elapsed > t.params.request_timeout_ns then t.timeouts <- t.timeouts + 1;
   (* One completion event per request, spanning queueing + positioning +
@@ -156,8 +192,11 @@ let do_io ?(cat = Account.Io_stall) t ~block ~bytes ~is_write =
     Trace.emit t.trace ~time:(Engine.now ()) ~stream:Trace.disk_stream
       (Trace.Disk_io { disk = t.id; block; write = is_write; ns = elapsed })
 
-let read ?cat t ~block ~bytes = do_io ?cat t ~block ~bytes ~is_write:false
-let write ?cat t ~block ~bytes = do_io ?cat t ~block ~bytes ~is_write:true
+let read ?cat ?background t ~block ~bytes =
+  do_io ?cat ?background t ~block ~bytes ~is_write:false
+
+let write ?cat ?background t ~block ~bytes =
+  do_io ?cat ?background t ~block ~bytes ~is_write:true
 
 let reads t = t.reads
 let writes t = t.writes
@@ -169,3 +208,4 @@ let faults_injected t = t.faults
 let retry_attempts t = t.retries
 let backoff_time t = t.backoff_ns
 let timeouts t = t.timeouts
+let demand_bypasses t = t.demand_bypasses

@@ -1,10 +1,15 @@
 (** Single-disk service model.
 
-    Each disk has one arm: requests serialize FIFO.  Service time is
-    positioning (seek + rotational latency, skipped when the request is
-    sequential with the previous one on this disk) plus media transfer.
-    Parameters default to a Seagate Cheetah 4LP, the drive used in the
-    paper's testbed (Table 1). *)
+    Each disk has one arm: requests serialize on it through a two-class
+    queue.  Demand requests (a process is blocked on the result right now)
+    are served before queued {e background} requests — prefetches and
+    write-behind — the scheduling discipline every informed-prefetching
+    system uses, since a prefetch is by definition work the disk can do
+    later.  Within a class, requests are FIFO.  Service time is positioning
+    (seek + rotational latency, skipped when the request is sequential with
+    the previous one on this disk) plus media transfer.  Parameters default
+    to a Seagate Cheetah 4LP, the drive used in the paper's testbed
+    (Table 1). *)
 
 open Memhog_sim
 
@@ -49,13 +54,27 @@ val create :
 
 val id : t -> int
 
-val read : ?cat:Memhog_sim.Account.category -> t -> block:int -> bytes:int -> unit
+val read :
+  ?cat:Memhog_sim.Account.category ->
+  ?background:bool ->
+  t ->
+  block:int ->
+  bytes:int ->
+  unit
 (** Perform a read, blocking the calling process for queueing + service
     time.  [block] is a logical block number used only for sequentiality
     detection.  Wait + service time is charged to [cat] (default
-    [Io_stall]). *)
+    [Io_stall]).  [background] (default [false]) queues the request in the
+    low-priority class: any demand request that arrives while it waits is
+    served first. *)
 
-val write : ?cat:Memhog_sim.Account.category -> t -> block:int -> bytes:int -> unit
+val write :
+  ?cat:Memhog_sim.Account.category ->
+  ?background:bool ->
+  t ->
+  block:int ->
+  bytes:int ->
+  unit
 
 (** {1 Statistics} *)
 
@@ -77,3 +96,7 @@ val backoff_time : t -> Time_ns.t
 
 val timeouts : t -> int
 (** Requests whose total latency exceeded [request_timeout_ns]. *)
+
+val demand_bypasses : t -> int
+(** Demand requests that overtook at least one queued background request —
+    how often the two-class arm discipline actually mattered. *)

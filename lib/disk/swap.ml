@@ -47,15 +47,15 @@ let locate t ~page =
   let block = page / t.config.num_disks in
   (disk, block)
 
-let read_page ?cat t ~page =
+let read_page ?cat ?background t ~page =
   t.page_reads <- t.page_reads + 1;
   let disk, block = locate t ~page in
-  Disk.read ?cat disk ~block ~bytes:t.page_bytes
+  Disk.read ?cat ?background disk ~block ~bytes:t.page_bytes
 
-let write_page ?cat t ~page =
+let write_page ?cat ?background t ~page =
   t.page_writes <- t.page_writes + 1;
   let disk, block = locate t ~page in
-  Disk.write ?cat disk ~block ~bytes:t.page_bytes
+  Disk.write ?cat ?background disk ~block ~bytes:t.page_bytes
 
 let page_reads t = t.page_reads
 let page_writes t = t.page_writes

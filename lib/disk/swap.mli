@@ -31,10 +31,14 @@ val create :
 
 val num_disks : t -> int
 
-val read_page : ?cat:Memhog_sim.Account.category -> t -> page:int -> unit
-(** Fetch one page from swap, blocking the caller for the full I/O. *)
+val read_page :
+  ?cat:Memhog_sim.Account.category -> ?background:bool -> t -> page:int -> unit
+(** Fetch one page from swap, blocking the caller for the full I/O.
+    [background] requests queue behind demand requests on the owning disk's
+    arm ({!Disk.read}): pass it for prefetches. *)
 
-val write_page : ?cat:Memhog_sim.Account.category -> t -> page:int -> unit
+val write_page :
+  ?cat:Memhog_sim.Account.category -> ?background:bool -> t -> page:int -> unit
 
 (** {1 Statistics} *)
 

@@ -82,7 +82,7 @@ let stats_over ?(skip = 1) t f =
 
 let avg_response ?skip t =
   stats_over ?skip t (fun s -> float_of_int s.sw_response)
-  |> Option.map int_of_float
+  |> Option.map (fun avg -> int_of_float (Float.round avg))
 
 let avg_hard_faults ?skip t = stats_over ?skip t (fun s -> float_of_int s.sw_hard_faults)
 

@@ -1,0 +1,202 @@
+open Memhog_sim
+module Os = Memhog_vm.Os
+module As = Memhog_vm.Address_space
+module Runtime = Memhog_runtime.Runtime
+
+type cfg = {
+  sv_nkeys : int;
+  sv_theta : float;
+  sv_index_bytes : int;
+  sv_values_bytes : int;
+  sv_rate_rps : float;
+  sv_duration : Time_ns.t;
+  sv_warmup : int;
+  sv_work_ns : Time_ns.t;
+  sv_slo : Time_ns.t;
+  sv_prefetch : bool;
+  sv_seed : int;
+}
+
+type request = Req of { arrival : Time_ns.t; key : int } | Stop
+
+type t = {
+  os : Os.t;
+  asp : As.t;
+  rt : Runtime.t;
+  index_seg : As.segment;
+  values_seg : As.segment;
+  cfg : cfg;
+  zipf : Rng.zipf;
+  key_rng : Rng.t;
+  arrival_rng : Rng.t;
+  queue : request Mailbox.t;
+  hist : Histogram.t;
+  page_bytes : int;
+  mutable arrived : int;
+  mutable completed : int;
+  mutable slo_ok : int;
+  mutable max_queue : int;
+  mutable done_ : bool;
+  mutable proc : Engine.proc option;
+}
+
+let create ~os ~cfg () =
+  if not (cfg.sv_rate_rps > 0.0) then
+    invalid_arg "Server.create: offered rate must be positive";
+  let asp = Os.new_process os ~name:"kvserve" in
+  let index_seg =
+    Os.map_segment os asp ~name:"kv-index" ~bytes:cfg.sv_index_bytes
+      ~on_swap:true
+  in
+  let values_seg =
+    Os.map_segment os asp ~name:"kv-values" ~bytes:cfg.sv_values_bytes
+      ~on_swap:true
+  in
+  Os.attach_paging_directed os asp index_seg;
+  Os.attach_paging_directed os asp values_seg;
+  (* The runtime layer is used for its asynchronous prefetch path only; the
+     indirect values array is never released (the compiler cannot reason
+     about data-dependent reuse), which is exactly the paper's worst case. *)
+  let rt = Runtime.create ~os ~asp ~policy:Runtime.Aggressive () in
+  let base = Rng.create ~seed:cfg.sv_seed in
+  let arrival_rng = Rng.split base in
+  let key_rng = Rng.split base in
+  {
+    os;
+    asp;
+    rt;
+    index_seg;
+    values_seg;
+    cfg;
+    zipf = Rng.zipf_create ~n:cfg.sv_nkeys ~theta:cfg.sv_theta;
+    key_rng;
+    arrival_rng;
+    queue = Mailbox.create ~name:"kv-requests" ();
+    hist = Histogram.create ();
+    page_bytes = (Os.config os).Memhog_vm.Config.page_bytes;
+    arrived = 0;
+    completed = 0;
+    slo_ok = 0;
+    max_queue = 0;
+    done_ = false;
+    proc = None;
+  }
+
+let asp t = t.asp
+let account t = Option.map (fun p -> p.Engine.account) t.proc
+let finished t = t.done_
+
+let index_vpn t key = t.index_seg.As.base_vpn + (key * 8 / t.page_bytes)
+
+(* Values are laid out in popularity order — the natural layout of a
+   log-structured store after compaction, where hot objects cluster.  Page
+   popularity then inherits the key-level Zipf skew, giving the server a
+   resident hot set whose fate under memory pressure is the experiment.
+   (Hashing keys to pages would flatten page popularity and make every
+   request disk-bound, measuring the disk instead of memory management.) *)
+let value_vpn t key =
+  let keys_per_page = max 1 (t.cfg.sv_nkeys / t.values_seg.As.npages) in
+  t.values_seg.As.base_vpn + (key / keys_per_page mod t.values_seg.As.npages)
+
+(* The arrival process: open-loop Poisson.  It must never block on memory —
+   a generator that faults would throttle the offered load and hide the
+   very queueing delay we are measuring — so it only draws, timestamps,
+   enqueues, and issues (non-blocking, helper-thread) prefetches. *)
+let arrivals t () =
+  let t_end = Engine.now () + t.cfg.sv_duration in
+  let mean_gap_ns = 1e9 /. t.cfg.sv_rate_rps in
+  let continue = ref true in
+  while !continue do
+    let gap =
+      int_of_float (Float.round (Rng.exponential t.arrival_rng ~mean:mean_gap_ns))
+    in
+    Engine.delay ~cat:Account.Sleep gap;
+    if Engine.now () >= t_end then continue := false
+    else begin
+      let key = Rng.zipf t.key_rng t.zipf in
+      t.arrived <- t.arrived + 1;
+      if t.cfg.sv_prefetch then begin
+        (* The run-ahead slice for a[b[i]]: prefetch both the index page
+           and the (data-dependent) value page as soon as the request is
+           visible, overlapping the fetches with each other and with the
+           queue's residence time.  These prefetches have a deadline — the
+           request is already queued behind them — so they ride the disk's
+           demand class, unlike the hog's capacity-driven sweeps. *)
+        Runtime.prefetch_page t.rt ~urgent:true ~vpn:(index_vpn t key);
+        Runtime.prefetch_page t.rt ~urgent:true ~vpn:(value_vpn t key)
+      end;
+      Mailbox.send t.queue (Req { arrival = Engine.now (); key });
+      let depth = Mailbox.length t.queue in
+      if depth > t.max_queue then t.max_queue <- depth
+    end
+  done;
+  Mailbox.send t.queue Stop
+
+let compute t ns =
+  if ns > 0 then begin
+    let cpus = Os.cpus t.os in
+    Semaphore.acquire cpus;
+    Engine.delay ~cat:Account.User ns;
+    Semaphore.release cpus
+  end
+
+let serve_one t ~arrival ~key =
+  ignore (Os.touch t.os t.asp ~vpn:(index_vpn t key) ~write:false);
+  ignore (Os.touch t.os t.asp ~vpn:(value_vpn t key) ~write:false);
+  compute t t.cfg.sv_work_ns;
+  (* Response measured from arrival: queueing delay under memory pressure
+     is charged to the request, not silently dropped. *)
+  let response = Engine.now () - arrival in
+  t.completed <- t.completed + 1;
+  if t.completed > t.cfg.sv_warmup then begin
+    Histogram.record t.hist response;
+    if response <= t.cfg.sv_slo then t.slo_ok <- t.slo_ok + 1
+  end
+
+let server t ~on_done () =
+  Runtime.start t.rt;
+  let continue = ref true in
+  while !continue do
+    match Mailbox.recv t.queue with
+    | Req { arrival; key } -> serve_one t ~arrival ~key
+    | Stop ->
+        continue := false;
+        t.done_ <- true;
+        on_done ()
+  done
+
+let spawn ?(on_done = fun () -> ()) t =
+  let engine = Os.engine t.os in
+  ignore (Engine.spawn engine ~name:"kv-arrivals" (arrivals t));
+  let p = Engine.spawn engine ~name:"kv-server" (server t ~on_done) in
+  t.proc <- Some p;
+  p
+
+type summary = {
+  sm_offered_rps : float;
+  sm_duration : Time_ns.t;
+  sm_slo : Time_ns.t;
+  sm_arrived : int;
+  sm_completed : int;
+  sm_recorded : int;
+  sm_max_queue : int;
+  sm_slo_ok : int;
+  sm_hist : Histogram.t;
+}
+
+let summary t =
+  {
+    sm_offered_rps = t.cfg.sv_rate_rps;
+    sm_duration = t.cfg.sv_duration;
+    sm_slo = t.cfg.sv_slo;
+    sm_arrived = t.arrived;
+    sm_completed = t.completed;
+    sm_recorded = Histogram.count t.hist;
+    sm_max_queue = t.max_queue;
+    sm_slo_ok = t.slo_ok;
+    sm_hist = t.hist;
+  }
+
+let slo_attainment s =
+  if s.sm_recorded = 0 then 1.0
+  else float_of_int s.sm_slo_ok /. float_of_int s.sm_recorded

@@ -1,0 +1,72 @@
+(** Open-loop key-value server: the serving-workload driver.
+
+    A server process owns two on-swap segments — an index array (8 bytes
+    per key) and a values region several times larger than physical memory
+    — and serves requests whose access path is the indirect [a\[b\[i\]\]]
+    pattern: read the key's index page, then the value page it points at.
+    The index/value pages can be prefetched as soon as a request arrives
+    (the compiler's contribution for indirect streams), but the values
+    region is never released — the paper's worst case for
+    compiler-directed memory management.
+
+    Load is {e open-loop}: a generator fiber produces Poisson arrivals at a
+    configured offered rate with Zipfian key popularity, timestamps each
+    request {e at arrival}, and enqueues it on an unbounded FIFO.  The
+    server fiber dequeues, touches the pages, burns the per-request compute
+    cost, and records [completion - arrival] — so queueing delay that
+    builds up while the server stalls on hard faults is charged to the
+    response, as tail-latency SLOs require.  The generator itself never
+    touches paged memory and so never throttles under memory pressure.
+
+    All randomness comes from private {!Memhog_sim.Rng} streams seeded
+    from [sv_seed]; a cell's histogram is a pure function of its
+    configuration, byte-deterministic at any [--jobs]. *)
+
+type cfg = {
+  sv_nkeys : int;           (** distinct keys (Zipf ranks) *)
+  sv_theta : float;         (** Zipf exponent of key popularity *)
+  sv_index_bytes : int;     (** the b\[\] array *)
+  sv_values_bytes : int;    (** the a\[\] region *)
+  sv_rate_rps : float;      (** offered load, requests per second *)
+  sv_duration : Memhog_sim.Time_ns.t;  (** arrival-window length *)
+  sv_warmup : int;          (** completed requests skipped before recording *)
+  sv_work_ns : Memhog_sim.Time_ns.t;   (** per-request compute cost *)
+  sv_slo : Memhog_sim.Time_ns.t;       (** per-request response target *)
+  sv_prefetch : bool;       (** issue arrival-time index/value prefetches *)
+  sv_seed : int;
+}
+
+type t
+
+val create : os:Memhog_vm.Os.t -> cfg:cfg -> unit -> t
+(** Map the segments and build the sampler tables.
+    @raise Invalid_argument when the offered rate is not positive. *)
+
+val spawn : ?on_done:(unit -> unit) -> t -> Memhog_sim.Engine.proc
+(** Start the generator and server fibers.  [on_done] runs (in the server
+    fiber) once the arrival window has closed and the queue has drained —
+    the natural place to stop the engine. *)
+
+val asp : t -> Memhog_vm.Address_space.t
+val account : t -> Memhog_sim.Account.t option
+val finished : t -> bool
+
+type summary = {
+  sm_offered_rps : float;
+  sm_duration : Memhog_sim.Time_ns.t;
+  sm_slo : Memhog_sim.Time_ns.t;
+  sm_arrived : int;       (** requests generated *)
+  sm_completed : int;     (** requests served *)
+  sm_recorded : int;      (** served minus warm-up skips *)
+  sm_max_queue : int;     (** deepest arrival-queue backlog observed *)
+  sm_slo_ok : int;        (** recorded responses within [sm_slo] *)
+  sm_hist : Memhog_sim.Histogram.t;
+      (** response times (arrival to completion), warm-up skipped; feeds
+          p50/p99/p999 *)
+}
+
+val summary : t -> summary
+
+val slo_attainment : summary -> float
+(** Fraction of recorded responses within the SLO (1.0 when none were
+    recorded). *)

@@ -48,7 +48,7 @@ let default_governor =
 (* Work items carry the static directive site so the OS-side events stay
    attributable after the asynchronous hop through the helper threads. *)
 type work =
-  | W_prefetch of int * int  (* vpn, site *)
+  | W_prefetch of int * int * bool  (* vpn, site, urgent *)
   | W_release of (int * int) array  (* (vpn, site) pairs *)
 
 type t = {
@@ -142,8 +142,8 @@ let buffered_pages t = Release_buffer.total t.buffer
 let thread_loop t () =
   while true do
     match Mailbox.recv t.queue with
-    | W_prefetch (vpn, site) -> (
-        match Os.prefetch t.os t.asp ~vpn ~site with
+    | W_prefetch (vpn, site, urgent) -> (
+        match Os.prefetch t.os t.asp ~vpn ~site ~urgent with
         | Os.P_dropped ->
             t.st.rt_prefetch_os_dropped <- t.st.rt_prefetch_os_dropped + 1
         | Os.P_fetched | Os.P_rescued | Os.P_already ->
@@ -251,7 +251,7 @@ let gov_suppressed t =
   (t.st.rt_gov_suppressed <- t.st.rt_gov_suppressed + 1;
    true)
 
-let prefetch_page ?(site = Trace.no_site) t ~vpn =
+let prefetch_page ?(site = Trace.no_site) ?(urgent = false) t ~vpn =
   t.st.rt_prefetch_requests <- t.st.rt_prefetch_requests + 1;
   charge_filter t;
   gov_tick t;
@@ -261,7 +261,7 @@ let prefetch_page ?(site = Trace.no_site) t ~vpn =
   else begin
     t.st.rt_prefetch_enqueued <- t.st.rt_prefetch_enqueued + 1;
     if tracing t then emit t (Trace.Rt_prefetch_sent { vpn; site });
-    Mailbox.send t.queue (W_prefetch (vpn, site))
+    Mailbox.send t.queue (W_prefetch (vpn, site, urgent))
   end
 
 let issue_release t pairs =

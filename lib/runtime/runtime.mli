@@ -110,12 +110,15 @@ val buffered_pages : t -> int
 val governor_level : t -> int
 (** Current degradation level (always 0 when the governor is off). *)
 
-val prefetch_page : ?site:int -> t -> vpn:int -> unit
+val prefetch_page : ?site:int -> ?urgent:bool -> t -> vpn:int -> unit
 (** Called by the application for each page named by a compiler prefetch
     hint.  Cheap: filters and enqueues.  [site] (default
     {!Memhog_sim.Trace.no_site}) is the static directive tag
     ({!Memhog_compiler.Pir.directive}[.d_tag]); it travels with the work
-    item so OS-side events remain attributable to the directive. *)
+    item so OS-side events remain attributable to the directive.  [urgent]
+    (default [false]) marks a prefetch with a deadline — a consumer is
+    already waiting on the page — and rides the disk's demand class
+    ({!Memhog_vm.Os.prefetch}). *)
 
 val release_page : t -> vpn:int -> priority:int -> tag:int -> unit
 (** Called for each page named by a compiler release hint.  [tag] doubles

@@ -96,10 +96,11 @@ let merge ~into src =
 
 (* The value at percentile [p] (0..100): the upper bound of the bucket
    holding the sample of rank ceil(p/100 * total), clamped to the observed
-   range so percentile 100 is the exact maximum.  Monotone in [p]; 0 for an
-   empty histogram. *)
+   range so percentile 0 is the exact minimum and percentile 100 the exact
+   maximum.  Monotone in [p]; 0 for an empty histogram. *)
 let percentile t p =
   if t.total = 0 then 0
+  else if p <= 0.0 then t.min_v
   else begin
     let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.total)) in
     let rank = max 1 (min rank t.total) in

@@ -38,7 +38,8 @@ val mean : t -> float
 val percentile : t -> float -> int
 (** [percentile t p] for [p] in [0..100]: the upper bound of the bucket
     holding the rank-[ceil (p/100 * count)] sample, clamped to the observed
-    [min]/[max].  Monotone nondecreasing in [p]; 0 when empty. *)
+    [min]/[max], so [p = 0] is the exact minimum and [p = 100] the exact
+    maximum.  Monotone nondecreasing in [p]; 0 when empty. *)
 
 (** {1 Serialization support} *)
 

@@ -39,16 +39,72 @@ let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Rejection-free modulo is fine for simulation purposes; bounds are far
-     below 2^62 so bias is negligible. *)
-  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  v mod bound
+  (* Rejection sampling: draw 61 uniform bits and retry while the draw falls
+     in the short tail [limit, 2^61) that does not hold a whole number of
+     [bound]-sized blocks.  Rejection probability is < bound/2^61, so for
+     simulation-sized bounds the fast path is taken essentially always and
+     the result is exactly uniform (plain [v mod bound] over-weights small
+     residues).  61 bits, not 62: 2^62 is one past [max_int] on a 63-bit
+     native int, so the 62-bit limit computation would wrap negative and
+     reject every draw. *)
+  let limit = 0x2000000000000000 (* 2^61 *) / bound * bound in
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 3) in
+    if v >= limit then draw () else v mod bound
+  in
+  draw ()
 
 let float t bound =
   let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
   bound *. (v /. 9007199254740992.0 (* 2^53 *))
 
 let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~mean =
+  if not (mean > 0.0) then invalid_arg "Rng.exponential: mean must be positive";
+  (* Inverse CDF on a [0,1) uniform; log1p (-.u) never sees log 0. *)
+  let u = float t 1.0 in
+  -.mean *. Float.log1p (-.u)
+
+(* Zipfian sampler over ranks 0..n-1 with weight (rank+1)^-theta, via a
+   precomputed cumulative-probability table and binary search.  Building the
+   table is O(n) and sampling O(log n); the table is immutable and can be
+   shared across streams. *)
+type zipf = { zf_cdf : float array }
+
+let zipf_size z = Array.length z.zf_cdf
+
+let zipf_create ~n ~theta =
+  if n <= 0 then invalid_arg "Rng.zipf_create: n must be positive";
+  if not (theta >= 0.0) then invalid_arg "Rng.zipf_create: theta must be >= 0";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let r = float_of_int (i + 1) in
+    (* theta = 1 (the classic Zipf law, and the default everywhere in this
+       repo) avoids [( ** )] so the table is a pure function of IEEE
+       division and addition — byte-reproducible across libm versions. *)
+    let w = if theta = 1.0 then 1.0 /. r else r ** -.theta in
+    acc := !acc +. w;
+    cdf.(i) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  cdf.(n - 1) <- 1.0;
+  { zf_cdf = cdf }
+
+let zipf t z =
+  let cdf = z.zf_cdf in
+  let u = float t 1.0 in
+  (* First index with cdf.(i) > u. *)
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo
 
 let shuffle_in_place t arr =
   for i = Array.length arr - 1 downto 1 do

@@ -18,11 +18,35 @@ val copy : t -> t
 val bits64 : t -> int64
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0].
+    Unbiased: draws are rejection-sampled, not reduced with a bare modulo. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)
 
 val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean (inverse-CDF
+    method) — the interarrival law of a Poisson process.  Requires
+    [mean > 0]. *)
+
+(** {1 Zipfian sampling} *)
+
+type zipf
+(** Precomputed cumulative-probability table for a Zipfian distribution
+    over ranks [0..n-1]; rank [k] has weight [(k+1) ** -theta].  Immutable
+    once built; safe to share between streams. *)
+
+val zipf_create : n:int -> theta:float -> zipf
+(** O(n) table build.  Requires [n > 0] and [theta >= 0] ([theta = 0] is
+    uniform; [theta = 1] is the classic Zipf law and stays clear of [( ** )]
+    so tables are byte-reproducible across libm implementations). *)
+
+val zipf_size : zipf -> int
+
+val zipf : t -> zipf -> int
+(** Draw a rank in [\[0, zipf_size z)]; rank 0 is the most popular.
+    O(log n) binary search over the table. *)
 
 val shuffle_in_place : t -> 'a array -> unit

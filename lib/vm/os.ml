@@ -409,7 +409,8 @@ let touch t asp ~vpn ~write =
 (* PagingDirected requests                                             *)
 (* ------------------------------------------------------------------ *)
 
-let rec prefetch t ?(site = Trace.no_site) (asp : As.t) ~vpn =
+let rec prefetch t ?(site = Trace.no_site) ?(urgent = false) (asp : As.t) ~vpn
+    =
   let cfg = t.config in
   let stats = asp.As.stats in
   sys_delay t cfg.pm_call_ns;
@@ -429,7 +430,7 @@ let rec prefetch t ?(site = Trace.no_site) (asp : As.t) ~vpn =
       then begin
         abandon_in_writeback t seg ~vpn (As.Pte.frame p);
         Semaphore.release asp.As.as_lock;
-        prefetch t asp ~site ~vpn
+        prefetch t asp ~site ~urgent ~vpn
       end
       else if tag = As.Pte.tag_on_free_list then begin
         let fidx = As.Pte.frame p in
@@ -496,7 +497,9 @@ let rec prefetch t ?(site = Trace.no_site) (asp : As.t) ~vpn =
                   emit t ~stream:asp.As.pid (Trace.Prefetch_issued { vpn; site });
                 sys_delay t cfg.hard_fault_cpu_ns;
                 if zero then sys_delay t cfg.zero_fill_ns
-                else Swap.read_page t.swap ~page:(As.swap_page seg ~vpn);
+                else
+                  Swap.read_page ~background:(not urgent) t.swap
+                    ~page:(As.swap_page seg ~vpn);
                 Semaphore.acquire asp.As.as_lock;
                 install_frame t asp seg ~vpn f ~write:zero ~prefetched:true;
                 Ivar.fill ivar ();
@@ -523,9 +526,9 @@ let rec prefetch t ?(site = Trace.no_site) (asp : As.t) ~vpn =
    no-ops and would only blur the service-time distribution. *)
 let prefetch_inner = prefetch
 
-let prefetch t ?(site = Trace.no_site) asp ~vpn =
+let prefetch t ?(site = Trace.no_site) ?urgent asp ~vpn =
   let t0 = Engine.now_of t.engine in
-  let r = prefetch_inner t asp ~site ~vpn in
+  let r = prefetch_inner t asp ~site ?urgent ~vpn in
   (match r with
   | P_fetched | P_rescued ->
       let ns = Engine.now_of t.engine - t0 in
@@ -592,7 +595,8 @@ let writeback_and_free t writebacks =
     (fun (seg, vpn, owner, (f : Frame.t)) ->
       ignore
         (Engine.spawn_child ~name:"writeback" (fun () ->
-             Swap.write_page t.swap ~page:(As.swap_page seg ~vpn);
+             Swap.write_page ~background:true t.swap
+               ~page:(As.swap_page seg ~vpn);
              Semaphore.acquire t.memory_lock;
              (* Still marked freed and not yet listed: return it.  A rescue
                 during the write clears the marker (install_frame). *)

@@ -1,0 +1,90 @@
+(* KVSERVE: a key-value / page-cache server's data plane.
+
+   The keyspace is the paper's worst case for compiler analysis: each
+   request reads one slot of a large index array (which key) and then the
+   value it points at, an indirect a[b[i]] reference into a values region
+   several times larger than physical memory.  The compiler can prefetch
+   the indirect stream (3PO's observation: oblivious far-memory apps are
+   dominated by exactly this pattern) but can never release it, so under a
+   memory hog the server's residency is entirely at the replacement
+   policy's mercy.
+
+   Two consumers share these shapes:
+
+   - [make] builds the IR program, for the compiler tests and for batch
+     runs: a request loop with unknown bounds over the index + values pair.
+   - [sizing] exposes the machine-relative dimensions to the open-loop
+     driver ({!Memhog_exec.Server}), which replays the same access pattern
+     request-by-request under Poisson arrivals and Zipfian popularity
+     instead of as a batch loop.
+
+   KVSERVE is deliberately not registered in {!Workload.all}: the paper
+   matrix (figures, baselines) is the six Table 2 kernels; serving gets its
+   own experiment surface. *)
+
+open Memhog_compiler
+
+type sizing = {
+  kv_nkeys : int;       (* distinct keys (millions at paper scale) *)
+  kv_index_bytes : int; (* the b[] array: 8 bytes per key *)
+  kv_values_bytes : int;(* the a[] region; several times physical memory *)
+  kv_theta : float;     (* Zipf exponent of key popularity *)
+}
+
+(* theta = 1.5: a concentrated Zipf.  At theta = 1 the mass is scale-free
+   (coverage grows only logarithmically in resident pages), so the server
+   is disk-bound no matter what the memory manager does; at 1.5 the tail
+   mass beyond k keys falls as 1/sqrt(k) and a few hundred resident pages
+   cover >99% of traffic — making residency, the thing releases protect,
+   the deciding factor.  The sampler's CDF table uses libm [( ** )], which
+   glibc computes correctly rounded, so serving baselines stay
+   byte-reproducible. *)
+let theta = 1.5
+
+let sizing ~mem_bytes ~page_bytes =
+  let values_bytes = mem_bytes * 4 in
+  let value_pages = values_bytes / page_bytes in
+  (* Hundreds of keys share one value page: 4.9 M keys at paper scale. *)
+  let nkeys = value_pages * 256 in
+  {
+    kv_nkeys = nkeys;
+    kv_index_bytes = nkeys * 8;
+    kv_values_bytes = values_bytes;
+    kv_theta = theta;
+  }
+
+let make ~mem_bytes ~page_bytes =
+  let s = sizing ~mem_bytes ~page_bytes in
+  let k = s.kv_index_bytes / 8 in
+  let v = s.kv_values_bytes / 8 in
+  let arrays =
+    [
+      Ir.array_decl "index" ~size:(Ir.param "K");
+      Ir.array_decl "values" ~size:(Ir.param "V");
+    ]
+  in
+  (* The request loop: bounds unknown (traffic-dependent), one index read
+     and one indirect value read per request.  The compiler prefetches both
+     streams but the indirect values array is never released. *)
+  let request_loop =
+    Ir.loop ~known:false ~var:"r" ~lo:(Ir.cst 0) ~hi:(Ir.param "R")
+      (Ir.S_body
+         {
+           Ir.refs =
+             [
+               Ir.direct "index" [ ("r", Ir.C_const 1) ] ~write:false;
+               Ir.indirect ~every:1 "values" ~via:"index" ~write:false;
+             ];
+           work_ns_per_iter = 200;
+         })
+  in
+  let prog =
+    {
+      Ir.prog_name = "kvserve";
+      arrays;
+      assumptions = [ ("R", None); ("K", None); ("V", None) ];
+      procs = [];
+      main = request_loop;
+    }
+  in
+  (prog, [ ("R", k); ("K", k); ("V", v) ])

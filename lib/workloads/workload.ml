@@ -55,11 +55,17 @@ let all =
 
 let names = List.map (fun w -> w.w_name) all
 
-let find name =
+let find_opt name =
   let target = String.uppercase_ascii name in
-  match List.find_opt (fun w -> w.w_name = target) all with
+  List.find_opt (fun w -> w.w_name = target) all
+
+let find name =
+  match find_opt name with
   | Some w -> w
-  | None -> raise Not_found
+  | None ->
+      failwith
+        (Printf.sprintf "unknown workload %S (valid: %s)" name
+           (String.concat ", " names))
 
 let data_set_bytes w ~mem_bytes ~page_bytes =
   let prog, params = w.w_make ~mem_bytes ~page_bytes in

@@ -36,7 +36,11 @@ val all : t list
     figures. *)
 
 val find : string -> t
-(** Case-insensitive lookup; raises [Not_found]. *)
+(** Case-insensitive lookup; raises [Failure] naming the unknown workload
+    and listing the valid ones. *)
+
+val find_opt : string -> t option
+(** Case-insensitive lookup; [None] when unknown. *)
 
 val names : string list
 

@@ -290,6 +290,47 @@ let test_interactive_alone_response () =
   | Some f -> check_bool "warm sweeps fault-free" true (f < 0.5)
   | None -> Alcotest.fail "no fault average"
 
+(* avg_response must round to nearest, not truncate: the mean of the
+   sweep responses is a rational number of ns and truncation biases every
+   derived slowdown ratio low.  Recompute the mean from the public sweep
+   list and pin the rounding against it. *)
+let test_interactive_avg_response_rounds_to_nearest () =
+  let engine = Engine.create ~max_time:(Time_ns.sec 3600) () in
+  let os = Os.create ~config:small_config ~engine () in
+  let task = Interactive.create ~os ~sleep:(Time_ns.ms 100) () in
+  ignore (Interactive.spawn task);
+  let prog =
+    Compile.compile ~target ~variant:Pir.V_original (sweep_prog ~pages:512)
+  in
+  let app = App.create ~os ~params:[] prog in
+  ignore
+    (Engine.spawn engine ~name:"hog" (fun () ->
+         Fun.protect ~finally:Engine.stop (fun () ->
+             for _ = 1 to 8 do
+               App.exec_main app
+             done)));
+  Engine.run engine;
+  let usable =
+    List.filter
+      (fun s -> s.Interactive.sw_index >= 1)
+      (Interactive.sweeps task)
+  in
+  check_bool "warm sweeps exist" true (usable <> []);
+  let mean =
+    List.fold_left
+      (fun acc s -> acc +. float_of_int s.Interactive.sw_response)
+      0.0 usable
+    /. float_of_int (List.length usable)
+  in
+  match Interactive.avg_response task with
+  | Some avg ->
+      check_int "round to nearest of the sweep mean"
+        (int_of_float (Float.round mean))
+        avg;
+      check_bool "within half a ns of the true mean" true
+        (Float.abs (float_of_int avg -. mean) <= 0.5)
+  | None -> Alcotest.fail "no response measured"
+
 let test_interactive_loses_pages_under_pressure () =
   let engine = Engine.create ~max_time:(Time_ns.sec 3600) () in
   let os = Os.create ~config:small_config ~engine () in
@@ -411,6 +452,8 @@ let () =
       ( "interactive",
         [
           Alcotest.test_case "alone response" `Quick test_interactive_alone_response;
+          Alcotest.test_case "avg response rounds to nearest" `Quick
+            test_interactive_avg_response_rounds_to_nearest;
           Alcotest.test_case "pressure refaults" `Quick
             test_interactive_loses_pages_under_pressure;
         ] );

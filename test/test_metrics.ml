@@ -62,6 +62,7 @@ let prop_percentiles_monotone =
       in
       monotone vals
       && List.for_all (fun v -> v >= lo && v <= hi) vals
+      && H.percentile h 0.0 = lo
       && H.percentile h 100.0 = hi)
 
 let prop_bucket_bounds =

@@ -142,6 +142,121 @@ let prop_rng_float_range =
       v >= 0.0 && v < bound)
 
 (* ------------------------------------------------------------------ *)
+(* Samplers: Rng.int uniformity, exponential, zipf                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Rejection sampling makes Rng.int unbiased for any bound, not just
+   powers of two.  With 60,000 draws over a bound of 3, each value's
+   expected share is 20,000 with sigma ~115; a 5% corridor is ~10 sigma,
+   far beyond the reach of a seeded (deterministic) stream. *)
+let test_rng_int_uniform () =
+  let r = Rng.create ~seed:11 in
+  let counts = Array.make 3 0 in
+  let draws = 60_000 in
+  for _ = 1 to draws do
+    let v = Rng.int r 3 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expect = draws / 3 in
+  Array.iteri
+    (fun i c ->
+      check_bool
+        (Printf.sprintf "value %d within 5%% of uniform (%d)" i c)
+        true
+        (abs (c - expect) < expect / 20))
+    counts
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"rng int stays in [0,bound) for any bound"
+    ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let r = Rng.create ~seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_exponential_positive =
+  QCheck.Test.make ~name:"exponential samples are non-negative and finite"
+    ~count:500
+    QCheck.(pair small_int (float_range 0.001 1e9))
+    (fun (seed, mean) ->
+      let r = Rng.create ~seed in
+      let v = Rng.exponential r ~mean in
+      v >= 0.0 && Float.is_finite v)
+
+(* Law of large numbers at a deterministic seed: 100k draws put the
+   empirical mean well within 5% of the requested mean (sigma of the
+   sample mean is mean/sqrt(n) ~ 0.3%). *)
+let test_exponential_empirical_mean () =
+  let r = Rng.create ~seed:23 in
+  let mean = 5_000.0 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean
+  done;
+  let emp = !sum /. float_of_int n in
+  check_bool
+    (Printf.sprintf "empirical mean %.1f within 5%% of %.1f" emp mean)
+    true
+    (Float.abs (emp -. mean) /. mean < 0.05)
+
+(* Zipf: lower ranks must be drawn more often.  At theta 1.2 adjacent-ish
+   ranks differ by large factors (rank 0 : rank 1 : rank 3 is roughly
+   1 : 0.44 : 0.19), so with 50k draws the ordering over a few spot
+   ranks is deterministic for any healthy sampler. *)
+let test_zipf_rank_ordering () =
+  let r = Rng.create ~seed:31 in
+  let z = Rng.zipf_create ~n:50 ~theta:1.2 in
+  let counts = Array.make 50 0 in
+  for _ = 1 to 50_000 do
+    let k = Rng.zipf r z in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check_bool "rank 0 beats rank 1" true (counts.(0) > counts.(1));
+  check_bool "rank 1 beats rank 3" true (counts.(1) > counts.(3));
+  check_bool "rank 3 beats rank 10" true (counts.(3) > counts.(10));
+  check_bool "rank 10 beats rank 40" true (counts.(10) > counts.(40))
+
+let test_zipf_theta_zero_uniform () =
+  let r = Rng.create ~seed:37 in
+  let z = Rng.zipf_create ~n:10 ~theta:0.0 in
+  let counts = Array.make 10 0 in
+  let draws = 100_000 in
+  for _ = 1 to draws do
+    let k = Rng.zipf r z in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let expect = draws / 10 in
+  Array.iteri
+    (fun i c ->
+      check_bool
+        (Printf.sprintf "rank %d within 10%% of uniform (%d)" i c)
+        true
+        (abs (c - expect) < expect / 10))
+    counts
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~name:"zipf draws stay in [0, n)" ~count:300
+    QCheck.(triple small_int (int_range 1 1000) (float_range 0.0 3.0))
+    (fun (seed, n, theta) ->
+      let r = Rng.create ~seed in
+      let z = Rng.zipf_create ~n ~theta in
+      let k = Rng.zipf r z in
+      Rng.zipf_size z = n && k >= 0 && k < n)
+
+(* Same seed, same draw sequence — the samplers sit on top of the
+   deterministic bit stream and must not smuggle in outside state. *)
+let test_sampler_determinism () =
+  let run () =
+    let r = Rng.create ~seed:41 in
+    let z = Rng.zipf_create ~n:100 ~theta:1.5 in
+    List.init 1000 (fun _ ->
+        (Rng.zipf r z, Rng.exponential r ~mean:250.0, Rng.int r 7))
+  in
+  check_bool "identical sequences" true (run () = run ())
+
+(* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -563,6 +678,16 @@ let () =
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "split" `Quick test_rng_split_independent;
         ] );
+      ( "samplers",
+        [
+          Alcotest.test_case "int uniform" `Quick test_rng_int_uniform;
+          Alcotest.test_case "exponential mean" `Quick
+            test_exponential_empirical_mean;
+          Alcotest.test_case "zipf rank ordering" `Quick test_zipf_rank_ordering;
+          Alcotest.test_case "zipf theta 0 uniform" `Quick
+            test_zipf_theta_zero_uniform;
+          Alcotest.test_case "determinism" `Quick test_sampler_determinism;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "delay advances clock" `Quick test_delay_advances_clock;
@@ -609,6 +734,9 @@ let () =
         [
           prop_heap_sorts;
           prop_rng_float_range;
+          prop_rng_int_range;
+          prop_exponential_positive;
+          prop_zipf_in_range;
           prop_engine_deterministic;
           prop_series_mean_bounded;
         ];

@@ -36,8 +36,21 @@ let test_registry () =
     Workload.names;
   check_bool "case-insensitive lookup" true
     ((Workload.find "matvec").Workload.w_name = "MATVEC");
-  Alcotest.check_raises "unknown workload" Not_found (fun () ->
-      ignore (Workload.find "nope"))
+  check_bool "find_opt misses quietly" true (Workload.find_opt "nope" = None);
+  (* the Failure must carry both the offending name and the valid list, so
+     a CLI typo produces a usable message *)
+  match Workload.find "nope" with
+  | _ -> Alcotest.fail "unknown workload should raise"
+  | exception Failure msg ->
+      let contains needle =
+        let nl = String.length needle and ml = String.length msg in
+        let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+        go 0
+      in
+      check_bool "message names the typo" true (contains "nope");
+      List.iter
+        (fun w -> check_bool ("message lists " ^ w) true (contains w))
+        Workload.names
 
 let test_all_out_of_core () =
   List.iter
@@ -190,6 +203,57 @@ let test_fftpde_transposes_cover_array () =
       check_int "reps cover one stride" (get "STRIDE") (get "REPS" * runlen))
     transposes
 
+(* ------------------------------------------------------------------ *)
+(* KVSERVE (serving data plane; deliberately outside Workload.all)     *)
+(* ------------------------------------------------------------------ *)
+
+module Kvserve = Memhog_workloads.Kvserve
+
+let rec count_pir f = function
+  | Pir.P_seq ss -> List.fold_left (fun acc s -> acc + count_pir f s) 0 ss
+  | Pir.P_loop { body; _ } as s -> (if f s then 1 else 0) + count_pir f body
+  | s -> if f s then 1 else 0
+
+let test_kvserve_sizing () =
+  let s = Kvserve.sizing ~mem_bytes ~page_bytes in
+  check_bool "values region several times memory" true
+    (s.Kvserve.kv_values_bytes >= 3 * mem_bytes);
+  check_bool "millions of keys at paper scale" true
+    (s.Kvserve.kv_nkeys > 1_000_000);
+  check_int "8-byte index slots" (s.Kvserve.kv_nkeys * 8)
+    s.Kvserve.kv_index_bytes;
+  check_bool "concentrated Zipf exponent" true (s.Kvserve.kv_theta = 1.5)
+
+let test_kvserve_not_registered () =
+  check_bool "KVSERVE outside the paper matrix" true
+    (Workload.find_opt "KVSERVE" = None)
+
+let test_kvserve_compiles_prefetch_no_release () =
+  let prog, _ = Kvserve.make ~mem_bytes ~page_bytes in
+  (match Ir.validate prog with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "kvserve: %s" e);
+  let has_indirect_prefetch px =
+    count_pir
+      (function Pir.P_indirect { prefetch; _ } -> prefetch | _ -> false)
+      px.Pir.px_main
+    > 0
+  in
+  let releases_values px =
+    count_pir
+      (function
+        | Pir.P_release { dir; _ } -> dir.Pir.d_array = "values" | _ -> false)
+      px.Pir.px_main
+  in
+  let p = Compile.compile ~target ~variant:Pir.V_prefetch prog in
+  let r = Compile.compile ~target ~variant:Pir.V_release prog in
+  check_bool "prefetch variant prefetches the indirect stream" true
+    (has_indirect_prefetch p);
+  (* the indirect a[b[i]] stream is the compiler's blind spot: it may
+     prefetch but can never release the values region *)
+  check_int "values never released (P)" 0 (releases_values p);
+  check_int "values never released (R)" 0 (releases_values r)
+
 let prop_sizes_scale_with_memory =
   QCheck.Test.make ~name:"data sets scale with memory size" ~count:20
     QCheck.(int_range 16 256)
@@ -225,6 +289,13 @@ let () =
           Alcotest.test_case "BUK bucket sizing" `Quick test_buk_bucket_array_fits_memory;
           Alcotest.test_case "FFTPDE transpose coverage" `Quick
             test_fftpde_transposes_cover_array;
+        ] );
+      ( "kvserve",
+        [
+          Alcotest.test_case "sizing" `Quick test_kvserve_sizing;
+          Alcotest.test_case "not registered" `Quick test_kvserve_not_registered;
+          Alcotest.test_case "prefetch yes, release no" `Quick
+            test_kvserve_compiles_prefetch_no_release;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_sizes_scale_with_memory ] );
