@@ -59,6 +59,19 @@
                                          SERVE_metrics.json (CI gate;
                                          see @serve-smoke) (--serve is
                                          an alias)
+     bench/main.exe blame --quick ...    the serving grid with per-request
+                                         critical-path blame: additive
+                                         response-time decomposition by
+                                         percentile band, prefetch-race
+                                         and demand-disk attribution,
+                                         with a built-in check that every
+                                         sampled span's components sum
+                                         exactly to its response; writes
+                                         BLAME_metrics.json (CI gate; see
+                                         @blame-smoke) and the slowest
+                                         request's critical path as
+                                         BLAME_slowest.trace.json
+                                         (--blame is an alias)
      bench/main.exe --chaos SPEC ...     inject the given fault plan into
                                          every matrix cell
      bench/main.exe microbench           bechamel microbenchmarks of the
@@ -77,7 +90,7 @@
    Experiment ids: table1 table2 fig1 fig7 fig8 table3 fig9 fig10a fig10b
    fig10c ablation-batch ablation-hwbits ablation-conservative
    ablation-rescue ablation-drop ablation-tlb ext-freemem ext-reactive
-   ext-two-hogs smoke chaos audit perf serve microbench *)
+   ext-two-hogs smoke chaos audit perf serve blame microbench *)
 
 open Memhog_core
 
@@ -597,6 +610,60 @@ let serve_experiment ~machine ~jobs () =
     rates;
   Serve.render t ^ "\n" ^ Figures.serve_tail t
 
+let blame_experiment ~machine ~jobs () =
+  let rates = serve_rates ~machine in
+  log
+    (Printf.sprintf "blame: %s hog x {O,B} at %s rps, %d jobs"
+       Serve.default_hog
+       (String.concat ", " (List.map (Printf.sprintf "%g") rates))
+       jobs);
+  let t = Serve.run ~machine ~rates ?chaos:!chaos_spec ~jobs ~log () in
+  (* Built-in additivity gate: for every span the deterministic reservoir
+     retained, the five blame components must sum exactly to the recorded
+     response — additivity is structural in Reqtrace, so any violation
+     means the span lifecycle was corrupted. *)
+  List.iter
+    (fun (r : E.result) ->
+      Memhog_sim.Reqtrace.iter_sampled r.E.r_reqtrace (fun sp ->
+          let open Memhog_sim.Reqtrace in
+          let parts =
+            sp.sp_queue + sp.sp_index + sp.sp_value + sp.sp_cpu
+            + sp.sp_compute
+          in
+          if parts <> sp.sp_response then
+            failwith
+              (Printf.sprintf
+                 "blame: span key=%d components sum to %d ns, response %d ns"
+                 sp.sp_key parts sp.sp_response)))
+    (Serve.results t);
+  Metrics_io.write_file ~path:"BLAME_metrics.json"
+    (Metrics.of_results
+       ~label:
+         (Printf.sprintf "blame %s %s" Serve.default_hog
+            machine.Machine.m_name)
+       (Serve.results t));
+  log "wrote BLAME_metrics.json (deterministic)";
+  (* The grid's slowest committed request, exported for humans: the CI
+     uploads it as an artifact so a tail regression comes with its own
+     openable critical path. *)
+  (match
+     List.fold_left
+       (fun acc (r : E.result) ->
+         match (acc, Memhog_sim.Reqtrace.slowest r.E.r_reqtrace) with
+         | None, sp -> sp
+         | Some a, Some sp
+           when sp.Memhog_sim.Reqtrace.sp_response
+                > a.Memhog_sim.Reqtrace.sp_response ->
+             Some sp
+         | acc, _ -> acc)
+       None (Serve.results t)
+   with
+  | Some sp ->
+      Trace_export.write_blame_span sp ~path:"BLAME_slowest.trace.json";
+      log "wrote BLAME_slowest.trace.json"
+  | None -> log "blame: no requests recorded, no slowest-request trace");
+  Serve.render_blame t ^ "\n" ^ Figures.serve_blame t
+
 let experiments ~machine ~jobs =
   [
     ("table1", fun () -> Figures.table1 ~machine ());
@@ -624,12 +691,14 @@ let experiments ~machine ~jobs =
     ("audit", fun () -> audit_experiment ~machine ~jobs ());
     ("perf", fun () -> perf_experiment ~machine ~jobs ());
     ("serve", fun () -> serve_experiment ~machine ~jobs ());
+    ("blame", fun () -> blame_experiment ~machine ~jobs ());
   ]
 
 let usage () =
   Printf.eprintf
     "usage: main.exe [--quick] [--jobs N] [--json] [--smoke] [--trace DIR] \
-     [--chaos SPEC] [--perf] [--serve] [--gc-minor-kb KB] [EXPERIMENT ...]\n"
+     [--chaos SPEC] [--perf] [--serve] [--blame] [--gc-minor-kb KB] \
+     [EXPERIMENT ...]\n"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -675,6 +744,9 @@ let () =
         parse rest
     | "--serve" :: rest ->
         selected := "serve" :: !selected;
+        parse rest
+    | "--blame" :: rest ->
+        selected := "blame" :: !selected;
         parse rest
     | "--gc-minor-kb" :: kb :: rest -> (
         match int_of_string_opt kb with
@@ -723,7 +795,7 @@ let () =
         List.filter
           (fun (n, _) ->
             n <> "smoke" && n <> "chaos" && n <> "audit" && n <> "perf"
-            && n <> "serve")
+            && n <> "serve" && n <> "blame")
           registry
     | names ->
         List.map

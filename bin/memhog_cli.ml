@@ -7,6 +7,8 @@
      run        run one experiment and print every collected metric
      sweep      interactive response vs sleep time for any benchmark
      serve      open-loop KV server tail latency vs offered load x hog variant
+     blame      per-request critical-path blame: additive response-time
+                decomposition, body vs tail, slowest-request trace export
      report     render metrics JSON files as human-readable tables
      compare    diff two metrics JSON files (the CI regression gate)
      audit      per-directive-site efficacy report from the page ledger
@@ -444,10 +446,22 @@ let sweep_cmd =
     Term.(const run $ machine_term $ workload_term $ sleeps $ jobs)
 
 (* ------------------------------------------------------------------ *)
-(* serve                                                               *)
+(* serve / blame                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let serve_cmd =
+(* The serve and blame verbs sweep the same grid; they share its
+   argument set. *)
+type serve_grid = {
+  sg_rates : float list;
+  sg_variants : Experiment.variant list;
+  sg_hog : Workload.t;
+  sg_slo : float;
+  sg_duration : float;
+  sg_chaos : string option;
+  sg_jobs : int;
+}
+
+let serve_grid_term =
   let rates =
     Arg.(
       value
@@ -499,44 +513,69 @@ let serve_cmd =
             "Run the grid cells on $(docv) worker domains.  Results are \
              bit-identical to --jobs 1.")
   in
-  let metrics =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "metrics" ] ~docv:"FILE"
-          ~doc:
-            "Write the grid's derived metrics (including the per-cell \
-             $(b,serving) object) as canonical JSON.")
+  Term.(
+    const (fun sg_rates sg_variants sg_hog sg_slo sg_duration sg_chaos
+               sg_jobs ->
+        { sg_rates; sg_variants; sg_hog; sg_slo; sg_duration; sg_chaos;
+          sg_jobs })
+    $ rates $ variants $ hog $ slo $ duration $ chaos $ jobs)
+
+let run_serve_grid ~cmd ~machine g =
+  (match g.sg_chaos with
+  | Some spec -> (
+      match Memhog_sim.Chaos.parse spec with
+      | Ok _ -> ()
+      | Error e ->
+          Format.eprintf "memhog %s: bad chaos spec: %s@." cmd e;
+          exit 2)
+  | None -> ());
+  Serve.run ~machine ~workload:g.sg_hog.Workload.w_name ~rates:g.sg_rates
+    ~variants:g.sg_variants
+    ~slo:(Time_ns.of_sec_f g.sg_slo)
+    ~duration:(Time_ns.of_sec_f g.sg_duration)
+    ?chaos:g.sg_chaos ~jobs:g.sg_jobs
+    ~log:(fun m -> Format.eprintf "%s@." m)
+    ()
+
+let write_serve_metrics ~machine ~hog ~path t =
+  let label =
+    Printf.sprintf "%s serve %s" machine.Machine.m_name hog.Workload.w_name
   in
-  let run machine rates variants hog slo duration chaos jobs metrics =
-    (match chaos with
-    | Some spec -> (
-        match Memhog_sim.Chaos.parse spec with
-        | Ok _ -> ()
-        | Error e ->
-            Format.eprintf "memhog serve: bad chaos spec: %s@." e;
-            exit 2)
-    | None -> ());
-    let t =
-      Serve.run ~machine ~workload:hog.Workload.w_name ~rates ~variants
-        ~slo:(Time_ns.of_sec_f slo)
-        ~duration:(Time_ns.of_sec_f duration)
-        ?chaos ~jobs
-        ~log:(fun m -> Format.eprintf "%s@." m)
-        ()
-    in
+  Metrics_io.write_file ~path (Metrics.of_results ~label (Serve.results t));
+  Format.printf "metrics written to %s@." path
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the grid's derived metrics (including the per-cell \
+           $(b,serving) and $(b,blame) objects) as canonical JSON.")
+
+let serve_cmd =
+  let blame =
+    Arg.(
+      value & flag
+      & info [ "blame" ]
+          ~doc:
+            "Also print the per-request blame tables (response-time \
+             decomposition by percentile band) — shorthand for following \
+             up with $(b,memhog blame).")
+  in
+  let run machine g blame metrics =
+    let t = run_serve_grid ~cmd:"serve" ~machine g in
     print_string (Serve.render t);
     print_newline ();
     print_string (Figures.serve_tail t);
+    if blame then begin
+      print_newline ();
+      print_string (Serve.render_blame t);
+      print_newline ();
+      print_string (Figures.serve_blame t)
+    end;
     (match metrics with
-    | Some path ->
-        let label =
-          Printf.sprintf "%s serve %s" machine.Machine.m_name
-            hog.Workload.w_name
-        in
-        Metrics_io.write_file ~path
-          (Metrics.of_results ~label (Serve.results t));
-        Format.printf "metrics written to %s@." path
+    | Some path -> write_serve_metrics ~machine ~hog:g.sg_hog ~path t
     | None -> ());
     0
   in
@@ -547,9 +586,62 @@ let serve_cmd =
           variant and report tail latency (p50/p99/p999, measured from \
           arrival) and SLO attainment — the serving analogue of the \
           paper's interactivity figures.")
-    Term.(
-      const run $ machine_term $ rates $ variants $ hog $ slo $ duration
-      $ chaos $ jobs $ metrics)
+    Term.(const run $ machine_term $ serve_grid_term $ blame $ metrics_arg)
+
+let blame_cmd =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the slowest sampled request's critical path (request \
+             slice, additive blame components, disk/transit sub-intervals) \
+             as Chrome trace-event JSON, openable in Perfetto.")
+  in
+  let run machine g trace metrics =
+    let t = run_serve_grid ~cmd:"blame" ~machine g in
+    print_string (Serve.render t);
+    print_newline ();
+    print_string (Serve.render_blame t);
+    print_newline ();
+    print_string (Figures.serve_blame t);
+    (match trace with
+    | Some path -> (
+        (* the slowest committed request across the whole grid *)
+        let slowest =
+          List.fold_left
+            (fun acc (r : Experiment.result) ->
+              match (acc, Memhog_sim.Reqtrace.slowest r.Experiment.r_reqtrace) with
+              | None, sp -> sp
+              | Some a, Some sp
+                when sp.Memhog_sim.Reqtrace.sp_response
+                     > a.Memhog_sim.Reqtrace.sp_response ->
+                  Some sp
+              | acc, _ -> acc)
+            None (Serve.results t)
+        in
+        match slowest with
+        | Some sp ->
+            Trace_export.write_blame_span sp ~path;
+            Format.printf "slowest-request trace written to %s@." path
+        | None -> Format.eprintf "memhog blame: no requests recorded@.")
+    | None -> ());
+    (match metrics with
+    | Some path -> write_serve_metrics ~machine ~hog:g.sg_hog ~path t
+    | None -> ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "blame"
+       ~doc:
+         "Run the serving grid and decompose every sampled request's \
+          response time into additive critical-path components (queue \
+          wait, index/value fault stalls, CPU wait, compute — summing \
+          exactly to the response), then report where the tail's time \
+          went, body vs p99+ bands, plus prefetch-race and demand-disk \
+          attribution.")
+    Term.(const run $ machine_term $ serve_grid_term $ trace $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report / compare                                                    *)
@@ -961,5 +1053,6 @@ let () =
           (Cmd.info "memhog" ~version:"1.0.0" ~doc)
           [
             list_cmd; machine_cmd; compile_cmd; run_cmd; sweep_cmd;
-            serve_cmd; report_cmd; compare_cmd; audit_cmd; perf_cmd;
+            serve_cmd; blame_cmd; report_cmd; compare_cmd; audit_cmd;
+            perf_cmd;
           ]))

@@ -79,6 +79,8 @@ type result = {
   r_sites : Pir.site_info list;
   r_events_executed : int;
   r_serving : Server.summary option;
+  r_blame : Reqtrace.summary option;
+  r_reqtrace : Reqtrace.t;
 }
 
 type setup = {
@@ -179,9 +181,19 @@ let run (s : setup) =
      the ledger never interacts with the engine, so all deterministic work
      counters are unaffected either way. *)
   let ledger = if s.ledger_on then Ledger.create () else Ledger.null in
+  (* The per-request blame layer exists only in serve mode: it is keyed by
+     request lifecycles, which only the open-loop server drives.  Like the
+     ledger it never touches the engine and is cell-private (its reservoir
+     sampler draws from its own seeded stream), so blame output is
+     byte-identical at any --jobs level. *)
+  let reqtrace =
+    match s.serve with
+    | Some _ -> Reqtrace.create ~seed:m.Machine.m_seed ()
+    | None -> Reqtrace.null
+  in
   let os =
     Os.create ~swap_config:m.Machine.m_swap ?trace:s.trace ~ledger ~chaos
-      ~config:m.Machine.m_config ~engine ()
+      ~reqtrace ~config:m.Machine.m_config ~engine ()
   in
   let trace = Os.trace os in
   let prog_ir, params =
@@ -260,6 +272,15 @@ let run (s : setup) =
                (Trace.Upper_limit_sample
                   { owner = pid; pages = Os.shared_upper_limit os app_asp })
            end;
+           (match server with
+           | Some sv when Trace.enabled trace ->
+               (* Request-queue backlog, on the server's stream: lines up
+                  with the RSS counters so a trace viewer shows queue
+                  build-up against the hog's residency. *)
+               let pid = (Server.asp sv).Memhog_vm.Address_space.pid in
+               Trace.emit trace ~time:now ~stream:pid
+                 (Trace.Queue_depth { owner = pid; depth = Server.queue_depth sv })
+           | _ -> ());
            match task with
            | Some t ->
                let iasp = Interactive.asp t in
@@ -362,6 +383,8 @@ let run (s : setup) =
     r_sites = Pir.sites prog;
     r_events_executed = Engine.events_executed engine;
     r_serving = Option.map Server.summary server;
+    r_blame = Option.map Server.blame server;
+    r_reqtrace = reqtrace;
   }
 
 let run_interactive_alone ?(machine = Machine.paper) ~sleep ~duration () =

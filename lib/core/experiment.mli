@@ -92,6 +92,19 @@ type result = {
   r_serving : Memhog_exec.Server.summary option;
       (** the open-loop server's close-out (arrivals, completions, SLO
           counters, response histogram), when the cell ran in serve mode *)
+  r_blame : Memhog_sim.Reqtrace.summary option;
+      (** per-request critical-path blame: response-time decomposition
+          (queue / index stall / value stall / CPU wait / compute,
+          additive by construction), percentile-band blame table,
+          prefetch race counters and demand-disk attribution.  Present
+          exactly when the cell ran in serve mode; cell-private and
+          byte-deterministic at any [--jobs]. *)
+  r_reqtrace : Memhog_sim.Reqtrace.t;
+      (** the raw blame layer behind [r_blame] — kept (like [r_trace]) so
+          callers can reach the sampled spans themselves, e.g. to export
+          the slowest request's critical path as a Chrome trace
+          ({!Memhog_sim.Reqtrace.slowest});  {!Memhog_sim.Reqtrace.null}
+          for batch cells *)
 }
 
 type setup = {

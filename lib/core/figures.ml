@@ -934,3 +934,49 @@ let serve_tail (t : Serve.t) =
                variants
           @ [ "O/B p999" ])
         ~rows fmt ())
+
+(* The p999 ratio says the un-released hog hurts the tail; the blame shares
+   say how: under O the tail's time concentrates in queue and value-stall,
+   under B it stays in compute.  Shares are over the tail bands (p99 and
+   beyond) of each cell's deterministic span sample. *)
+let serve_blame (t : Serve.t) =
+  let rows =
+    List.map
+      (fun (c, r) ->
+        let b = Serve.blame_exn r in
+        let tail =
+          List.filter
+            (fun (bd : Reqtrace.band) -> bd.Reqtrace.bd_label <> "body")
+            b.Reqtrace.su_bands
+        in
+        let sum f = List.fold_left (fun a bd -> a + f bd) 0 tail in
+        let resp = sum (fun bd -> bd.Reqtrace.bd_response) in
+        let share v =
+          if resp = 0 then "-"
+          else Report.pct (float_of_int v /. float_of_int resp)
+        in
+        [
+          Printf.sprintf "%s/%s" t.Serve.s_workload
+            (E.variant_name c.Serve.sc_variant);
+          Printf.sprintf "%s rps" (Report.f1 c.Serve.sc_rate);
+          Report.count (sum (fun bd -> bd.Reqtrace.bd_count));
+          share (sum (fun bd -> bd.Reqtrace.bd_queue));
+          share (sum (fun bd -> bd.Reqtrace.bd_index));
+          share (sum (fun bd -> bd.Reqtrace.bd_value));
+          share (sum (fun bd -> bd.Reqtrace.bd_cpu));
+          share (sum (fun bd -> bd.Reqtrace.bd_compute));
+        ])
+      t.Serve.s_cells
+  in
+  render (fun fmt ->
+      Report.table
+        ~title:
+          (Printf.sprintf
+             "Tail blame shares (p99 and beyond): %s hog, sampled requests"
+             t.Serve.s_workload)
+        ~header:
+          [
+            "hog"; "offered"; "tail reqs"; "queue"; "index"; "value";
+            "cpu wait"; "compute";
+          ]
+        ~rows fmt ())

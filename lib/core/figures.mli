@@ -164,3 +164,10 @@ val serve_tail : Serve.t -> string
 (** Figures 1/10 retold for the open-loop server: p999 response and SLO
     attainment per offered-load level and hog variant, plus the O/B p999
     ratio — the serving analogue of the normalized-response figure. *)
+
+val serve_blame : Serve.t -> string
+(** The blame complement to {!serve_tail}: each cell's tail bands (p99 and
+    beyond) reduced to the share of response time spent in queue / index
+    stall / value stall / CPU wait / compute — showing {e how} the
+    un-released hog hurts the tail (queueing and value stalls), not just
+    that it does. *)

@@ -134,6 +134,76 @@ let serving_of (s : Memhog_exec.Server.summary) =
     sv_response = summarize_hist s.Sv.sm_hist;
   }
 
+type blame_band = {
+  bb_label : string;
+  bb_count : int;
+  bb_queue_ns : int;
+  bb_index_ns : int;
+  bb_value_ns : int;
+  bb_cpu_ns : int;
+  bb_compute_ns : int;
+  bb_response_ns : int;
+}
+
+type blame_summary = {
+  bl_committed : int;
+  bl_sampled : int;
+  bl_cap : int;
+  bl_p50_ns : int;
+  bl_p99_ns : int;
+  bl_p999_ns : int;
+  bl_bands : blame_band list;
+  bl_response : hist_summary;
+  bl_queue : hist_summary;
+  bl_index : hist_summary;
+  bl_value : hist_summary;
+  bl_cpu : hist_summary;
+  bl_compute : hist_summary;
+  bl_pf_slack : hist_summary;
+  bl_pf_hidden : int;
+  bl_pf_lost : int;
+  bl_bypasses : int;
+  bl_disk_queue_ns : int;
+  bl_disk_service_ns : int;
+  bl_transit_ns : int;
+}
+
+let blame_band_of (b : Reqtrace.band) =
+  {
+    bb_label = b.Reqtrace.bd_label;
+    bb_count = b.Reqtrace.bd_count;
+    bb_queue_ns = b.Reqtrace.bd_queue;
+    bb_index_ns = b.Reqtrace.bd_index;
+    bb_value_ns = b.Reqtrace.bd_value;
+    bb_cpu_ns = b.Reqtrace.bd_cpu;
+    bb_compute_ns = b.Reqtrace.bd_compute;
+    bb_response_ns = b.Reqtrace.bd_response;
+  }
+
+let blame_of (s : Reqtrace.summary) =
+  {
+    bl_committed = s.Reqtrace.su_committed;
+    bl_sampled = s.Reqtrace.su_sampled;
+    bl_cap = s.Reqtrace.su_cap;
+    bl_p50_ns = s.Reqtrace.su_p50;
+    bl_p99_ns = s.Reqtrace.su_p99;
+    bl_p999_ns = s.Reqtrace.su_p999;
+    bl_bands = List.map blame_band_of s.Reqtrace.su_bands;
+    bl_response = summarize_hist s.Reqtrace.su_response;
+    bl_queue = summarize_hist s.Reqtrace.su_queue;
+    bl_index = summarize_hist s.Reqtrace.su_index;
+    bl_value = summarize_hist s.Reqtrace.su_value;
+    bl_cpu = summarize_hist s.Reqtrace.su_cpu;
+    bl_compute = summarize_hist s.Reqtrace.su_compute;
+    bl_pf_slack = summarize_hist s.Reqtrace.su_pf_slack;
+    bl_pf_hidden = s.Reqtrace.su_pf_hidden;
+    bl_pf_lost = s.Reqtrace.su_pf_lost;
+    bl_bypasses = s.Reqtrace.su_bypasses;
+    bl_disk_queue_ns = s.Reqtrace.su_disk_queue;
+    bl_disk_service_ns = s.Reqtrace.su_disk_service;
+    bl_transit_ns = s.Reqtrace.su_transit;
+  }
+
 type cell = {
   c_workload : string;
   c_variant : string;
@@ -156,6 +226,7 @@ type cell = {
   c_ledger : Ledger.summary;
   c_sites : Memhog_compiler.Pir.site_info list;
   c_serving : serving_summary option;
+  c_blame : blame_summary option;
 }
 
 let governor_of (rt : Runtime.stats) =
@@ -206,6 +277,7 @@ let of_result (r : E.result) =
     c_ledger = r.E.r_ledger;
     c_sites = r.E.r_sites;
     c_serving = Option.map serving_of r.E.r_serving;
+    c_blame = Option.map blame_of r.E.r_blame;
   }
 
 type totals = {

@@ -99,11 +99,64 @@ type serving_summary = {
   sv_recorded : int;       (** completed minus warm-up skips *)
   sv_max_queue : int;      (** deepest request backlog observed *)
   sv_slo_ok : int;
-  sv_slo_attainment : float;  (** slo_ok / recorded; 1.0 when none *)
+  sv_slo_attainment : float;
+      (** slo_ok / recorded; 0.0 when none were recorded (a starved cell
+          attained nothing) *)
   sv_response : hist_summary; (** p50/p99/p999 response times *)
 }
 
 val serving_of : Memhog_exec.Server.summary -> serving_summary
+
+(** One percentile band of the blame table: the summed response-time
+    decomposition of the sampled requests whose response fell in the band.
+    Within a band the five component sums add up exactly to
+    [bb_response_ns] — additivity is structural in {!Memhog_sim.Reqtrace}
+    and survives aggregation. *)
+type blame_band = {
+  bb_label : string;     (** ["body"] (< p99), ["tail"] (p99 ≤ r < p999)
+                             or ["deep"] (≥ p999) *)
+  bb_count : int;        (** sampled requests in the band *)
+  bb_queue_ns : int;     (** arrival → dequeue *)
+  bb_index_ns : int;     (** index-page touch stall *)
+  bb_value_ns : int;     (** value-page touch stall *)
+  bb_cpu_ns : int;       (** CPU-semaphore wait *)
+  bb_compute_ns : int;   (** per-request compute burst *)
+  bb_response_ns : int;  (** component sum = arrival → completion *)
+}
+
+(** The serve cell's per-request blame close-out ([memhog blame]): where
+    recorded response time went, for the body of the distribution and for
+    the tail separately.  Component histograms cover {e every} recorded
+    request (population-exact); the band table is built from the
+    deterministic reservoir sample ([bl_sampled] of [bl_committed],
+    capped at [bl_cap]). *)
+type blame_summary = {
+  bl_committed : int;       (** recorded requests (spans committed) *)
+  bl_sampled : int;         (** spans retained by the reservoir *)
+  bl_cap : int;             (** reservoir capacity *)
+  bl_p50_ns : int;
+  bl_p99_ns : int;
+  bl_p999_ns : int;         (** band boundaries, from [bl_response] *)
+  bl_bands : blame_band list;  (** body, tail, deep — in that order *)
+  bl_response : hist_summary;
+  bl_queue : hist_summary;
+  bl_index : hist_summary;
+  bl_value : hist_summary;
+  bl_cpu : hist_summary;
+  bl_compute : hist_summary;   (** per-component population histograms *)
+  bl_pf_slack : hist_summary;
+      (** prefetch slack: touch time minus (issue + observed I/O span) for
+          hidden prefetches — how much margin the arrival-time prefetch had *)
+  bl_pf_hidden : int;       (** touches whose prefetch won the race *)
+  bl_pf_lost : int;         (** touches that hard-faulted despite one *)
+  bl_bypasses : int;        (** demand arm acquisitions that overtook
+                                queued background work *)
+  bl_disk_queue_ns : int;   (** demand arm-queue wait, summed *)
+  bl_disk_service_ns : int; (** demand arm-held service time, summed *)
+  bl_transit_ns : int;      (** waits behind pages already in transit *)
+}
+
+val blame_of : Memhog_sim.Reqtrace.summary -> blame_summary
 
 type cell = {
   c_workload : string;
@@ -138,6 +191,8 @@ type cell = {
       (** static directive sites of the cell's compiled program, joining
           ledger rows back to source-level descriptions *)
   c_serving : serving_summary option;  (** present only for serve cells *)
+  c_blame : blame_summary option;
+      (** per-request blame decomposition; present only for serve cells *)
 }
 
 (** Matrix-wide aggregates, built with {!Memhog_sim.Account.add_to},

@@ -256,8 +256,12 @@ let schema = "memhog-metrics"
    (wasted-work taxonomy + per-directive-site efficacy table).
    v4: histograms gained "p999_ns" and cells gained the "serving" object
    (open-loop server cells: offered load, SLO attainment, response
-   percentiles; null for batch cells). *)
-let schema_version = 4
+   percentiles; null for batch cells).
+   v5: cells gained the "blame" object (serve cells: per-request
+   response-time decomposition — additive queue/index/value/cpu/compute
+   component histograms, percentile-band blame table, prefetch race and
+   demand-disk attribution; null for batch cells). *)
+let schema_version = 5
 
 let breakdown_json (b : Experiment.breakdown) =
   Obj
@@ -426,6 +430,44 @@ let serving_json (s : Metrics.serving_summary) =
       ("response_hist", hist_json s.Metrics.sv_response);
     ]
 
+let blame_band_json (b : Metrics.blame_band) =
+  Obj
+    [
+      ("band", Str b.Metrics.bb_label);
+      ("count", num_of_int b.Metrics.bb_count);
+      ("queue_ns", num_of_int b.Metrics.bb_queue_ns);
+      ("index_ns", num_of_int b.Metrics.bb_index_ns);
+      ("value_ns", num_of_int b.Metrics.bb_value_ns);
+      ("cpu_ns", num_of_int b.Metrics.bb_cpu_ns);
+      ("compute_ns", num_of_int b.Metrics.bb_compute_ns);
+      ("response_ns", num_of_int b.Metrics.bb_response_ns);
+    ]
+
+let blame_json (b : Metrics.blame_summary) =
+  Obj
+    [
+      ("committed", num_of_int b.Metrics.bl_committed);
+      ("sampled", num_of_int b.Metrics.bl_sampled);
+      ("cap", num_of_int b.Metrics.bl_cap);
+      ("p50_ns", num_of_int b.Metrics.bl_p50_ns);
+      ("p99_ns", num_of_int b.Metrics.bl_p99_ns);
+      ("p999_ns", num_of_int b.Metrics.bl_p999_ns);
+      ("bands", Arr (List.map blame_band_json b.Metrics.bl_bands));
+      ("response_hist", hist_json b.Metrics.bl_response);
+      ("queue_hist", hist_json b.Metrics.bl_queue);
+      ("index_hist", hist_json b.Metrics.bl_index);
+      ("value_hist", hist_json b.Metrics.bl_value);
+      ("cpu_hist", hist_json b.Metrics.bl_cpu);
+      ("compute_hist", hist_json b.Metrics.bl_compute);
+      ("pf_slack_hist", hist_json b.Metrics.bl_pf_slack);
+      ("pf_hidden", num_of_int b.Metrics.bl_pf_hidden);
+      ("pf_lost", num_of_int b.Metrics.bl_pf_lost);
+      ("bypasses", num_of_int b.Metrics.bl_bypasses);
+      ("disk_queue_ns", num_of_int b.Metrics.bl_disk_queue_ns);
+      ("disk_service_ns", num_of_int b.Metrics.bl_disk_service_ns);
+      ("transit_ns", num_of_int b.Metrics.bl_transit_ns);
+    ]
+
 let cell_json (c : Metrics.cell) =
   Obj
     [
@@ -450,6 +492,7 @@ let cell_json (c : Metrics.cell) =
       ("trace_dropped", num_of_int c.Metrics.c_trace_dropped);
       ("ledger", ledger_json c);
       ("serving", opt serving_json c.Metrics.c_serving);
+      ("blame", opt blame_json c.Metrics.c_blame);
     ]
 
 let proc_json (p : Memhog_vm.Vm_stats.proc) =
@@ -737,6 +780,46 @@ let render j =
                    | None -> "-");
                  ])
                with_serving)
+          fmt ()
+      end;
+      let with_blame =
+        List.filter (fun c -> match member "blame" c with
+            | Some (Obj _) -> true | _ -> false)
+          cells
+      in
+      if with_blame <> [] then begin
+        Format.fprintf fmt "@,";
+        Report.table
+          ~title:"Tail blame (mean per request, by percentile band)"
+          ~header:
+            [
+              "run"; "band"; "reqs"; "queue"; "index"; "value"; "cpu wait";
+              "compute"; "response";
+            ]
+          ~rows:
+            (List.concat_map
+               (fun c ->
+                 let b = Option.value (member "blame" c) ~default:Null in
+                 match member "bands" b with
+                 | Some (Arr bands) ->
+                     List.map
+                       (fun bd ->
+                         let n =
+                           max 1 (Option.value (int_member "count" bd) ~default:0)
+                         in
+                         let per k =
+                           match int_member k bd with
+                           | Some v -> Report.ns (v / n)
+                           | None -> "-"
+                         in
+                         [
+                           run c; istr "band" bd; icount "count" bd;
+                           per "queue_ns"; per "index_ns"; per "value_ns";
+                           per "cpu_ns"; per "compute_ns"; per "response_ns";
+                         ])
+                       bands
+                 | _ -> [])
+               with_blame)
           fmt ()
       end;
       Format.fprintf fmt "@,";

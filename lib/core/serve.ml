@@ -105,6 +105,96 @@ let render t =
            ])
          t.s_cells)
     fmt ();
+  (* A cell that recorded nothing reports 0% attainment, but the zero is
+     easy to misread as "merely bad" — call it out explicitly. *)
+  List.iter
+    (fun (c, r) ->
+      let s = serving_exn r in
+      if s.Server.sm_recorded = 0 then
+        Format.fprintf fmt
+          "@,WARNING: %s/%s @ %s rps recorded no responses (%d completed, \
+           none past warm-up): the server starved; its 0%% SLO attainment \
+           is vacuous, not measured."
+          t.s_workload
+          (E.variant_name c.sc_variant)
+          (Report.f1 c.sc_rate) s.Server.sm_completed)
+    t.s_cells;
+  Format.pp_close_box fmt ();
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let blame_exn (r : E.result) =
+  match r.E.r_blame with
+  | Some b -> b
+  | None -> invalid_arg "Serve: result has no blame summary"
+
+let render_blame t =
+  let buf = Buffer.create 2048 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.pp_open_vbox fmt 0;
+  Format.fprintf fmt
+    "Blame: where response time went, body vs tail (%s hog, %s)@,@,"
+    t.s_workload t.s_machine.Machine.m_name;
+  (* Mean per-request decomposition, one row per percentile band: the five
+     components are additive by construction, so each row's parts sum to
+     its response column exactly. *)
+  Report.table ~title:"Tail blame (mean per request, by percentile band)"
+    ~header:
+      [
+        "hog"; "offered"; "band"; "reqs"; "queue"; "index"; "value";
+        "cpu wait"; "compute"; "response";
+      ]
+    ~rows:
+      (List.concat_map
+         (fun (c, r) ->
+           let b = blame_exn r in
+           List.map
+             (fun (bd : Reqtrace.band) ->
+               let n = max 1 bd.Reqtrace.bd_count in
+               let per v = Report.ns (v / n) in
+               [
+                 Printf.sprintf "%s/%s" t.s_workload
+                   (E.variant_name c.sc_variant);
+                 Printf.sprintf "%s rps" (Report.f1 c.sc_rate);
+                 bd.Reqtrace.bd_label;
+                 Report.count bd.Reqtrace.bd_count;
+                 per bd.Reqtrace.bd_queue;
+                 per bd.Reqtrace.bd_index;
+                 per bd.Reqtrace.bd_value;
+                 per bd.Reqtrace.bd_cpu;
+                 per bd.Reqtrace.bd_compute;
+                 per bd.Reqtrace.bd_response;
+               ])
+             b.Reqtrace.su_bands)
+         t.s_cells)
+    fmt ();
+  Format.fprintf fmt "@,";
+  Report.table ~title:"Prefetch race and demand-disk attribution"
+    ~header:
+      [
+        "hog"; "offered"; "sampled"; "pf hidden"; "pf lost"; "slack p50";
+        "bypasses"; "arm queue"; "arm service"; "transit";
+      ]
+    ~rows:
+      (List.map
+         (fun (c, r) ->
+           let b = blame_exn r in
+           [
+             Printf.sprintf "%s/%s" t.s_workload (E.variant_name c.sc_variant);
+             Printf.sprintf "%s rps" (Report.f1 c.sc_rate);
+             Printf.sprintf "%s/%s"
+               (Report.count b.Reqtrace.su_sampled)
+               (Report.count b.Reqtrace.su_committed);
+             Report.count b.Reqtrace.su_pf_hidden;
+             Report.count b.Reqtrace.su_pf_lost;
+             Report.ns (Histogram.percentile b.Reqtrace.su_pf_slack 50.0);
+             Report.count b.Reqtrace.su_bypasses;
+             Report.ns b.Reqtrace.su_disk_queue;
+             Report.ns b.Reqtrace.su_disk_service;
+             Report.ns b.Reqtrace.su_transit;
+           ])
+         t.s_cells)
+    fmt ();
   Format.pp_close_box fmt ();
   Format.pp_print_flush fmt ();
   Buffer.contents buf

@@ -58,5 +58,17 @@ val serving_exn : Experiment.result -> Memhog_exec.Server.summary
 (** The serving close-out of a grid cell.
     @raise Invalid_argument on a non-serve result. *)
 
+val blame_exn : Experiment.result -> Memhog_sim.Reqtrace.summary
+(** The per-request blame close-out of a grid cell.
+    @raise Invalid_argument on a non-serve result. *)
+
 val render : t -> string
-(** Plain-text tail-latency table (p50/p99/p999 + SLO attainment). *)
+(** Plain-text tail-latency table (p50/p99/p999 + SLO attainment), plus an
+    explicit warning line for any cell that recorded no responses — its
+    0% attainment is vacuous, not measured. *)
+
+val render_blame : t -> string
+(** Plain-text blame tables: mean per-request response-time decomposition
+    by percentile band (the [memhog blame] headline — components sum to
+    the response column exactly), plus the prefetch-race and demand-disk
+    attribution counters per cell. *)

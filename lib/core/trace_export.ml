@@ -46,6 +46,10 @@ let event_row ~time ~stream ev =
       Printf.sprintf
         "{\"name\":\"upper_limit:%d\",\"ph\":\"C\",%s,\"args\":{\"pages\":%d}}"
         owner common pages
+  | Trace.Queue_depth { owner; depth } ->
+      Printf.sprintf
+        "{\"name\":\"queue_depth:%d\",\"ph\":\"C\",%s,\"args\":{\"depth\":%d}}"
+        owner common depth
   | Trace.Phase_begin { name } ->
       Printf.sprintf "{\"name\":\"%s\",\"ph\":\"B\",%s}" (json_escape name) common
   | Trace.Phase_end { name } ->
@@ -179,6 +183,74 @@ let write_file ~path content =
     (fun () -> output_string oc content)
 
 let write_chrome_json trace ~path = write_file ~path (to_chrome_json trace)
+
+(* ------------------------------------------------------------------ *)
+(* Per-request blame spans                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A single request's critical path as its own Chrome-trace document:
+   lane 0 holds the request slice itself, lane 1 its additive component
+   decomposition (the five blame components telescope across the response
+   interval, so they render as a gapless strip under the parent), lane 2
+   the recorded sub-intervals (demand arm-queue waits — bypasses marked —
+   arm-held service and in-transit waits), which overlap the index/value
+   stalls they explain. *)
+let blame_span_to_chrome_json (sp : Reqtrace.span) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let add row =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf row
+  in
+  add
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"memhog blame\"}}";
+  List.iter
+    (fun (tid, name) ->
+      add
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           tid name))
+    [ (0, "request"); (1, "blame components"); (2, "disk / transit") ];
+  let slice ~tid ~name ~start ~dur args =
+    if dur > 0 then
+      add
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s%s}"
+           (json_escape name) tid (ts_of_time start) (ts_of_time dur)
+           (match args with
+           | [] -> ""
+           | args -> Printf.sprintf ",\"args\":{%s}" (args_json args)))
+  in
+  slice ~tid:0
+    ~name:(Printf.sprintf "req key=%d" sp.Reqtrace.sp_key)
+    ~start:sp.Reqtrace.sp_arrival ~dur:sp.Reqtrace.sp_response
+    [
+      ("id", string_of_int sp.Reqtrace.sp_id);
+      ("bypasses", string_of_int sp.Reqtrace.sp_bypasses);
+      ("pf_hidden", string_of_int sp.Reqtrace.sp_pf_hidden);
+      ("pf_lost", string_of_int sp.Reqtrace.sp_pf_lost);
+    ];
+  (* the components telescope: each starts where the previous ended *)
+  let t = ref sp.Reqtrace.sp_arrival in
+  List.iter
+    (fun (name, dur) ->
+      slice ~tid:1 ~name ~start:!t ~dur [];
+      t := !t + dur)
+    [
+      ("queue", sp.Reqtrace.sp_queue);
+      ("index", sp.Reqtrace.sp_index);
+      ("value", sp.Reqtrace.sp_value);
+      ("cpu wait", sp.Reqtrace.sp_cpu);
+      ("compute", sp.Reqtrace.sp_compute);
+    ];
+  List.iter
+    (fun (kind, start, dur) -> slice ~tid:2 ~name:kind ~start ~dur [])
+    (Reqtrace.children sp);
+  Buffer.add_string buf "],\"metadata\":{}}\n";
+  Buffer.contents buf
+
+let write_blame_span sp ~path = write_file ~path (blame_span_to_chrome_json sp)
 
 let series_to_csv series =
   let buf = Buffer.create 4096 in

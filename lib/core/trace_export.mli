@@ -20,6 +20,17 @@ val to_chrome_json : Memhog_sim.Trace.t -> string
 
 val write_chrome_json : Memhog_sim.Trace.t -> path:string -> unit
 
+val blame_span_to_chrome_json : Memhog_sim.Reqtrace.span -> string
+(** One sampled request's critical path as a standalone Chrome-trace
+    document: the request slice (lane 0), its additive blame components
+    rendered as a gapless telescoping strip (lane 1: queue, index, value,
+    cpu wait, compute), and the recorded demand-disk / in-transit
+    sub-intervals that explain the stalls (lane 2).  Typically fed
+    {!Memhog_sim.Reqtrace.slowest} — the p100 request, opened directly in
+    Perfetto. *)
+
+val write_blame_span : Memhog_sim.Reqtrace.span -> path:string -> unit
+
 val series_to_csv : (string * Memhog_sim.Series.t) list -> string
 (** Header [series,time_ns,value], one row per sample, series concatenated
     in the order given. *)

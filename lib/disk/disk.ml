@@ -40,6 +40,7 @@ type t = {
   bus : Semaphore.t option;
   chaos : Chaos.t;
   trace : Trace.t;
+  reqtrace : Reqtrace.t;
   mutable last_block : int;
   mutable reads : int;
   mutable writes : int;
@@ -55,7 +56,7 @@ type t = {
 }
 
 let create ?(params = cheetah_4lp) ?bus ?(chaos = Chaos.none)
-    ?(trace = Trace.null) ~id () =
+    ?(trace = Trace.null) ?(reqtrace = Reqtrace.null) ~id () =
   {
     id;
     params;
@@ -65,6 +66,7 @@ let create ?(params = cheetah_4lp) ?bus ?(chaos = Chaos.none)
     bus;
     chaos;
     trace;
+    reqtrace;
     last_block = min_int;
     reads = 0;
     writes = 0;
@@ -87,13 +89,17 @@ let acquire_arm ~cat t ~background =
      can overtake queued background work. *)
   if not t.arm_busy then t.arm_busy <- true
   else begin
-    if (not background) && not (Queue.is_empty t.background_q) then
-      t.demand_bypasses <- t.demand_bypasses + 1;
+    let bypassed = (not background) && not (Queue.is_empty t.background_q) in
+    if bypassed then t.demand_bypasses <- t.demand_bypasses + 1;
     let q = if background then t.background_q else t.demand_q in
     let t0 = Engine.now () in
     Engine.suspend (fun waker -> Queue.add waker q);
+    let self = Engine.self () in
     let waited = Engine.now () - t0 in
-    Account.add (Engine.self ()).account cat waited
+    Account.add self.account cat waited;
+    if (not background) && Reqtrace.enabled t.reqtrace then
+      Reqtrace.note_disk_queue t.reqtrace ~pid:self.Engine.pid ~start:t0
+        ~ns:waited ~bypassed
   end
 
 (* Direct handoff: the arm stays busy and ownership moves to the waiter.
@@ -162,6 +168,7 @@ let do_io ?(cat = Account.Io_stall) ?(background = false) t ~block ~bytes
     ~is_write =
   let started = Engine.now () in
   acquire_arm ~cat t ~background;
+  let arm_acquired = Engine.now () in
   if not (Chaos.is_none t.chaos) then
     inject_failures ~cat t ~block ~is_write;
   let slow =
@@ -185,6 +192,10 @@ let do_io ?(cat = Account.Io_stall) ?(background = false) t ~block ~bytes
   release_arm t;
   let elapsed = Engine.now () - started in
   if elapsed > t.params.request_timeout_ns then t.timeouts <- t.timeouts + 1;
+  if (not background) && Reqtrace.enabled t.reqtrace then
+    Reqtrace.note_disk_service t.reqtrace ~pid:(Engine.self ()).Engine.pid
+      ~start:arm_acquired
+      ~ns:(Engine.now () - arm_acquired);
   (* One completion event per request, spanning queueing + positioning +
      transfer (+ injected retries); the Chrome exporter links directive →
      disk request → fault chains through these. *)

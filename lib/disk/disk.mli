@@ -37,12 +37,18 @@ val create :
   ?bus:Memhog_sim.Semaphore.t ->
   ?chaos:Memhog_sim.Chaos.t ->
   ?trace:Memhog_sim.Trace.t ->
+  ?reqtrace:Memhog_sim.Reqtrace.t ->
   id:int ->
   unit ->
   t
 (** [bus] is the SCSI adapter this disk hangs off: the media-transfer phase
     of each request holds it, so disks sharing an adapter serialize their
     transfers (positioning still overlaps).
+
+    [reqtrace] (default {!Memhog_sim.Reqtrace.null}) receives per-request
+    blame attribution for {e demand} requests: arm-queue waits (with the
+    bypassed-background flag) and positioning+transfer service spans,
+    charged to the calling fiber's pid.
 
     [chaos] (default {!Memhog_sim.Chaos.none}) injects transient failures
     and latency spikes: a faulted request retries with exponential backoff

@@ -23,10 +23,11 @@ val create :
   ?config:config ->
   ?chaos:Memhog_sim.Chaos.t ->
   ?trace:Memhog_sim.Trace.t ->
+  ?reqtrace:Memhog_sim.Reqtrace.t ->
   page_bytes:int ->
   unit ->
   t
-(** [chaos] and [trace] are handed to every striped disk (see
+(** [chaos], [trace] and [reqtrace] are handed to every striped disk (see
     {!Disk.create}); all disks share one fault plan. *)
 
 val num_disks : t -> int

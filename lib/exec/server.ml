@@ -23,6 +23,7 @@ type t = {
   os : Os.t;
   asp : As.t;
   rt : Runtime.t;
+  reqtrace : Reqtrace.t;
   index_seg : As.segment;
   values_seg : As.segment;
   cfg : cfg;
@@ -65,6 +66,7 @@ let create ~os ~cfg () =
     os;
     asp;
     rt;
+    reqtrace = Os.reqtrace os;
     index_seg;
     values_seg;
     cfg;
@@ -85,6 +87,8 @@ let create ~os ~cfg () =
 let asp t = t.asp
 let account t = Option.map (fun p -> p.Engine.account) t.proc
 let finished t = t.done_
+let reqtrace t = t.reqtrace
+let queue_depth t = Mailbox.length t.queue
 
 let index_vpn t key = t.index_seg.As.base_vpn + (key * 8 / t.page_bytes)
 
@@ -123,7 +127,14 @@ let arrivals t () =
            request is already queued behind them — so they ride the disk's
            demand class, unlike the hog's capacity-driven sweeps. *)
         Runtime.prefetch_page t.rt ~urgent:true ~vpn:(index_vpn t key);
-        Runtime.prefetch_page t.rt ~urgent:true ~vpn:(value_vpn t key)
+        Runtime.prefetch_page t.rt ~urgent:true ~vpn:(value_vpn t key);
+        if Reqtrace.enabled t.reqtrace then begin
+          (* Stamp the issue times so the serving fiber can settle the
+             prefetch race (hidden vs lost, slack) at touch time. *)
+          let now = Engine.now () in
+          Reqtrace.note_prefetch_issued t.reqtrace ~vpn:(index_vpn t key) ~now;
+          Reqtrace.note_prefetch_issued t.reqtrace ~vpn:(value_vpn t key) ~now
+        end
       end;
       Mailbox.send t.queue (Req { arrival = Engine.now (); key });
       let depth = Mailbox.length t.queue in
@@ -132,23 +143,38 @@ let arrivals t () =
   done;
   Mailbox.send t.queue Stop
 
-let compute t ns =
-  if ns > 0 then begin
-    let cpus = Os.cpus t.os in
-    Semaphore.acquire cpus;
-    Engine.delay ~cat:Account.User ns;
-    Semaphore.release cpus
-  end
+let touch_outcome : Os.touch_result -> Reqtrace.touch_outcome = function
+  | Os.Fast -> Reqtrace.Hit
+  | Os.Hard -> Reqtrace.Hard
+  | Os.Soft | Os.Validated | Os.Zero_filled | Os.Rescued _ -> Reqtrace.Soft
 
 let serve_one t ~arrival ~key =
-  ignore (Os.touch t.os t.asp ~vpn:(index_vpn t key) ~write:false);
-  ignore (Os.touch t.os t.asp ~vpn:(value_vpn t key) ~write:false);
-  compute t t.cfg.sv_work_ns;
+  let rq = t.reqtrace in
+  let pid = (Engine.self ()).Engine.pid in
+  Reqtrace.start rq ~pid ~key ~arrival ~now:(Engine.now ());
+  let ivpn = index_vpn t key in
+  let r = Os.touch t.os t.asp ~vpn:ivpn ~write:false in
+  Reqtrace.note_touch rq ~pid ~kind:Reqtrace.Index ~vpn:ivpn
+    ~outcome:(touch_outcome r) ~now:(Engine.now ());
+  let vvpn = value_vpn t key in
+  let r = Os.touch t.os t.asp ~vpn:vvpn ~write:false in
+  Reqtrace.note_touch rq ~pid ~kind:Reqtrace.Value ~vpn:vvpn
+    ~outcome:(touch_outcome r) ~now:(Engine.now ());
+  (if t.cfg.sv_work_ns > 0 then begin
+     let cpus = Os.cpus t.os in
+     Semaphore.acquire cpus;
+     Reqtrace.note_cpu_acquired rq ~pid ~now:(Engine.now ());
+     Engine.delay ~cat:Account.User t.cfg.sv_work_ns;
+     Semaphore.release cpus
+   end
+   else Reqtrace.note_cpu_acquired rq ~pid ~now:(Engine.now ()));
   (* Response measured from arrival: queueing delay under memory pressure
      is charged to the request, not silently dropped. *)
   let response = Engine.now () - arrival in
   t.completed <- t.completed + 1;
-  if t.completed > t.cfg.sv_warmup then begin
+  let recorded = t.completed > t.cfg.sv_warmup in
+  Reqtrace.finish rq ~pid ~commit:recorded ~now:(Engine.now ());
+  if recorded then begin
     Histogram.record t.hist response;
     if response <= t.cfg.sv_slo then t.slo_ok <- t.slo_ok + 1
   end
@@ -197,6 +223,11 @@ let summary t =
     sm_hist = t.hist;
   }
 
+(* A run that recorded nothing attained nothing: 0.0, not a vacuous 1.0 —
+   a cell whose server starved (or whose duration was shorter than its
+   warmup) must not report perfect SLO attainment. *)
 let slo_attainment s =
-  if s.sm_recorded = 0 then 1.0
+  if s.sm_recorded = 0 then 0.0
   else float_of_int s.sm_slo_ok /. float_of_int s.sm_recorded
+
+let blame t = Reqtrace.summarize t.reqtrace

@@ -51,6 +51,20 @@ val asp : t -> Memhog_vm.Address_space.t
 val account : t -> Memhog_sim.Account.t option
 val finished : t -> bool
 
+val queue_depth : t -> int
+(** Current arrival-queue backlog — sampled periodically into the trace
+    as a [Queue_depth] counter event. *)
+
+val reqtrace : t -> Memhog_sim.Reqtrace.t
+(** The per-request blame layer this server drives (the kernel's, from
+    {!Memhog_vm.Os.reqtrace}; {!Memhog_sim.Reqtrace.null} when blame was
+    not requested).  Every served request becomes a span whose queue /
+    index-stall / value-stall / CPU-wait / compute components sum exactly
+    to its recorded response time. *)
+
+val blame : t -> Memhog_sim.Reqtrace.summary
+(** {!Memhog_sim.Reqtrace.summarize} over this server's spans. *)
+
 type summary = {
   sm_offered_rps : float;
   sm_duration : Memhog_sim.Time_ns.t;
@@ -68,5 +82,6 @@ type summary = {
 val summary : t -> summary
 
 val slo_attainment : summary -> float
-(** Fraction of recorded responses within the SLO (1.0 when none were
-    recorded). *)
+(** Fraction of recorded responses within the SLO.  0.0 when none were
+    recorded: a starved cell attained nothing, and reporting a vacuous
+    1.0 would hide it. *)

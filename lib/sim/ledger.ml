@@ -323,9 +323,9 @@ let observe t ~time:_ ~stream ev =
     (* ---- everything else is not page-lifecycle material ---- *)
     | Release_requested _ | Rt_release_issued _ | Rt_release_drained _
     | Disk_io _ | Free_depth _ | Rss_sample _ | Upper_limit_sample _
-    | Phase_begin _ | Phase_end _ | Chaos_disk_fault _ | Chaos_stall _
-    | Chaos_drop_directive _ | Chaos_pressure _ | Chaos_pressure_end _
-    | Governor_transition _ ->
+    | Queue_depth _ | Phase_begin _ | Phase_end _ | Chaos_disk_fault _
+    | Chaos_stall _ | Chaos_drop_directive _ | Chaos_pressure _
+    | Chaos_pressure_end _ | Governor_transition _ ->
         ()
 
 (* ------------------------------------------------------------------ *)

@@ -27,6 +27,7 @@ type event =
   | Free_depth of { pages : int }
   | Rss_sample of { owner : int; pages : int }
   | Upper_limit_sample of { owner : int; pages : int }
+  | Queue_depth of { owner : int; depth : int }
   | Phase_begin of { name : string }
   | Phase_end of { name : string }
   | Chaos_disk_fault of { disk : int; block : int; attempt : int }
@@ -148,6 +149,7 @@ let event_name = function
   | Free_depth _ -> "free_depth"
   | Rss_sample _ -> "rss_sample"
   | Upper_limit_sample _ -> "upper_limit_sample"
+  | Queue_depth _ -> "queue_depth"
   | Phase_begin _ -> "phase_begin"
   | Phase_end _ -> "phase_end"
   | Chaos_disk_fault _ -> "chaos_disk_fault"
@@ -225,6 +227,8 @@ let event_args = function
   | Free_depth { pages } -> [ ("pages", string_of_int pages) ]
   | Rss_sample { owner; pages } | Upper_limit_sample { owner; pages } ->
       [ ("owner", string_of_int owner); ("pages", string_of_int pages) ]
+  | Queue_depth { owner; depth } ->
+      [ ("owner", string_of_int owner); ("depth", string_of_int depth) ]
   | Phase_begin { name } | Phase_end { name } -> [ ("name", name) ]
   | Chaos_disk_fault { disk; block; attempt } ->
       [

@@ -66,6 +66,8 @@ type event =
   | Free_depth of { pages : int }
   | Rss_sample of { owner : int; pages : int }
   | Upper_limit_sample of { owner : int; pages : int }
+  | Queue_depth of { owner : int; depth : int }
+      (** open-loop server request-queue depth, sampled alongside RSS *)
   (* Application phases (lib/exec). *)
   | Phase_begin of { name : string }
   | Phase_end of { name : string }

@@ -40,6 +40,7 @@ type t = {
   trace : Trace.t;
   ledger : Ledger.t;
   chaos : Chaos.t;
+  reqtrace : Reqtrace.t;
   h_fault : Histogram.t;
       (* service time of every demand fault (non-Fast touch), wall start to
          wall end including lock and I/O waits *)
@@ -66,18 +67,22 @@ let address_spaces t = List.rev t.space_list
 let trace t = t.trace
 let ledger t = t.ledger
 let chaos t = t.chaos
+let reqtrace t = t.reqtrace
 let fault_histogram t = t.h_fault
 let prefetch_histogram t = t.h_prefetch
 
 (* Call sites guard with [tracing t] so disabled observation builds no event
-   values on the hot path.  Events feed both the trace ring and the
-   lifecycle ledger. *)
-let tracing t = Trace.enabled t.trace || Ledger.enabled t.ledger
+   values on the hot path.  Events feed the trace ring, the lifecycle
+   ledger and the per-request blame layer. *)
+let tracing t =
+  Trace.enabled t.trace || Ledger.enabled t.ledger
+  || Reqtrace.enabled t.reqtrace
 
 let emit t ~stream ev =
   let time = Engine.now_of t.engine in
   Trace.emit t.trace ~time ~stream ev;
-  Ledger.observe t.ledger ~time ~stream ev
+  Ledger.observe t.ledger ~time ~stream ev;
+  Reqtrace.observe t.reqtrace ~time ~stream ev
 
 let sys_delay t d = ignore t; Engine.delay ~cat:Account.System d
 
@@ -357,7 +362,14 @@ and fault t asp seg ~vpn ~write =
         (* Someone (prefetch thread or another fault) is bringing it in. *)
         let ivar = As.transit_ivar seg ~vpn in
         Semaphore.release asp.As.as_lock;
-        Ivar.read ~cat:Account.Io_stall ivar;
+        if Reqtrace.enabled t.reqtrace then begin
+          let t0 = Engine.now_of t.engine in
+          Ivar.read ~cat:Account.Io_stall ivar;
+          Reqtrace.note_transit t.reqtrace ~pid:(Engine.self ()).Engine.pid
+            ~start:t0
+            ~ns:(Engine.now_of t.engine - t0)
+        end
+        else Ivar.read ~cat:Account.Io_stall ivar;
         touch t asp ~vpn ~write
     end
     else begin
@@ -1002,11 +1014,12 @@ let chaos_phantom_loop t spikes () =
 (* ------------------------------------------------------------------ *)
 
 let create ?swap_config ?(trace = Trace.null) ?(ledger = Ledger.null)
-    ?(chaos = Chaos.none) ~config:(cfg : Config.t) ~engine () =
+    ?(chaos = Chaos.none) ?(reqtrace = Reqtrace.null) ~config:(cfg : Config.t)
+    ~engine () =
   let swap =
     Swap.create
       ?config:swap_config
-      ~chaos ~trace
+      ~chaos ~trace ~reqtrace
       ~page_bytes:cfg.page_bytes ()
   in
   let frames = Array.init cfg.total_frames Frame.make in
@@ -1029,6 +1042,7 @@ let create ?swap_config ?(trace = Trace.null) ?(ledger = Ledger.null)
       trace;
       ledger;
       chaos;
+      reqtrace;
       h_fault = Histogram.create ();
       h_prefetch = Histogram.create ();
       advisors = Hashtbl.create 4;

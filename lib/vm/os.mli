@@ -37,6 +37,7 @@ val create :
   ?trace:Memhog_sim.Trace.t ->
   ?ledger:Memhog_sim.Ledger.t ->
   ?chaos:Memhog_sim.Chaos.t ->
+  ?reqtrace:Memhog_sim.Reqtrace.t ->
   config:Config.t ->
   engine:Memhog_sim.Engine.t ->
   unit ->
@@ -59,7 +60,14 @@ val create :
     re-touch soft-faults the page back) and the paging daemon (stall
     windows), and its [pressure] rules spawn a phantom-competitor fiber
     that grabs free frames at the planned times and holds them, slamming
-    [tot_freemem] through Equation 1. *)
+    [tot_freemem] through Equation 1.
+
+    [reqtrace] (default {!Memhog_sim.Reqtrace.null}) is the per-request
+    blame layer: it is handed to every swap disk (demand arm-queue and
+    service attribution), observes [Prefetch_done] events at the emit
+    point (prefetch I/O spans for slack accounting), and is fed
+    in-transit wait intervals from the fault path — all keyed by the
+    faulting fiber's pid. *)
 
 val config : t -> Config.t
 val engine : t -> Memhog_sim.Engine.t
@@ -76,6 +84,11 @@ val ledger : t -> Memhog_sim.Ledger.t
 
 val chaos : t -> Memhog_sim.Chaos.t
 (** The active fault plan ({!Memhog_sim.Chaos.none} when not injecting). *)
+
+val reqtrace : t -> Memhog_sim.Reqtrace.t
+(** The per-request blame layer this kernel feeds
+    ({!Memhog_sim.Reqtrace.null} when not requested); the open-loop
+    server drives request lifecycles on it. *)
 
 val swap : t -> Memhog_disk.Swap.t
 val global_stats : t -> Vm_stats.global

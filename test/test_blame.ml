@@ -1,0 +1,264 @@
+(* Tests for the per-request blame layer ([memhog blame]): structural
+   additivity of the span decomposition (components sum exactly to the
+   recorded response, for synthetic lifecycles and for a real serving
+   grid), byte-identical blame output at any --jobs, percentile-band
+   bookkeeping, and the slo_attainment zero-recorded fix. *)
+
+open Memhog_sim
+module E = Memhog_core.Experiment
+module Machine = Memhog_core.Machine
+module Metrics = Memhog_core.Metrics
+module Mio = Memhog_core.Metrics_io
+module Serve = Memhog_core.Serve
+module Server = Memhog_exec.Server
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic lifecycles: additivity as a property                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive one request lifecycle per component tuple through a private
+   Reqtrace, advancing a fake clock by each component's duration between
+   the lifecycle calls — exactly the call sequence Server.serve_one
+   makes. *)
+let drive_spans reqs =
+  let rq = Reqtrace.create ~seed:7 () in
+  let now = ref 0 in
+  List.iteri
+    (fun i ((q, ix, v), (cw, cp)) ->
+      let arrival = !now in
+      now := !now + q;
+      Reqtrace.start rq ~pid:1 ~key:i ~arrival ~now:!now;
+      now := !now + ix;
+      Reqtrace.note_touch rq ~pid:1 ~kind:Reqtrace.Index ~vpn:i
+        ~outcome:Reqtrace.Hit ~now:!now;
+      now := !now + v;
+      Reqtrace.note_touch rq ~pid:1 ~kind:Reqtrace.Value ~vpn:(i + 100_000)
+        ~outcome:Reqtrace.Soft ~now:!now;
+      now := !now + cw;
+      Reqtrace.note_cpu_acquired rq ~pid:1 ~now:!now;
+      now := !now + cp;
+      Reqtrace.finish rq ~pid:1 ~commit:true ~now:!now)
+    reqs;
+  rq
+
+let spans_additive rq =
+  let ok = ref true in
+  Reqtrace.iter_sampled rq (fun sp ->
+      let open Reqtrace in
+      if
+        sp.sp_queue + sp.sp_index + sp.sp_value + sp.sp_cpu + sp.sp_compute
+        <> sp.sp_response
+      then ok := false);
+  !ok
+
+let reqs_arb =
+  QCheck.(
+    list_of_size
+      Gen.(1 -- 80)
+      (pair (triple small_nat small_nat small_nat) (pair small_nat small_nat)))
+
+let prop_synthetic_additivity =
+  QCheck.Test.make
+    ~name:"blame components sum exactly to response for every sampled span"
+    ~count:200 reqs_arb
+    (fun reqs ->
+      let rq = drive_spans reqs in
+      spans_additive rq
+      && Reqtrace.committed rq = List.length reqs
+      && Reqtrace.sampled rq = min (List.length reqs) 4096)
+
+(* The component values themselves must match what the clock did, not just
+   sum correctly: pin one hand-built lifecycle exactly. *)
+let test_synthetic_exact () =
+  let rq = drive_spans [ ((3, 5, 13), (7, 11)) ] in
+  Reqtrace.iter_sampled rq (fun sp ->
+      let open Reqtrace in
+      check_int "queue" 3 sp.sp_queue;
+      check_int "index" 5 sp.sp_index;
+      check_int "value" 13 sp.sp_value;
+      check_int "cpu" 7 sp.sp_cpu;
+      check_int "compute" 11 sp.sp_compute;
+      check_int "response" (3 + 5 + 13 + 7 + 11) sp.sp_response)
+
+(* Uncommitted (warm-up) spans must leave no mark: not counted, not
+   sampled, absent from histograms. *)
+let test_warmup_not_committed () =
+  let rq = Reqtrace.create ~seed:7 () in
+  Reqtrace.start rq ~pid:1 ~key:0 ~arrival:0 ~now:5;
+  Reqtrace.note_touch rq ~pid:1 ~kind:Reqtrace.Index ~vpn:0
+    ~outcome:Reqtrace.Hit ~now:6;
+  Reqtrace.note_touch rq ~pid:1 ~kind:Reqtrace.Value ~vpn:1
+    ~outcome:Reqtrace.Hit ~now:7;
+  Reqtrace.note_cpu_acquired rq ~pid:1 ~now:8;
+  Reqtrace.finish rq ~pid:1 ~commit:false ~now:9;
+  check_int "nothing committed" 0 (Reqtrace.committed rq);
+  check_int "nothing sampled" 0 (Reqtrace.sampled rq);
+  check_bool "no slowest" true (Reqtrace.slowest rq = None);
+  let s = Reqtrace.summarize rq in
+  check_int "empty response histogram" 0 (Histogram.count s.Reqtrace.su_response)
+
+(* ------------------------------------------------------------------ *)
+(* A real serving grid                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_grid ~jobs () =
+  Serve.run ~machine:Machine.quick ~rates:[ 3840.0 ]
+    ~duration:(Time_ns.sec 10) ~jobs ()
+
+let grid = lazy (run_grid ~jobs:2 ())
+
+(* The acceptance criterion, on real traffic: every span the reservoir
+   retained decomposes additively, and the blame close-out's books
+   balance against the server's own. *)
+let test_grid_additivity_and_books () =
+  let t = Lazy.force grid in
+  List.iter
+    (fun (r : E.result) ->
+      check_bool "every sampled span additive" true
+        (spans_additive r.E.r_reqtrace);
+      let s = Serve.serving_exn r in
+      let b = Serve.blame_exn r in
+      check_int "committed spans == recorded responses"
+        s.Server.sm_recorded b.Reqtrace.su_committed;
+      check_bool "sampled bounded by cap" true
+        (b.Reqtrace.su_sampled <= b.Reqtrace.su_cap
+        && b.Reqtrace.su_sampled <= b.Reqtrace.su_committed
+        && b.Reqtrace.su_sampled > 0);
+      check_int "band counts partition the sample" b.Reqtrace.su_sampled
+        (List.fold_left
+           (fun acc (bd : Reqtrace.band) -> acc + bd.Reqtrace.bd_count)
+           0 b.Reqtrace.su_bands);
+      (* per-band additivity survives aggregation *)
+      List.iter
+        (fun (bd : Reqtrace.band) ->
+          check_int
+            (Printf.sprintf "band %s additive" bd.Reqtrace.bd_label)
+            bd.Reqtrace.bd_response
+            (bd.Reqtrace.bd_queue + bd.Reqtrace.bd_index
+           + bd.Reqtrace.bd_value + bd.Reqtrace.bd_cpu
+           + bd.Reqtrace.bd_compute))
+        b.Reqtrace.su_bands;
+      (* the population histograms also telescope: sums agree in total *)
+      let sum h = Histogram.sum h in
+      check_int "population histograms additive in total"
+        (sum b.Reqtrace.su_response)
+        (sum b.Reqtrace.su_queue + sum b.Reqtrace.su_index
+       + sum b.Reqtrace.su_value + sum b.Reqtrace.su_cpu
+       + sum b.Reqtrace.su_compute);
+      (* the slowest span survives sampling and bounds the sample *)
+      match Reqtrace.slowest r.E.r_reqtrace with
+      | None -> Alcotest.fail "no slowest span on a serve cell"
+      | Some sp ->
+          Reqtrace.iter_sampled r.E.r_reqtrace (fun s ->
+              check_bool "slowest is an upper bound" true
+                (s.Reqtrace.sp_response <= sp.Reqtrace.sp_response)))
+    (Serve.results t)
+
+(* Byte-equality of the blame output at --jobs 1 vs --jobs 8: both the
+   serialized metrics (the "blame" object rides in every serve cell at
+   schema v5) and the rendered blame tables. *)
+let render_metrics t =
+  Mio.to_string
+    (Mio.metrics_json (Metrics.of_results ~label:"blame" (Serve.results t)))
+
+let test_jobs_determinism () =
+  let serial = run_grid ~jobs:1 () and pooled = run_grid ~jobs:8 () in
+  check_str "metrics (with blame) jobs 1 == jobs 8" (render_metrics serial)
+    (render_metrics pooled);
+  check_str "blame tables jobs 1 == jobs 8" (Serve.render_blame serial)
+    (Serve.render_blame pooled)
+
+(* The slowest request's exported critical path is valid JSON with the
+   request slice and the five component slices. *)
+let test_blame_span_export () =
+  let t = Lazy.force grid in
+  let r = List.hd (Serve.results t) in
+  match Reqtrace.slowest r.E.r_reqtrace with
+  | None -> Alcotest.fail "no slowest span"
+  | Some sp ->
+      let doc = Memhog_core.Trace_export.blame_span_to_chrome_json sp in
+      (match Mio.parse doc with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("export is not valid JSON: " ^ e));
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i =
+          i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      List.iter
+        (fun needle ->
+          check_bool (Printf.sprintf "export mentions %S" needle) true
+            (contains needle doc))
+        [ "req key="; "traceEvents" ];
+      (* zero-duration components are elided; every nonzero one must
+         render as a slice *)
+      let open Reqtrace in
+      List.iter
+        (fun (name, dur) ->
+          if dur > 0 then
+            check_bool (Printf.sprintf "nonzero component %S rendered" name)
+              true
+              (contains (Printf.sprintf "\"name\":\"%s\"" name) doc))
+        [
+          ("queue", sp.sp_queue); ("index", sp.sp_index);
+          ("value", sp.sp_value); ("cpu wait", sp.sp_cpu);
+          ("compute", sp.sp_compute);
+        ]
+
+(* ------------------------------------------------------------------ *)
+(* slo_attainment zero-recorded regression                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A cell that recorded nothing attained nothing: 0.0, not a vacuous 1.0.
+   (Regression test for the sm_recorded = 0 division guard.) *)
+let test_slo_attainment_zero_recorded () =
+  let s =
+    {
+      Server.sm_offered_rps = 100.0;
+      sm_duration = Time_ns.sec 1;
+      sm_slo = Time_ns.ms 30;
+      sm_arrived = 5;
+      sm_completed = 5;
+      sm_recorded = 0;
+      sm_max_queue = 1;
+      sm_slo_ok = 0;
+      sm_hist = Histogram.create ();
+    }
+  in
+  Alcotest.(check (float 0.0))
+    "zero recorded -> 0.0 attainment" 0.0
+    (Server.slo_attainment s)
+
+let () =
+  Alcotest.run "memhog_blame"
+    [
+      ( "reqtrace",
+        [
+          Alcotest.test_case "exact synthetic decomposition" `Quick
+            test_synthetic_exact;
+          Alcotest.test_case "warmup spans leave no mark" `Quick
+            test_warmup_not_committed;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_synthetic_additivity ]
+      );
+      ( "grid",
+        [
+          Alcotest.test_case "additivity and books on real traffic" `Quick
+            test_grid_additivity_and_books;
+          Alcotest.test_case "jobs determinism (blame included)" `Quick
+            test_jobs_determinism;
+          Alcotest.test_case "slowest-request trace export" `Quick
+            test_blame_span_export;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "slo attainment 0 when nothing recorded" `Quick
+            test_slo_attainment_zero_recorded;
+        ] );
+    ]
