@@ -72,6 +72,18 @@
                                          request's critical path as
                                          BLAME_slowest.trace.json
                                          (--blame is an alias)
+     bench/main.exe tiers --quick ...    tiered backing store: a backend-
+                                         mix matrix (swap / far / zram /
+                                         far+zram) plus a serving cell
+                                         whose far tier is hard-
+                                         partitioned mid-window, with
+                                         built-in checks that demotions
+                                         failed over, in-flight reads were
+                                         rescued, the breaker cycled and
+                                         post-window SLO attainment
+                                         recovered; writes
+                                         TIER_metrics.json (CI gate; see
+                                         @tier-smoke)
      bench/main.exe --chaos SPEC ...     inject the given fault plan into
                                          every matrix cell
      bench/main.exe microbench           bechamel microbenchmarks of the
@@ -90,7 +102,7 @@
    Experiment ids: table1 table2 fig1 fig7 fig8 table3 fig9 fig10a fig10b
    fig10c ablation-batch ablation-hwbits ablation-conservative
    ablation-rescue ablation-drop ablation-tlb ext-freemem ext-reactive
-   ext-two-hogs smoke chaos audit perf serve blame microbench *)
+   ext-two-hogs smoke chaos audit perf serve blame tiers microbench *)
 
 open Memhog_core
 
@@ -664,6 +676,24 @@ let blame_experiment ~machine ~jobs () =
   | None -> log "blame: no requests recorded, no slowest-request trace");
   Serve.render_blame t ^ "\n" ^ Figures.serve_blame t
 
+let tiers_experiment ~machine ~jobs () =
+  (* The partition cell serves at the machine's at-the-knee load: low
+     enough that post-window recovery is physically possible, high enough
+     that the fault window sees thousands of in-flight requests. *)
+  let rate = List.hd (serve_rates ~machine) in
+  log
+    (Printf.sprintf
+       "tiers: backend-mix matrix + far partition mid-serve @ %g rps, %d jobs"
+       rate jobs);
+  let t = Tier_exp.run ~machine ~rate ~jobs ~log () in
+  Tier_exp.check t;
+  Metrics_io.write_file ~path:"TIER_metrics.json"
+    (Metrics.of_results
+       ~label:(Printf.sprintf "tiers %s" machine.Machine.m_name)
+       (Tier_exp.results t));
+  log "wrote TIER_metrics.json (deterministic)";
+  Tier_exp.render t
+
 let experiments ~machine ~jobs =
   [
     ("table1", fun () -> Figures.table1 ~machine ());
@@ -692,13 +722,14 @@ let experiments ~machine ~jobs =
     ("perf", fun () -> perf_experiment ~machine ~jobs ());
     ("serve", fun () -> serve_experiment ~machine ~jobs ());
     ("blame", fun () -> blame_experiment ~machine ~jobs ());
+    ("tiers", fun () -> tiers_experiment ~machine ~jobs ());
   ]
 
 let usage () =
   Printf.eprintf
     "usage: main.exe [--quick] [--jobs N] [--json] [--smoke] [--trace DIR] \
      [--chaos SPEC] [--perf] [--serve] [--blame] [--gc-minor-kb KB] \
-     [EXPERIMENT ...]\n"
+     [EXPERIMENT ...]  (EXPERIMENT includes tiers)\n"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -795,7 +826,7 @@ let () =
         List.filter
           (fun (n, _) ->
             n <> "smoke" && n <> "chaos" && n <> "audit" && n <> "perf"
-            && n <> "serve" && n <> "blame")
+            && n <> "serve" && n <> "blame" && n <> "tiers")
           registry
     | names ->
         List.map

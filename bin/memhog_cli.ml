@@ -221,8 +221,29 @@ let run_cmd =
              next to the hog and report its tail latency (responses \
              measured from arrival).")
   in
+  let tiers_conv =
+    let parse s =
+      match Memhog_vm.Tiers.spec_of_string s with
+      | Ok _ -> Ok s
+      | Error e -> Error (`Msg (Printf.sprintf "bad tiers spec: %s" e))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  let tiers =
+    Arg.(
+      value
+      & opt (some tiers_conv) None
+      & info [ "tiers" ] ~docv:"SPEC"
+          ~doc:
+            "Install a tiered backing store over the swap volume (e.g. \
+             $(b,far+zram+route:thresh=1)): released pages gain fast-tier \
+             copies routed by their Eq. 2 priorities, with a circuit \
+             breaker failing demotions over to the durable swap copy when \
+             the far tier's health degrades.  Clauses: $(b,far), $(b,zram) \
+             and $(b,route), each taking $(b,:k=v,...) parameters.")
+  in
   let run machine workload variant interactive iterations conservative telemetry
-      csv trace metrics chaos serve_rate =
+      csv trace metrics chaos serve_rate tiers =
     let interactive_sleep = Option.map Time_ns.of_sec_f interactive in
     let min_sim_time =
       match interactive_sleep with
@@ -238,7 +259,8 @@ let run_cmd =
     let r =
       Experiment.run
         (Experiment.setup ~machine ?interactive_sleep ?iterations ~min_sim_time
-           ~conservative ?trace:trace_buf ?chaos ?serve ~workload ~variant ())
+           ~conservative ?trace:trace_buf ?chaos ?serve ?tiers ~workload
+           ~variant ())
     in
     let b = r.Experiment.r_breakdown in
     Format.printf "workload:   %s  variant: %s@." r.Experiment.r_workload
@@ -295,6 +317,28 @@ let run_cmd =
               rt.Memhog_runtime.Runtime.rt_prefetch_os_done
               rt.Memhog_runtime.Runtime.rt_prefetch_os_dropped
         | None -> ())
+    | None -> ());
+    (match r.Experiment.r_tiers with
+    | Some ts ->
+        let module Tiers = Memhog_vm.Tiers in
+        List.iter
+          (fun (row : Tiers.tier_summary) ->
+            Format.printf
+              "tier %-5s %d reads | %d writes | %d timeouts (%d retries) | \
+               %d rejects | %d failovers | %d breaker flips@."
+              (Tiers.tier_name row.Tiers.ts_tier)
+              row.Tiers.ts_reads row.Tiers.ts_writes row.Tiers.ts_timeouts
+              row.Tiers.ts_retries row.Tiers.ts_rejects row.Tiers.ts_failovers
+              row.Tiers.ts_breaker_transitions)
+          ts.Tiers.s_tiers;
+        Format.printf
+          "tiers:      rescued %d | placed %d | breaker %s | zram ampl %.2f@."
+          ts.Tiers.s_rescues ts.Tiers.s_placed
+          (match ts.Tiers.s_breaker_state with
+          | 0 -> "closed"
+          | 1 -> "half-open"
+          | _ -> "open")
+          ts.Tiers.s_zram_amplification
     | None -> ());
     (match r.Experiment.r_serving with
     | Some s ->
@@ -363,7 +407,7 @@ let run_cmd =
     Term.(
       const run $ machine_term $ workload_term $ variant $ interactive
       $ iterations $ conservative $ telemetry $ csv $ trace $ metrics $ chaos
-      $ serve_rate)
+      $ serve_rate $ tiers)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -642,6 +686,76 @@ let blame_cmd =
           went, body vs p99+ bands, plus prefetch-race and demand-disk \
           attribution.")
     Term.(const run $ machine_term $ serve_grid_term $ trace $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* tiers                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tiers_cmd =
+  let rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:
+            "Offered load of the partition serving cell (default: the \
+             machine's at-the-knee load).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Run the cells on $(docv) worker domains.  Results are \
+             bit-identical to --jobs 1.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the experiment's derived metrics (including the \
+             per-cell $(b,tiers) objects) as canonical JSON.")
+  in
+  let run machine rate jobs metrics =
+    let rate =
+      match rate with
+      | Some r -> r
+      | None ->
+          if machine.Machine.m_name = Machine.quick.Machine.m_name then 1600.0
+          else 3200.0
+    in
+    let t =
+      Tier_exp.run ~machine ~rate ~jobs
+        ~log:(fun m -> Format.eprintf "%s@." m)
+        ()
+    in
+    print_string (Tier_exp.render t);
+    (match metrics with
+    | Some path ->
+        let label = Printf.sprintf "tiers %s" machine.Machine.m_name in
+        Metrics_io.write_file ~path
+          (Metrics.of_results ~label (Tier_exp.results t));
+        Format.printf "metrics written to %s@." path
+    | None -> ());
+    match Tier_exp.check t with
+    | () -> 0
+    | exception Failure msg ->
+        Format.eprintf "memhog tiers: %s@." msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "tiers"
+       ~doc:
+         "Run the tiered-backing-store experiment: a backend-mix matrix \
+          (swap / far / zram / far+zram) plus a serving cell whose \
+          far-memory tier is hard-partitioned mid-window — demotions must \
+          fail over to the durable swap copy, in-flight reads must be \
+          rescued, the circuit breaker must cycle, and post-window SLO \
+          attainment must recover.")
+    Term.(const run $ machine_term $ rate $ jobs $ metrics)
 
 (* ------------------------------------------------------------------ *)
 (* report / compare                                                    *)
@@ -1053,6 +1167,6 @@ let () =
           (Cmd.info "memhog" ~version:"1.0.0" ~doc)
           [
             list_cmd; machine_cmd; compile_cmd; run_cmd; sweep_cmd;
-            serve_cmd; blame_cmd; report_cmd; compare_cmd; audit_cmd;
-            perf_cmd;
+            serve_cmd; blame_cmd; tiers_cmd; report_cmd; compare_cmd;
+            audit_cmd; perf_cmd;
           ]))

@@ -75,6 +75,8 @@ type result = {
   r_response_hist : Histogram.t option;
   r_chaos : Chaos.stats option;
   r_disk_timeouts : int;
+  r_disk_bypasses : int;
+  r_tiers : Memhog_vm.Tiers.summary option;
   r_ledger : Ledger.summary;
   r_sites : Pir.site_info list;
   r_events_executed : int;
@@ -99,6 +101,7 @@ type setup = {
   governor : Runtime.governor_cfg option;
   ledger_on : bool;
   serve : Server.cfg option;
+  tiers : string option;
 }
 
 (* Machine-relative serving cell: the keyspace shapes come from
@@ -108,7 +111,7 @@ type setup = {
    faults' worth of stall, so attainment separates the variants. *)
 let serve_cfg ?(slo = Time_ns.ms 30) ?(duration = Time_ns.sec 20)
     ?(warmup = 32) ?(work_ns = Time_ns.us 200) ?(prefetch = true)
-    ?(machine = Machine.paper) ~rate_rps () =
+    ?(machine = Machine.paper) ?mark ~rate_rps () =
   let s =
     Kvserve.sizing
       ~mem_bytes:(Machine.mem_bytes machine)
@@ -126,15 +129,20 @@ let serve_cfg ?(slo = Time_ns.ms 30) ?(duration = Time_ns.sec 20)
     sv_slo = slo;
     sv_prefetch = prefetch;
     sv_seed = machine.Machine.m_seed;
+    sv_mark = mark;
   }
 
 let setup ?(machine = Machine.paper) ?interactive_sleep ?iterations
     ?(min_sim_time = 0) ?(conservative = false) ?(reactive = false)
     ?release_target ?(max_sim_time = Time_ns.sec 3600) ?trace ?chaos ?governor
-    ?(ledger_on = true) ?serve ~workload ~variant () =
-  (* Validate the spec eagerly so a bad --chaos fails before any work. *)
+    ?(ledger_on = true) ?serve ?tiers ~workload ~variant () =
+  (* Validate the specs eagerly so a bad --chaos or --tiers fails before
+     any work. *)
   (match chaos with
   | Some spec -> ignore (Chaos.create ~seed:machine.Machine.m_seed spec)
+  | None -> ());
+  (match tiers with
+  | Some spec -> ignore (Memhog_vm.Tiers.spec_of_string_exn spec)
   | None -> ());
   {
     machine;
@@ -152,6 +160,7 @@ let setup ?(machine = Machine.paper) ?interactive_sleep ?iterations
     governor;
     ledger_on;
     serve;
+    tiers;
   }
 
 let summarize_interactive ~sleep (task : Interactive.t) =
@@ -192,8 +201,10 @@ let run (s : setup) =
     | None -> Reqtrace.null
   in
   let os =
-    Os.create ~swap_config:m.Machine.m_swap ?trace:s.trace ~ledger ~chaos
-      ~reqtrace ~config:m.Machine.m_config ~engine ()
+    Os.create ~swap_config:m.Machine.m_swap
+      ?tiers:(Option.map Memhog_vm.Tiers.spec_of_string_exn s.tiers)
+      ?trace:s.trace ~ledger ~chaos ~reqtrace ~config:m.Machine.m_config
+      ~engine ()
   in
   let trace = Os.trace os in
   let prog_ir, params =
@@ -379,6 +390,12 @@ let run (s : setup) =
         (fun acc d -> acc + Memhog_disk.Disk.timeouts d)
         0
         (Memhog_disk.Swap.disks swap);
+    r_disk_bypasses =
+      Array.fold_left
+        (fun acc d -> acc + Memhog_disk.Disk.demand_bypasses d)
+        0
+        (Memhog_disk.Swap.disks swap);
+    r_tiers = Option.map Memhog_vm.Tiers.summary (Os.tiers os);
     r_ledger = Ledger.summarize ledger;
     r_sites = Pir.sites prog;
     r_events_executed = Engine.events_executed engine;

@@ -77,6 +77,13 @@ type result = {
   r_disk_timeouts : int;
       (** swap requests whose total latency (queueing + retries + service)
           exceeded the per-request deadline, summed over disks *)
+  r_disk_bypasses : int;
+      (** demand requests that overtook at least one queued background
+          request at the arm scheduler, summed over disks *)
+  r_tiers : Memhog_vm.Tiers.summary option;
+      (** the tiered-store close-out (per-tier traffic and breaker
+          counters, rescues, placement), when the cell ran with a
+          [tiers] spec *)
   r_ledger : Memhog_sim.Ledger.summary;
       (** the page-lifecycle ledger's close-out: per-directive-site efficacy
           rows plus the wasted-work taxonomy.  Collected whenever
@@ -143,6 +150,11 @@ type setup = {
           the server's arrival window closes and its queue drains (the hog
           is cut off mid-iteration), and the cell's headline numbers are
           the server's tail latencies rather than the hog's elapsed time. *)
+  tiers : string option;
+      (** [Some spec]: install a {!Memhog_vm.Tiers} router over the swap
+          volume ({!Memhog_vm.Tiers.spec_of_string} grammar) — released
+          pages gain fast-tier copies routed by their Eq. 2 priorities,
+          with health-checked failover back to the durable swap copy *)
 }
 
 val serve_cfg :
@@ -152,13 +164,16 @@ val serve_cfg :
   ?work_ns:Memhog_sim.Time_ns.t ->
   ?prefetch:bool ->
   ?machine:Machine.t ->
+  ?mark:Memhog_sim.Time_ns.t ->
   rate_rps:float ->
   unit ->
   Memhog_exec.Server.cfg
 (** Machine-relative serving configuration: keyspace shapes from
     {!Memhog_workloads.Kvserve.sizing}, seeded with the machine seed.
     Defaults: 30 ms SLO, 20 s arrival window, 32 warm-up requests, 200 us
-    of compute per request, arrival-time prefetching on. *)
+    of compute per request, arrival-time prefetching on.  [mark] (default
+    off) additionally tallies SLO attainment over requests arriving after
+    that offset — the recovery figure of the chaos scenarios. *)
 
 val setup :
   ?machine:Machine.t ->
@@ -174,11 +189,12 @@ val setup :
   ?governor:Memhog_runtime.Runtime.governor_cfg ->
   ?ledger_on:bool ->
   ?serve:Memhog_exec.Server.cfg ->
+  ?tiers:string ->
   workload:Memhog_workloads.Workload.t ->
   variant:variant ->
   unit ->
   setup
-(** @raise Invalid_argument when [chaos] does not parse. *)
+(** @raise Invalid_argument when [chaos] or [tiers] does not parse. *)
 
 val run : setup -> result
 

@@ -106,6 +106,67 @@ type chaos_summary = {
   ch_pressure_pages : int;
 }
 
+type disk_summary = {
+  dk_reads : int;
+  dk_writes : int;
+  dk_timeouts : int;
+  dk_bypasses : int;
+  dk_busy_ns : int;
+}
+
+type tier_row = {
+  tr_tier : string;
+  tr_reads : int;
+  tr_writes : int;
+  tr_timeouts : int;
+  tr_retries : int;
+  tr_rejects : int;
+  tr_failovers : int;
+  tr_breaker_transitions : int;
+}
+
+type tiers_summary = {
+  ti_tiers : tier_row list;
+  ti_rescues : int;
+  ti_breaker_state : int;
+  ti_placed : int;
+  ti_zram_amplification : float;
+  ti_tier_buffered : int;
+}
+
+let disk_of (r : E.result) =
+  {
+    dk_reads = r.E.r_swap_reads;
+    dk_writes = r.E.r_swap_writes;
+    dk_timeouts = r.E.r_disk_timeouts;
+    dk_bypasses = r.E.r_disk_bypasses;
+    dk_busy_ns = r.E.r_disk_busy;
+  }
+
+let tier_row_of (t : Memhog_vm.Tiers.tier_summary) =
+  let module T = Memhog_vm.Tiers in
+  {
+    tr_tier = T.tier_name t.T.ts_tier;
+    tr_reads = t.T.ts_reads;
+    tr_writes = t.T.ts_writes;
+    tr_timeouts = t.T.ts_timeouts;
+    tr_retries = t.T.ts_retries;
+    tr_rejects = t.T.ts_rejects;
+    tr_failovers = t.T.ts_failovers;
+    tr_breaker_transitions = t.T.ts_breaker_transitions;
+  }
+
+let tiers_of ~tier_buffered (s : Memhog_vm.Tiers.summary) =
+  let module T = Memhog_vm.Tiers in
+  {
+    ti_tiers = List.map tier_row_of s.T.s_tiers;
+    ti_rescues = s.T.s_rescues;
+    ti_breaker_state = s.T.s_breaker_state;
+    ti_placed = s.T.s_placed;
+    ti_zram_amplification = s.T.s_zram_amplification;
+    ti_tier_buffered = tier_buffered;
+  }
+
 type serving_summary = {
   sv_offered_rps : float;
   sv_duration_ns : int;
@@ -116,6 +177,10 @@ type serving_summary = {
   sv_max_queue : int;
   sv_slo_ok : int;
   sv_slo_attainment : float;
+  sv_mark_ns : int option;
+  sv_post_recorded : int;
+  sv_post_slo_ok : int;
+  sv_post_attainment : float;
   sv_response : hist_summary;
 }
 
@@ -131,6 +196,10 @@ let serving_of (s : Memhog_exec.Server.summary) =
     sv_max_queue = s.Sv.sm_max_queue;
     sv_slo_ok = s.Sv.sm_slo_ok;
     sv_slo_attainment = Sv.slo_attainment s;
+    sv_mark_ns = s.Sv.sm_mark;
+    sv_post_recorded = s.Sv.sm_post_recorded;
+    sv_post_slo_ok = s.Sv.sm_post_slo_ok;
+    sv_post_attainment = Sv.post_attainment s;
     sv_response = summarize_hist s.Sv.sm_hist;
   }
 
@@ -222,6 +291,8 @@ type cell = {
   c_swap_writes : int;
   c_governor : governor_summary option;
   c_chaos : chaos_summary option;
+  c_disk : disk_summary;
+  c_tiers : tiers_summary option;
   c_trace_dropped : int;
   c_ledger : Ledger.summary;
   c_sites : Memhog_compiler.Pir.site_info list;
@@ -273,6 +344,15 @@ let of_result (r : E.result) =
     c_governor = Option.map governor_of r.E.r_runtime;
     c_chaos =
       Option.map (chaos_of ~disk_timeouts:r.E.r_disk_timeouts) r.E.r_chaos;
+    c_disk = disk_of r;
+    c_tiers =
+      Option.map
+        (tiers_of
+           ~tier_buffered:
+             (match r.E.r_runtime with
+             | Some rt -> rt.Runtime.rt_tier_buffered
+             | None -> 0))
+        r.E.r_tiers;
     c_trace_dropped = Trace.dropped r.E.r_trace;
     c_ledger = r.E.r_ledger;
     c_sites = r.E.r_sites;

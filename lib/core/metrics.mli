@@ -87,6 +87,51 @@ type chaos_summary = {
   ch_pressure_pages : int;
 }
 
+(** Swap-volume disk traffic, present in every cell (not only chaos runs,
+    where [ch_disk_timeouts] already appeared): reads, writes, per-request
+    deadline misses and demand-over-background bypasses summed over the
+    stripe's disks, plus summed busy time. *)
+type disk_summary = {
+  dk_reads : int;
+  dk_writes : int;
+  dk_timeouts : int;     (** requests whose total latency exceeded the
+                             per-request deadline *)
+  dk_bypasses : int;     (** demand requests that overtook queued
+                             background work at the arm scheduler *)
+  dk_busy_ns : int;      (** summed arm-busy time across disks *)
+}
+
+(** One backing tier's traffic row ({!Memhog_vm.Tiers.tier_summary} with
+    the tier id rendered as its name). *)
+type tier_row = {
+  tr_tier : string;      (** ["disk"], ["far"] or ["zram"] *)
+  tr_reads : int;
+  tr_writes : int;
+  tr_timeouts : int;     (** far only: RPC attempts aborted at deadline *)
+  tr_retries : int;      (** far only: re-issues after a timeout *)
+  tr_rejects : int;      (** zram only: stores refused at capacity *)
+  tr_failovers : int;    (** placements that fell back to the swap copy *)
+  tr_breaker_transitions : int;
+}
+
+(** The tiered-store close-out, present only when the cell ran with a
+    [--tiers] spec: per-tier traffic, cross-tier rescue count, the far
+    breaker's final state, and the governor's tier-aware buffering
+    count. *)
+type tiers_summary = {
+  ti_tiers : tier_row list;   (** tier-id order; disk always present *)
+  ti_rescues : int;      (** fetches satisfied from the durable swap copy
+                             after the fast tier failed or was open *)
+  ti_breaker_state : int;     (** 0 closed, 1 half-open, 2 open *)
+  ti_placed : int;            (** pages currently resident in a fast tier *)
+  ti_zram_amplification : float;
+      (** logical bytes stored per physical byte in the compressed tier
+          (0.0 without a zram tier or when it is empty) *)
+  ti_tier_buffered : int;
+      (** releases the run-time layer buffered locally because the far
+          breaker was open ({!Memhog_runtime.Runtime}[.rt_tier_buffered]) *)
+}
+
 (** The open-loop serving cell's close-out: offered load, SLO attainment
     and the response-time distribution (responses measured from {e arrival}
     — queueing delay under memory pressure is charged to the request). *)
@@ -102,6 +147,13 @@ type serving_summary = {
   sv_slo_attainment : float;
       (** slo_ok / recorded; 0.0 when none were recorded (a starved cell
           attained nothing) *)
+  sv_mark_ns : int option;
+      (** recovery mark (offset past window start), when the cell set one *)
+  sv_post_recorded : int;  (** recorded responses arriving post-mark *)
+  sv_post_slo_ok : int;
+  sv_post_attainment : float;
+      (** post-mark SLO attainment — the recovery figure a chaos scenario
+          asserts on; 0.0 without a mark *)
   sv_response : hist_summary; (** p50/p99/p999 response times *)
 }
 
@@ -180,6 +232,8 @@ type cell = {
       (** present whenever the cell has a run-time layer (all variants but
           O), even with the governor off, so the field's shape is stable *)
   c_chaos : chaos_summary option;  (** present only for chaos runs *)
+  c_disk : disk_summary;           (** always present *)
+  c_tiers : tiers_summary option;  (** present only for tiered cells *)
   c_trace_dropped : int;
       (** events the cell's trace ring overwrote (0 when tracing was off);
           a non-zero value warns that the exported Chrome trace is

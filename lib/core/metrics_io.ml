@@ -260,8 +260,15 @@ let schema = "memhog-metrics"
    v5: cells gained the "blame" object (serve cells: per-request
    response-time decomposition — additive queue/index/value/cpu/compute
    component histograms, percentile-band blame table, prefetch race and
-   demand-disk attribution; null for batch cells). *)
-let schema_version = 5
+   demand-disk attribution; null for batch cells).
+   v6: cells gained the always-present "disk" object (swap-volume reads,
+   writes, deadline misses and demand-over-background bypasses — the
+   timeout counter previously surfaced only inside chaos cells) and the
+   "tiers" object (tiered-store cells: per-tier traffic rows, cross-tier
+   rescues, breaker state, placement and compression amplification; null
+   without a --tiers spec); the "serving" object gained the recovery mark
+   and its post-mark SLO tally. *)
+let schema_version = 6
 
 let breakdown_json (b : Experiment.breakdown) =
   Obj
@@ -346,6 +353,40 @@ let chaos_json (ch : Metrics.chaos_summary) =
       ("pressure_pages", num_of_int ch.Metrics.ch_pressure_pages);
     ]
 
+let disk_json (d : Metrics.disk_summary) =
+  Obj
+    [
+      ("reads", num_of_int d.Metrics.dk_reads);
+      ("writes", num_of_int d.Metrics.dk_writes);
+      ("timeouts", num_of_int d.Metrics.dk_timeouts);
+      ("bypasses", num_of_int d.Metrics.dk_bypasses);
+      ("busy_ns", num_of_int d.Metrics.dk_busy_ns);
+    ]
+
+let tier_row_json (t : Metrics.tier_row) =
+  Obj
+    [
+      ("tier", Str t.Metrics.tr_tier);
+      ("reads", num_of_int t.Metrics.tr_reads);
+      ("writes", num_of_int t.Metrics.tr_writes);
+      ("timeouts", num_of_int t.Metrics.tr_timeouts);
+      ("retries", num_of_int t.Metrics.tr_retries);
+      ("rejects", num_of_int t.Metrics.tr_rejects);
+      ("failovers", num_of_int t.Metrics.tr_failovers);
+      ("breaker_transitions", num_of_int t.Metrics.tr_breaker_transitions);
+    ]
+
+let tiers_json (ti : Metrics.tiers_summary) =
+  Obj
+    [
+      ("tiers", Arr (List.map tier_row_json ti.Metrics.ti_tiers));
+      ("rescues", num_of_int ti.Metrics.ti_rescues);
+      ("breaker_state", num_of_int ti.Metrics.ti_breaker_state);
+      ("placed", num_of_int ti.Metrics.ti_placed);
+      ("zram_amplification", num_of_float ti.Metrics.ti_zram_amplification);
+      ("tier_buffered", num_of_int ti.Metrics.ti_tier_buffered);
+    ]
+
 let ledger_json (c : Metrics.cell) =
   let module L = Memhog_sim.Ledger in
   let module P = Memhog_compiler.Pir in
@@ -427,6 +468,10 @@ let serving_json (s : Metrics.serving_summary) =
       ("max_queue", num_of_int s.Metrics.sv_max_queue);
       ("slo_ok", num_of_int s.Metrics.sv_slo_ok);
       ("slo_attainment", num_of_float s.Metrics.sv_slo_attainment);
+      ("mark_ns", opt num_of_int s.Metrics.sv_mark_ns);
+      ("post_recorded", num_of_int s.Metrics.sv_post_recorded);
+      ("post_slo_ok", num_of_int s.Metrics.sv_post_slo_ok);
+      ("post_attainment", num_of_float s.Metrics.sv_post_attainment);
       ("response_hist", hist_json s.Metrics.sv_response);
     ]
 
@@ -489,6 +534,8 @@ let cell_json (c : Metrics.cell) =
       ("swap_writes", num_of_int c.Metrics.c_swap_writes);
       ("governor", opt governor_json c.Metrics.c_governor);
       ("chaos", opt chaos_json c.Metrics.c_chaos);
+      ("disk", disk_json c.Metrics.c_disk);
+      ("tiers", opt tiers_json c.Metrics.c_tiers);
       ("trace_dropped", num_of_int c.Metrics.c_trace_dropped);
       ("ledger", ledger_json c);
       ("serving", opt serving_json c.Metrics.c_serving);
@@ -858,6 +905,97 @@ let render j =
                ])
              cells)
         fmt ();
+      let with_disk =
+        List.filter
+          (fun c ->
+            match member "disk" c with Some (Obj _) -> true | _ -> false)
+          cells
+      in
+      if with_disk <> [] then begin
+        Format.fprintf fmt "@,";
+        Report.table ~title:"Swap volume (per-request deadline + arm classes)"
+          ~header:
+            [ "run"; "reads"; "writes"; "timeouts"; "bypasses"; "busy" ]
+          ~rows:
+            (List.map
+               (fun c ->
+                 let d = Option.value (member "disk" c) ~default:Null in
+                 [
+                   run c;
+                   icount "reads" d;
+                   icount "writes" d;
+                   icount "timeouts" d;
+                   icount "bypasses" d;
+                   ins "busy_ns" d;
+                 ])
+               with_disk)
+          fmt ()
+      end;
+      let with_tiers =
+        List.filter
+          (fun c ->
+            match member "tiers" c with Some (Obj _) -> true | _ -> false)
+          cells
+      in
+      if with_tiers <> [] then begin
+        Format.fprintf fmt "@,";
+        Report.table ~title:"Backing tiers (traffic + breaker)"
+          ~header:
+            [
+              "run"; "tier"; "reads"; "writes"; "timeouts"; "retries";
+              "rejects"; "failovers"; "breaker flips";
+            ]
+          ~rows:
+            (List.concat_map
+               (fun c ->
+                 let ti = Option.value (member "tiers" c) ~default:Null in
+                 match member "tiers" ti with
+                 | Some (Arr rows) ->
+                     List.map
+                       (fun r ->
+                         [
+                           run c;
+                           istr "tier" r;
+                           icount "reads" r;
+                           icount "writes" r;
+                           icount "timeouts" r;
+                           icount "retries" r;
+                           icount "rejects" r;
+                           icount "failovers" r;
+                           icount "breaker_transitions" r;
+                         ])
+                       rows
+                 | _ -> [])
+               with_tiers)
+          fmt ();
+        Format.fprintf fmt "@,";
+        Report.table ~title:"Tier routing (rescues + breaker close-out)"
+          ~header:
+            [
+              "run"; "rescues"; "breaker"; "placed"; "zram ampl";
+              "tier-buffered";
+            ]
+          ~rows:
+            (List.map
+               (fun c ->
+                 let ti = Option.value (member "tiers" c) ~default:Null in
+                 [
+                   run c;
+                   icount "rescues" ti;
+                   (match int_member "breaker_state" ti with
+                   | Some 0 -> "closed"
+                   | Some 1 -> "half-open"
+                   | Some 2 -> "open"
+                   | _ -> "-");
+                   icount "placed" ti;
+                   (match float_member "zram_amplification" ti with
+                   | Some f -> Report.f1 f
+                   | None -> "-");
+                   icount "tier_buffered" ti;
+                 ])
+               with_tiers)
+          fmt ()
+      end;
       let with_ledger =
         List.filter
           (fun c ->

@@ -1,0 +1,57 @@
+open Memhog_sim
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable timeouts : int;
+  mutable retries : int;
+  mutable rejects : int;
+}
+
+let fresh_stats () =
+  { reads = 0; writes = 0; timeouts = 0; retries = 0; rejects = 0 }
+
+type read_result = R_ok of int | R_failed of int
+type write_result = W_ok of int | W_rejected of int
+
+type t = {
+  name : string;
+  read :
+    cat:Account.category -> background:bool -> site:int -> page:int ->
+    read_result;
+  write :
+    cat:Account.category -> background:bool -> site:int -> page:int ->
+    write_result;
+  stats : stats;
+}
+
+let name t = t.name
+let stats t = t.stats
+
+let read_page ?(cat = Account.Io_stall) ?(background = false)
+    ?(site = Trace.no_site) t ~page =
+  t.read ~cat ~background ~site ~page
+
+let write_page ?(cat = Account.Io_stall) ?(background = false)
+    ?(site = Trace.no_site) t ~page =
+  t.write ~cat ~background ~site ~page
+
+(* The paper's striped swap volume, adapted behind the interface.  Local
+   disks neither time out (the SCSI deadline stays accounting-only there)
+   nor reject writes, so every request completes in one attempt. *)
+let of_swap sw =
+  let stats = fresh_stats () in
+  {
+    name = "swap";
+    read =
+      (fun ~cat ~background ~site:_ ~page ->
+        stats.reads <- stats.reads + 1;
+        Swap.read_page ~cat ~background sw ~page;
+        R_ok 1);
+    write =
+      (fun ~cat ~background ~site:_ ~page ->
+        stats.writes <- stats.writes + 1;
+        Swap.write_page ~cat ~background sw ~page;
+        W_ok 1);
+    stats;
+  }

@@ -156,7 +156,10 @@ let inject_failures ?(cat = Account.Io_stall) t ~block ~is_write =
           Trace.emit t.trace ~time:(Engine.now ())
             ~stream:Trace.chaos_stream
             (Trace.Chaos_disk_fault { disk = t.id; block; attempt = i });
-        let b = backoff_base * (1 lsl (i - 1)) in
+        let b =
+          Chaos.backoff_delay ~base:backoff_base ~cap:(Time_ns.sec 10)
+            ~attempt:i
+        in
         Chaos.note_disk_retry t.chaos ~backoff:b;
         t.retries <- t.retries + 1;
         t.backoff_ns <- t.backoff_ns + b;

@@ -15,6 +15,7 @@ type cfg = {
   sv_slo : Time_ns.t;
   sv_prefetch : bool;
   sv_seed : int;
+  sv_mark : Time_ns.t option;
 }
 
 type request = Req of { arrival : Time_ns.t; key : int } | Stop
@@ -36,6 +37,9 @@ type t = {
   mutable arrived : int;
   mutable completed : int;
   mutable slo_ok : int;
+  mutable post_recorded : int;
+  mutable post_slo_ok : int;
+  mutable window_start : Time_ns.t;
   mutable max_queue : int;
   mutable done_ : bool;
   mutable proc : Engine.proc option;
@@ -79,6 +83,9 @@ let create ~os ~cfg () =
     arrived = 0;
     completed = 0;
     slo_ok = 0;
+    post_recorded = 0;
+    post_slo_ok = 0;
+    window_start = 0;
     max_queue = 0;
     done_ = false;
     proc = None;
@@ -107,6 +114,7 @@ let value_vpn t key =
    very queueing delay we are measuring — so it only draws, timestamps,
    enqueues, and issues (non-blocking, helper-thread) prefetches. *)
 let arrivals t () =
+  t.window_start <- Engine.now ();
   let t_end = Engine.now () + t.cfg.sv_duration in
   let mean_gap_ns = 1e9 /. t.cfg.sv_rate_rps in
   let continue = ref true in
@@ -176,7 +184,16 @@ let serve_one t ~arrival ~key =
   Reqtrace.finish rq ~pid ~commit:recorded ~now:(Engine.now ());
   if recorded then begin
     Histogram.record t.hist response;
-    if response <= t.cfg.sv_slo then t.slo_ok <- t.slo_ok + 1
+    if response <= t.cfg.sv_slo then t.slo_ok <- t.slo_ok + 1;
+    (* The post-mark tally keys on *arrival* time: a request that arrived
+       after the injected fault window closed but still blew its SLO
+       (e.g. queued behind the backlog the fault left) counts against
+       recovery, exactly as a client would experience it. *)
+    match t.cfg.sv_mark with
+    | Some mark when arrival >= t.window_start + mark ->
+        t.post_recorded <- t.post_recorded + 1;
+        if response <= t.cfg.sv_slo then t.post_slo_ok <- t.post_slo_ok + 1
+    | _ -> ()
   end
 
 let server t ~on_done () =
@@ -207,6 +224,9 @@ type summary = {
   sm_recorded : int;
   sm_max_queue : int;
   sm_slo_ok : int;
+  sm_mark : Time_ns.t option;
+  sm_post_recorded : int;
+  sm_post_slo_ok : int;
   sm_hist : Histogram.t;
 }
 
@@ -220,6 +240,9 @@ let summary t =
     sm_recorded = Histogram.count t.hist;
     sm_max_queue = t.max_queue;
     sm_slo_ok = t.slo_ok;
+    sm_mark = t.cfg.sv_mark;
+    sm_post_recorded = t.post_recorded;
+    sm_post_slo_ok = t.post_slo_ok;
     sm_hist = t.hist;
   }
 
@@ -229,5 +252,9 @@ let summary t =
 let slo_attainment s =
   if s.sm_recorded = 0 then 0.0
   else float_of_int s.sm_slo_ok /. float_of_int s.sm_recorded
+
+let post_attainment s =
+  if s.sm_post_recorded = 0 then 0.0
+  else float_of_int s.sm_post_slo_ok /. float_of_int s.sm_post_recorded
 
 let blame t = Reqtrace.summarize t.reqtrace

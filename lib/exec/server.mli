@@ -34,6 +34,12 @@ type cfg = {
   sv_slo : Memhog_sim.Time_ns.t;       (** per-request response target *)
   sv_prefetch : bool;       (** issue arrival-time index/value prefetches *)
   sv_seed : int;
+  sv_mark : Memhog_sim.Time_ns.t option;
+      (** [Some off]: additionally tally SLO attainment over requests
+          arriving at or after [off] past the window start — the
+          "after the fault window" recovery number of the chaos
+          scenarios.  Keyed on arrival time, so residual queueing left
+          behind by the fault still counts against recovery. *)
 }
 
 type t
@@ -74,6 +80,9 @@ type summary = {
   sm_recorded : int;      (** served minus warm-up skips *)
   sm_max_queue : int;     (** deepest arrival-queue backlog observed *)
   sm_slo_ok : int;        (** recorded responses within [sm_slo] *)
+  sm_mark : Memhog_sim.Time_ns.t option;   (** [sv_mark], echoed *)
+  sm_post_recorded : int; (** recorded responses that arrived post-mark *)
+  sm_post_slo_ok : int;   (** of those, within [sm_slo] *)
   sm_hist : Memhog_sim.Histogram.t;
       (** response times (arrival to completion), warm-up skipped; feeds
           p50/p99/p999 *)
@@ -85,3 +94,8 @@ val slo_attainment : summary -> float
 (** Fraction of recorded responses within the SLO.  0.0 when none were
     recorded: a starved cell attained nothing, and reporting a vacuous
     1.0 would hide it. *)
+
+val post_attainment : summary -> float
+(** SLO attainment over the post-mark requests only (0.0 when no mark was
+    set or nothing arrived after it) — the recovery figure a chaos
+    scenario asserts on after its fault window closes. *)

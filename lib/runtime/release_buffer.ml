@@ -111,7 +111,7 @@ let pop_lowest t ~max =
               let next = q.tq_next in
               (match Queue.take_opt q.tq_pages with
               | Some vpn ->
-                  out := (vpn, q.tq_tag) :: !out;
+                  out := (vpn, q.tq_tag, q.tq_priority) :: !out;
                   incr n;
                   t.total <- t.total - 1
               | None -> ());

@@ -21,13 +21,14 @@ val add : t -> tag:int -> priority:int -> vpn:int -> unit
 val total : t -> int
 (** Buffered pages across all queues. *)
 
-val pop_lowest : t -> max:int -> (int * int) array
+val pop_lowest : t -> max:int -> (int * int * int) array
 (** Remove up to [max] pages, lowest priority first, round-robin across
-    same-priority tags.  Returns [(vpn, tag)] pairs in drain order — the tag
-    is the static directive site the page was buffered under, preserved so
-    the eventual OS release stays attributable to its site.  Appending a tag
-    and retiring an emptied one are both O(1): tag queues at one priority
-    form a doubly-linked list in insertion order. *)
+    same-priority tags.  Returns [(vpn, tag, priority)] triples in drain
+    order — the tag is the static directive site the page was buffered
+    under, preserved so the eventual OS release stays attributable to its
+    site, and the priority rides along so the tier router can key placement
+    on it.  Appending a tag and retiring an emptied one are both O(1): tag
+    queues at one priority form a doubly-linked list in insertion order. *)
 
 val flush_tag : t -> tag:int -> int array
 (** Remove and return every buffered page of one tag, in FIFO order

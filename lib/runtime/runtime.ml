@@ -26,6 +26,9 @@ type stats = {
   mutable rt_gov_degrades : int;
   mutable rt_gov_recoveries : int;
   mutable rt_gov_suppressed : int;
+  mutable rt_tier_buffered : int;
+      (* releases the tier-aware rung forced into the buffer because the
+         far-memory breaker was open at hint time *)
 }
 
 type governor_cfg = {
@@ -49,7 +52,7 @@ let default_governor =
    attributable after the asynchronous hop through the helper threads. *)
 type work =
   | W_prefetch of int * int * bool  (* vpn, site, urgent *)
-  | W_release of (int * int) array  (* (vpn, site) pairs *)
+  | W_release of (int * int * int) array  (* (vpn, site, priority) triples *)
 
 type t = {
   os : Os.t;
@@ -120,6 +123,7 @@ let create ?(nthreads = 16) ?(release_target = 100) ?(headroom = 0)
         rt_gov_degrades = 0;
         rt_gov_recoveries = 0;
         rt_gov_suppressed = 0;
+        rt_tier_buffered = 0;
       };
     started = false;
     gov = governor;
@@ -148,9 +152,11 @@ let thread_loop t () =
             t.st.rt_prefetch_os_dropped <- t.st.rt_prefetch_os_dropped + 1
         | Os.P_fetched | Os.P_rescued | Os.P_already ->
             t.st.rt_prefetch_os_done <- t.st.rt_prefetch_os_done + 1)
-    | W_release pairs ->
-        Os.release_request t.os t.asp ~vpns:(Array.map fst pairs)
-          ~sites:(Array.map snd pairs)
+    | W_release triples ->
+        Os.release_request t.os t.asp
+          ~vpns:(Array.map (fun (vpn, _, _) -> vpn) triples)
+          ~sites:(Array.map (fun (_, site, _) -> site) triples)
+          ~priorities:(Array.map (fun (_, _, prio) -> prio) triples)
   done
 
 let start t =
@@ -264,31 +270,31 @@ let prefetch_page ?(site = Trace.no_site) ?(urgent = false) t ~vpn =
     Mailbox.send t.queue (W_prefetch (vpn, site, urgent))
   end
 
-let issue_release t pairs =
-  if Array.length pairs > 0 then begin
-    t.st.rt_release_issued <- t.st.rt_release_issued + Array.length pairs;
+let issue_release t triples =
+  if Array.length triples > 0 then begin
+    t.st.rt_release_issued <- t.st.rt_release_issued + Array.length triples;
     if tracing t then begin
       Array.iter
-        (fun (vpn, site) -> emit t (Trace.Rt_release_sent { vpn; site }))
-        pairs;
-      emit t (Trace.Rt_release_issued { count = Array.length pairs })
+        (fun (vpn, site, _prio) -> emit t (Trace.Rt_release_sent { vpn; site }))
+        triples;
+      emit t (Trace.Rt_release_issued { count = Array.length triples })
     end;
-    Mailbox.send t.queue (W_release pairs)
+    Mailbox.send t.queue (W_release triples)
   end
 
 (* Stale entries (pages already stolen or released behind our back) are
    cheap to drop before issuing, but not free to ignore: each one is a hint
    the buffer held too long, so they are counted and traced. *)
-let drop_stale t pairs =
+let drop_stale t triples =
   List.filter
-    (fun (vpn, site) ->
+    (fun (vpn, site, _prio) ->
       let live = Os.page_resident t.asp ~vpn in
       if not live then begin
         t.st.rt_release_stale_dropped <- t.st.rt_release_stale_dropped + 1;
         if tracing t then emit t (Trace.Rt_stale_dropped { vpn; site })
       end;
       live)
-    pairs
+    triples
 
 (* Drain the lowest-priority queues when usage approaches the limit the OS
    published in the shared page. *)
@@ -313,14 +319,25 @@ let handle_release t ~vpn ~priority ~tag =
   end
   else
     (* Degraded to level >= 1: stop buffering — under an active fault the
-       buffer only grows stale — and issue everything immediately. *)
-    let effective = if gov_level t >= 1 then Aggressive else t.pol in
+       buffer only grows stale — and issue everything immediately.
+       Tier-aware rung (below the governor's): while the far-memory
+       breaker is open, demotions would only fail over to the local disks,
+       so hold pages in the local buffer instead of releasing them into a
+       degraded store — effectively Buffered until the tier heals. *)
+    let effective =
+      if gov_level t >= 1 then Aggressive
+      else if t.pol = Aggressive && Os.tier_far_open t.os then begin
+        t.st.rt_tier_buffered <- t.st.rt_tier_buffered + 1;
+        Buffered
+      end
+      else t.pol
+    in
     match effective with
-    | Aggressive -> issue_release t [| (vpn, tag) |]
+    | Aggressive -> issue_release t [| (vpn, tag, priority) |]
     | Buffered ->
         (* Non-positive priorities mean "no reuse expected": they route to
            the immediate path ([Release_buffer.add] would reject them). *)
-        if priority <= 0 then issue_release t [| (vpn, tag) |]
+        if priority <= 0 then issue_release t [| (vpn, tag, priority) |]
         else begin
           t.st.rt_release_buffered <- t.st.rt_release_buffered + 1;
           if tracing t then
@@ -332,7 +349,7 @@ let handle_release t ~vpn ~priority ~tag =
         (* hold everything releasable; the buffer requires positive
            priorities, so shift by one — negative priorities still mean
            "no reuse expected" and go straight out *)
-        if priority < 0 then issue_release t [| (vpn, tag) |]
+        if priority < 0 then issue_release t [| (vpn, tag, priority) |]
         else begin
           t.st.rt_release_buffered <- t.st.rt_release_buffered + 1;
           if tracing t then
@@ -371,7 +388,7 @@ let rec advise_evict t =
   let batch = Release_buffer.pop_lowest t.buffer ~max:1 in
   if Array.length batch = 0 then None
   else
-    let vpn, _site = batch.(0) in
+    let vpn, _site, _prio = batch.(0) in
     if Os.page_resident t.asp ~vpn then Some vpn
     else advise_evict t (* stale entry: the page is already gone *)
 
@@ -382,7 +399,7 @@ let drain t =
      key is the directive tag, so each flushed page keeps its site. *)
   let pending =
     Hashtbl.fold
-      (fun tag (vpn, _priority) acc -> (vpn, tag) :: acc)
+      (fun tag (vpn, priority) acc -> (vpn, tag, priority) :: acc)
       t.last_release []
     (* Hashtbl.fold order is seed-dependent across stdlib versions; sort so
        the flush (and everything downstream of it) is deterministic. *)

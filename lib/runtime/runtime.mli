@@ -48,6 +48,10 @@ type stats = {
   mutable rt_gov_recoveries : int;  (** level-down transitions *)
   mutable rt_gov_suppressed : int;
       (** hints swallowed while at level 2 (directives off) *)
+  mutable rt_tier_buffered : int;
+      (** releases the tier-aware rung forced into the buffer because the
+          far-memory circuit breaker was open at hint time
+          ({!Memhog_vm.Os.tier_far_open}) *)
 }
 
 (** Hysteresis parameters of the graceful-degradation governor.  The

@@ -8,6 +8,9 @@ type stats = {
   mutable directives_dropped : int;
   mutable pressure_spikes : int;
   mutable pressure_pages : int;
+  mutable net_partition_drops : int;
+  mutable net_slow_requests : int;
+  mutable net_jitter_ns : int;
 }
 
 let fresh_stats () =
@@ -21,6 +24,9 @@ let fresh_stats () =
     directives_dropped = 0;
     pressure_spikes = 0;
     pressure_pages = 0;
+    net_partition_drops = 0;
+    net_slow_requests = 0;
+    net_jitter_ns = 0;
   }
 
 type kind =
@@ -30,6 +36,9 @@ type kind =
   | Releaser_drop
   | Daemon_stall
   | Pressure
+  | Net_partition
+  | Net_brownout
+  | Net_jitter
 
 (* One parsed clause.  Fields irrelevant to a kind keep their defaults and
    are never read; each rule owns an independent RNG stream so the draw
@@ -45,6 +54,8 @@ type rule = {
   factor : float;
   pages : int;
   hold : Time_ns.t;
+  latency : Time_ns.t;
+  bandwidth : float;
   rng : Rng.t;
 }
 
@@ -60,13 +71,16 @@ let pp_stats fmt s =
      slow requests: %d@,\
      stalls: releaser %s, daemon %s@,\
      directives dropped: %d@,\
-     pressure: %d spikes, %d pages@]"
+     pressure: %d spikes, %d pages@,\
+     net: %d partition drops, %d slow requests, %s jitter@]"
     s.disk_faults s.disk_retries
     (Time_ns.to_string s.disk_backoff_ns)
     s.slow_requests
     (Time_ns.to_string s.releaser_stall_ns)
     (Time_ns.to_string s.daemon_stall_ns)
     s.directives_dropped s.pressure_spikes s.pressure_pages
+    s.net_partition_drops s.net_slow_requests
+    (Time_ns.to_string s.net_jitter_ns)
 
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)
@@ -83,6 +97,9 @@ let kind_of_string = function
   | "releaser-drop" -> Releaser_drop
   | "daemon-stall" -> Daemon_stall
   | "pressure" -> Pressure
+  | "net-partition" -> Net_partition
+  | "net-brownout" -> Net_brownout
+  | "net-jitter" -> Net_jitter
   | s -> bad "unknown fault kind %S" s
 
 let parse_time s =
@@ -355,7 +372,7 @@ let proto_of_json = function
           (fun (k, v) ->
             match k with
             | "fault" | "start" | "stop" -> None
-            | "backoff" | "hold" ->
+            | "backoff" | "hold" | "latency" ->
                 (* times: normalise to a textual ns value the DSL path
                    understands *)
                 Some (k, string_of_int (json_time v) ^ "ns")
@@ -379,7 +396,10 @@ let rule_of_proto ~seed ~index pr =
   and backoff = ref default_backoff
   and factor = ref 4.0
   and pages = ref 64
-  and hold = ref default_hold in
+  and hold = ref default_hold
+  and latency = ref 0
+  and bandwidth = ref 1.0
+  and net_shape_given = ref false in
   List.iter
     (fun (k, v) ->
       match k with
@@ -387,9 +407,15 @@ let rule_of_proto ~seed ~index pr =
       | "retries" -> retries := parse_int k v
       | "fails" -> fails := Some (parse_int k v)
       | "backoff" -> backoff := parse_time v
-      | "factor" -> factor := parse_float k v
+      | "factor" ->
+          factor := parse_float k v;
+          net_shape_given := true
       | "pages" -> pages := parse_int k v
       | "hold" -> hold := parse_time v
+      | "latency" -> latency := parse_time v
+      | "bandwidth" ->
+          bandwidth := parse_float k v;
+          net_shape_given := true
       | _ -> bad "unknown parameter %S" k)
     pr.pr_params;
   if pr.pr_stop <= pr.pr_start then
@@ -406,6 +432,23 @@ let rule_of_proto ~seed ~index pr =
   if !pages < 1 then bad "pages=%d must be >= 1" !pages;
   if !hold < 1 then bad "hold must be positive";
   if !backoff < 1 then bad "backoff must be positive";
+  (* Net clauses: a malformed bandwidth or latency must fail the parse, not
+     silently degrade to the defaults — a typo here would otherwise turn a
+     brown-out scenario into a no-op. *)
+  if !latency < 0 then bad "latency must be non-negative";
+  if !bandwidth <= 0.0 || !bandwidth > 1.0 then
+    bad "bandwidth=%g out of (0,1] (fraction of nominal link rate)" !bandwidth;
+  (match pr.pr_kind with
+  | Net_jitter when !latency < 1 ->
+      bad "net-jitter requires latency=TIME (> 0) for the jitter amplitude"
+  | Net_brownout
+    when (not !net_shape_given) || (!factor <= 1.0 && !bandwidth >= 1.0) ->
+      (* the shared factor default (4, for disk-slow) must not silently
+         shape a brown-out the spec never asked for *)
+      bad
+        "net-brownout requires factor>1 (latency multiplier) and/or \
+         bandwidth<1 (link derating)"
+  | _ -> ());
   {
     kind = pr.pr_kind;
     start = pr.pr_start;
@@ -417,6 +460,8 @@ let rule_of_proto ~seed ~index pr =
     factor = !factor;
     pages = !pages;
     hold = !hold;
+    latency = !latency;
+    bandwidth = !bandwidth;
     (* A distinct stream per rule: the golden-ratio multiplier decorrelates
        neighbouring indices even under a zero seed. *)
     rng = Rng.create ~seed:(seed lxor (0x9E3779B9 * (index + 1)));
@@ -566,3 +611,63 @@ let pressure_spikes t =
 let note_pressure t ~pages =
   t.st.pressure_spikes <- t.st.pressure_spikes + 1;
   t.st.pressure_pages <- t.st.pressure_pages + pages
+
+(* ---- network-tier hooks (far-memory backend) ---- *)
+
+let net_partitioned t ~now =
+  let rec find = function
+    | [] -> false
+    | r :: rest when r.kind = Net_partition && active r ~now ->
+        if r.p >= 1.0 || Rng.float r.rng 1.0 < r.p then (
+          t.st.net_partition_drops <- t.st.net_partition_drops + 1;
+          true)
+        else find rest
+    | _ :: rest -> find rest
+  in
+  find t.rules
+
+let net_latency_factor t ~now =
+  let f =
+    List.fold_left
+      (fun acc r ->
+        if r.kind = Net_brownout && active r ~now then Float.max acc r.factor
+        else acc)
+      1.0 t.rules
+  in
+  if f > 1.0 then t.st.net_slow_requests <- t.st.net_slow_requests + 1;
+  f
+
+let net_bandwidth_scale t ~now =
+  List.fold_left
+    (fun acc r ->
+      if r.kind = Net_brownout && active r ~now then Float.min acc r.bandwidth
+      else acc)
+    1.0 t.rules
+
+let net_jitter t ~now =
+  let j =
+    List.fold_left
+      (fun acc r ->
+        if r.kind = Net_jitter && active r ~now then
+          if r.p >= 1.0 || Rng.float r.rng 1.0 < r.p then
+            acc + Rng.int r.rng (r.latency + 1)
+          else acc
+        else acc)
+      0 t.rules
+  in
+  if j > 0 then t.st.net_jitter_ns <- t.st.net_jitter_ns + j;
+  j
+
+(* ---- retry backoff schedule ---- *)
+
+(* Shared by the disk-fault retry path and the far-memory re-issue path.
+   Attempt [i] (1-based) waits [base * 2^(i-1)], saturating at [cap]; pure,
+   total and overflow-safe so the property suite can hammer it. *)
+let backoff_delay ~base ~cap ~attempt =
+  if base < 1 then invalid_arg "Chaos.backoff_delay: base must be >= 1";
+  if cap < base then invalid_arg "Chaos.backoff_delay: cap must be >= base";
+  if attempt < 1 then invalid_arg "Chaos.backoff_delay: attempt must be >= 1";
+  let shift = attempt - 1 in
+  (* [base lsl shift] would overflow long before shift reaches 62; compare
+     against the cap in shifted-down space instead. *)
+  if shift >= 62 || base > cap asr shift then cap else base lsl shift

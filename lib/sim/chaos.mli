@@ -32,6 +32,20 @@
     - [pressure] — a phantom competitor grabs [pages] free frames (default
       64) at [start] and holds them for [hold] (default 1s), slamming
       [tot_freemem] the way a surging sibling process would.
+    - [net-partition] — the far-memory link drops requests with probability
+      [p] (default 1): every affected request runs to its timeout, is
+      aborted, and re-issued by the backend.
+    - [net-brownout] — far-memory degradation: round-trip latency is
+      multiplied by [factor] and/or the link rate is derated to [bandwidth]
+      (a fraction in (0,1]).  At least one of the two must be given a
+      non-neutral value.
+    - [net-jitter] — with probability [p], a uniform draw in [0,latency] is
+      added to each far-memory round trip ([latency] is required and must
+      be positive).
+
+    Malformed [latency]/[bandwidth] arguments (or a [net-jitter] clause
+    without a latency) fail the parse rather than silently degrading to the
+    defaults.
 
     Example: a disk brown-out, then a pressure spike while it recovers:
 
@@ -54,6 +68,9 @@ type stats = {
   mutable directives_dropped : int;  (** release directives discarded *)
   mutable pressure_spikes : int;
   mutable pressure_pages : int;  (** frames grabbed across all spikes *)
+  mutable net_partition_drops : int;  (** far-memory requests black-holed *)
+  mutable net_slow_requests : int;  (** requests served under net-brownout *)
+  mutable net_jitter_ns : int;  (** total injected far-memory jitter *)
 }
 
 val none : t
@@ -108,3 +125,28 @@ val pressure_spikes : t -> (Time_ns.t * int * Time_ns.t) list
 
 val note_pressure : t -> pages:int -> unit
 (** Account one spike that actually grabbed [pages] frames. *)
+
+val net_partitioned : t -> now:Time_ns.t -> bool
+(** Should a far-memory request issued at [now] be black-holed?  Draws from
+    the rule's stream; counts the drop. *)
+
+val net_latency_factor : t -> now:Time_ns.t -> float
+(** Far-memory round-trip multiplier at [now]: 1.0 when no [net-brownout]
+    rule is active, otherwise the largest active [factor]. *)
+
+val net_bandwidth_scale : t -> now:Time_ns.t -> float
+(** Fraction of the nominal far-memory link rate available at [now]: 1.0
+    when healthy, otherwise the smallest active [bandwidth]. *)
+
+val net_jitter : t -> now:Time_ns.t -> Time_ns.t
+(** Extra round-trip delay drawn for a request at [now] (0 when no
+    [net-jitter] rule is active or the [p] draw passes). *)
+
+(** {2 Retry backoff} *)
+
+val backoff_delay : base:Time_ns.t -> cap:Time_ns.t -> attempt:int -> Time_ns.t
+(** [backoff_delay ~base ~cap ~attempt] is the delay before retry [attempt]
+    (1-based): [base * 2^(attempt-1)] saturating at [cap].  Monotone
+    non-decreasing in [attempt], never below [base], never above [cap].
+    Raises [Invalid_argument] unless [1 <= base <= cap] and [attempt >= 1].
+    Shared by the disk-fault retry path and the far-memory re-issue path. *)

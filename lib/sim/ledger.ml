@@ -87,6 +87,11 @@ type t = {
   mutable early_rescued : int;
   mutable early_refaulted : int;
   mutable useful_releases : int;
+  (* Cross-tier transitions (tiered backing store; zero without --tiers). *)
+  mutable tier_demotions : int;
+  mutable tier_fetches : int;
+  mutable tier_failovers : int;
+  mutable tier_rescues : int;
 }
 
 let create () =
@@ -108,6 +113,10 @@ let create () =
     early_rescued = 0;
     early_refaulted = 0;
     useful_releases = 0;
+    tier_demotions = 0;
+    tier_fetches = 0;
+    tier_failovers = 0;
+    tier_rescues = 0;
   }
 
 let null =
@@ -129,6 +138,10 @@ let null =
     early_rescued = 0;
     early_refaulted = 0;
     useful_releases = 0;
+    tier_demotions = 0;
+    tier_fetches = 0;
+    tier_failovers = 0;
+    tier_rescues = 0;
   }
 
 let enabled t = t.l_enabled
@@ -320,12 +333,18 @@ let observe t ~time:_ ~stream ev =
             p.st <- Gone site
         | Freed_daemon -> p.st <- Not_resident
         | _ -> ())
+    (* ---- cross-tier transitions (tiered backing store) ---- *)
+    | Tier_demote _ -> t.tier_demotions <- t.tier_demotions + 1
+    | Tier_fetch _ -> t.tier_fetches <- t.tier_fetches + 1
+    | Tier_failover _ -> t.tier_failovers <- t.tier_failovers + 1
+    | Tier_rescue _ -> t.tier_rescues <- t.tier_rescues + 1
     (* ---- everything else is not page-lifecycle material ---- *)
     | Release_requested _ | Rt_release_issued _ | Rt_release_drained _
     | Disk_io _ | Free_depth _ | Rss_sample _ | Upper_limit_sample _
     | Queue_depth _ | Phase_begin _ | Phase_end _ | Chaos_disk_fault _
     | Chaos_stall _ | Chaos_drop_directive _ | Chaos_pressure _
-    | Chaos_pressure_end _ | Governor_transition _ ->
+    | Chaos_pressure_end _ | Governor_transition _ | Tier_timeout _
+    | Breaker_transition _ ->
         ()
 
 (* ------------------------------------------------------------------ *)
@@ -376,6 +395,10 @@ type summary = {
   ls_prefetches_dropped : int;
   ls_releases_freed : int;
   ls_releases_skipped : int;
+  ls_tier_demotions : int;
+  ls_tier_fetches : int;
+  ls_tier_failovers : int;
+  ls_tier_rescues : int;
 }
 
 (* Close out the run: pages still sitting in a terminal-ish state become
@@ -500,6 +523,10 @@ let summarize t =
     ls_prefetches_dropped = t.prefetches_dropped;
     ls_releases_freed = t.releases_freed;
     ls_releases_skipped = t.releases_skipped;
+    ls_tier_demotions = t.tier_demotions;
+    ls_tier_fetches = t.tier_fetches;
+    ls_tier_failovers = t.tier_failovers;
+    ls_tier_rescues = t.tier_rescues;
   }
 
 let empty_summary = summarize null

@@ -80,6 +80,10 @@ type summary = {
   ls_prefetches_dropped : int;  (** reconciles with prefetches_dropped *)
   ls_releases_freed : int;
   ls_releases_skipped : int;
+  ls_tier_demotions : int;  (** pages placed in a fast tier on release *)
+  ls_tier_fetches : int;  (** faults/prefetches served from a fast tier *)
+  ls_tier_failovers : int;  (** demotions redirected off an unhealthy tier *)
+  ls_tier_rescues : int;  (** dead-tier reads served from the failover copy *)
 }
 
 val summarize : t -> summary

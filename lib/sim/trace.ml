@@ -41,6 +41,12 @@ type event =
       drop_pct : int;
       stale_pct : int;
     }
+  | Tier_demote of { page : int; tier : int; site : int }
+  | Tier_fetch of { page : int; tier : int }
+  | Tier_timeout of { page : int; tier : int; attempt : int }
+  | Tier_failover of { page : int; tier_from : int; tier_to : int }
+  | Tier_rescue of { page : int; site : int }
+  | Breaker_transition of { tier : int; state_from : int; state_to : int }
 
 let no_site = -1
 
@@ -158,6 +164,12 @@ let event_name = function
   | Chaos_pressure _ -> "chaos_pressure"
   | Chaos_pressure_end _ -> "chaos_pressure_end"
   | Governor_transition _ -> "governor_transition"
+  | Tier_demote _ -> "tier_demote"
+  | Tier_fetch _ -> "tier_fetch"
+  | Tier_timeout _ -> "tier_timeout"
+  | Tier_failover _ -> "tier_failover"
+  | Tier_rescue _ -> "tier_rescue"
+  | Breaker_transition _ -> "breaker_transition"
 
 let event_args = function
   | Hard_fault { vpn }
@@ -248,6 +260,34 @@ let event_args = function
         ("drop_pct", string_of_int drop_pct);
         ("stale_pct", string_of_int stale_pct);
       ]
+  | Tier_demote { page; tier; site } ->
+      [
+        ("page", string_of_int page);
+        ("tier", string_of_int tier);
+        ("site", string_of_int site);
+      ]
+  | Tier_fetch { page; tier } ->
+      [ ("page", string_of_int page); ("tier", string_of_int tier) ]
+  | Tier_timeout { page; tier; attempt } ->
+      [
+        ("page", string_of_int page);
+        ("tier", string_of_int tier);
+        ("attempt", string_of_int attempt);
+      ]
+  | Tier_failover { page; tier_from; tier_to } ->
+      [
+        ("page", string_of_int page);
+        ("tier_from", string_of_int tier_from);
+        ("tier_to", string_of_int tier_to);
+      ]
+  | Tier_rescue { page; site } ->
+      [ ("page", string_of_int page); ("site", string_of_int site) ]
+  | Breaker_transition { tier; state_from; state_to } ->
+      [
+        ("tier", string_of_int tier);
+        ("state_from", string_of_int state_from);
+        ("state_to", string_of_int state_to);
+      ]
 
 let counts t =
   let tbl = Hashtbl.create 32 in
@@ -272,3 +312,4 @@ let writeback_stream = -3
 let kernel_stream = -4
 let chaos_stream = -5
 let disk_stream = -6
+let tier_stream = -7

@@ -83,6 +83,20 @@ type event =
       drop_pct : int;  (** window prefetch-drop rate, percent *)
       stale_pct : int;  (** window release-badness rate, percent *)
     }
+  (* Tiered backing store (lib/vm/tiers.ml and the lib/disk backends).
+     [page] is the swap page id (the striped-swap address), not a vpn. *)
+  | Tier_demote of { page : int; tier : int; site : int }
+      (** the router placed a released page's contents in [tier] *)
+  | Tier_fetch of { page : int; tier : int }
+      (** a fault/prefetch was served from [tier] (the entry is consumed) *)
+  | Tier_timeout of { page : int; tier : int; attempt : int }
+      (** a far-memory attempt was aborted at its deadline and re-issued *)
+  | Tier_failover of { page : int; tier_from : int; tier_to : int }
+      (** a demotion was redirected because the target tier is unhealthy *)
+  | Tier_rescue of { page : int; site : int }
+      (** a read against a dead tier was served from its failover copy *)
+  | Breaker_transition of { tier : int; state_from : int; state_to : int }
+      (** circuit-breaker edge; states are 0=closed, 1=half-open, 2=open *)
 
 val no_site : int
 (** Site id (-1) for events not attributable to a compiler directive. *)
@@ -151,3 +165,6 @@ val chaos_stream : int
 
 val disk_stream : int
 (** disk request completions ({!Memhog_disk.Disk}): -6 *)
+
+val tier_stream : int
+(** tiered-backing-store router and breaker events: -7 *)

@@ -18,6 +18,9 @@ type release_req = {
   req_sites : int array;
       (* parallel to req_vpns: the directive site of each page's release,
          Trace.no_site for unattributed requests *)
+  req_prios : int array;
+      (* parallel to req_vpns: the Eq. 2 priority each page was released
+         with — the tier router's placement key.  min_int = unattributed. *)
 }
 
 (* The releaser's mailbox carries work batches plus a poison message so
@@ -28,6 +31,8 @@ type t = {
   config : Config.t;
   engine : Engine.t;
   swap : Swap.t;
+  mutable tiers : Tiers.t option;
+      (* tiered backing store router; None = plain striped swap *)
   frames : Frame.t array;
   free : Free_list.t;
   free_cond : Condition.t;
@@ -60,6 +65,8 @@ type t = {
 let config t = t.config
 let engine t = t.engine
 let swap t = t.swap
+let tiers t = t.tiers
+let tier_far_open t = match t.tiers with None -> false | Some tr -> Tiers.far_open tr
 let global_stats t = t.gstats
 let free_pages t = Free_list.length t.free
 let cpus t = t.cpus
@@ -85,6 +92,15 @@ let emit t ~stream ev =
   Reqtrace.observe t.reqtrace ~time ~stream ev
 
 let sys_delay t d = ignore t; Engine.delay ~cat:Account.System d
+
+(* Backing-store indirection: with a tier router installed, reads go to
+   wherever the page currently lives (far memory, compressed RAM, or the
+   swap failover copy); without one they go straight to the striped swap
+   volume, byte-for-byte as before. *)
+let backing_read t ~background ~page =
+  match t.tiers with
+  | None -> Swap.read_page ~background t.swap ~page
+  | Some tr -> Tiers.fetch tr ~background ~page ()
 
 (* Equation 1: the recommended upper limit on memory usage. *)
 let update_limits t (asp : As.t) =
@@ -222,6 +238,12 @@ let attach_paging_directed t asp seg =
 (* ------------------------------------------------------------------ *)
 
 let install_frame t (asp : As.t) seg ~vpn (f : Frame.t) ~write ~prefetched =
+  (* A page entering RAM by any route (fetch completion, free-list rescue)
+     invalidates its fast-tier copy: resident and tier-resident are
+     mutually exclusive states. *)
+  (match t.tiers with
+  | None -> ()
+  | Some tr -> Tiers.invalidate tr ~page:(As.swap_page seg ~vpn));
   f.owner <- asp.As.pid;
   f.vpn <- vpn;
   f.dirty <- write;
@@ -388,7 +410,7 @@ and fault t asp seg ~vpn ~write =
         else begin
           stats.hard_faults <- stats.hard_faults + 1;
           if tracing t then emit t ~stream:asp.As.pid (Trace.Hard_fault { vpn });
-          Swap.read_page t.swap ~page:(As.swap_page seg ~vpn)
+          backing_read t ~background:false ~page:(As.swap_page seg ~vpn)
         end;
         Semaphore.acquire asp.As.as_lock;
         (* A zero-filled page is dirty from birth: its contents exist
@@ -510,7 +532,7 @@ let rec prefetch t ?(site = Trace.no_site) ?(urgent = false) (asp : As.t) ~vpn
                 sys_delay t cfg.hard_fault_cpu_ns;
                 if zero then sys_delay t cfg.zero_fill_ns
                 else
-                  Swap.read_page ~background:(not urgent) t.swap
+                  backing_read t ~background:(not urgent)
                     ~page:(As.swap_page seg ~vpn);
                 Semaphore.acquire asp.As.as_lock;
                 install_frame t asp seg ~vpn f ~write:zero ~prefetched:true;
@@ -553,7 +575,7 @@ let prefetch t ?(site = Trace.no_site) ?urgent asp ~vpn =
   | P_already | P_dropped -> ());
   r
 
-let release_request t ?sites (asp : As.t) ~vpns =
+let release_request t ?sites ?priorities (asp : As.t) ~vpns =
   let sites =
     match sites with
     | Some s ->
@@ -561,6 +583,14 @@ let release_request t ?sites (asp : As.t) ~vpns =
           invalid_arg "Os.release_request: sites length mismatch";
         s
     | None -> Array.make (Array.length vpns) Trace.no_site
+  in
+  let prios =
+    match priorities with
+    | Some p ->
+        if Array.length p <> Array.length vpns then
+          invalid_arg "Os.release_request: priorities length mismatch";
+        p
+    | None -> Array.make (Array.length vpns) min_int
   in
   let stats = asp.As.stats in
   sys_delay t t.config.pm_call_ns;
@@ -591,7 +621,8 @@ let release_request t ?sites (asp : As.t) ~vpns =
     emit t ~stream:asp.As.pid
       (Trace.Release_requested { owner = asp.As.pid; count = Array.length vpns });
   Mailbox.send t.releaser_box
-    (R_batch { req_as = asp; req_vpns = vpns; req_sites = sites });
+    (R_batch
+       { req_as = asp; req_vpns = vpns; req_sites = sites; req_prios = prios });
   update_limits t asp
 
 (* ------------------------------------------------------------------ *)
@@ -604,11 +635,22 @@ let release_request t ?sites (asp : As.t) ~vpns =
    write completes — unless it was rescued during the write. *)
 let writeback_and_free t writebacks =
   List.iter
-    (fun (seg, vpn, owner, (f : Frame.t)) ->
+    (fun (seg, vpn, owner, (f : Frame.t), prio) ->
       ignore
         (Engine.spawn_child ~name:"writeback" (fun () ->
-             Swap.write_page ~background:true t.swap
-               ~page:(As.swap_page seg ~vpn);
+             let page = As.swap_page seg ~vpn in
+             (* The swap write is unconditional — it is the durable
+                failover copy every tiered placement degrades to. *)
+             Swap.write_page ~background:true t.swap ~page;
+             (match t.tiers with
+             | None -> ()
+             | Some tr ->
+                 Tiers.demote tr ~page ~pid:owner ~vpn ~site:f.free_site
+                   ~priority:prio;
+                 (* Rescued while the write or placement was in flight:
+                    the page is resident again, so the fast copy placed
+                    a moment ago must go. *)
+                 if f.freed_by = None then Tiers.invalidate tr ~page);
              Semaphore.acquire t.memory_lock;
              (* Still marked freed and not yet listed: return it.  A rescue
                 during the write clears the marker (install_frame). *)
@@ -627,7 +669,7 @@ let writeback_and_free t writebacks =
 
 
 let releaser_process_batch t (asp : As.t) (vpns : int array)
-    (sites : int array) =
+    (sites : int array) (prios : int array) =
   let cfg = t.config in
   (* Phase A: under locks, identify pages that are still resident and have
      not been re-referenced (residency bit still clear), detach the clean
@@ -671,7 +713,10 @@ let releaser_process_batch t (asp : As.t) (vpns : int array)
                   f.freed_by <- Some Vm_stats.Releaser;
                   f.free_site <- site;
                   asp.As.stats.writebacks <- asp.As.stats.writebacks + 1;
-                  writebacks := (seg, vpn, asp.As.pid, f) :: !writebacks
+                  let prio =
+                    if prios.(i) = min_int then None else Some prios.(i)
+                  in
+                  writebacks := (seg, vpn, asp.As.pid, f, prio) :: !writebacks
                 end
                 else free_frame_locked t f ~freer:Vm_stats.Releaser ~site
             end
@@ -739,7 +784,8 @@ let releaser_loop t () =
                chunked batches keep each page's attribution aligned. *)
             releaser_process_batch t req.req_as
               (Array.sub req.req_vpns !i len)
-              (Array.sub req.req_sites !i len);
+              (Array.sub req.req_sites !i len)
+              (Array.sub req.req_prios !i len);
             i := !i + len
           done
         end
@@ -843,7 +889,7 @@ and daemon_steal t (asp : As.t) (f : Frame.t) =
     f.freed_by <- Some Vm_stats.Daemon;
     f.free_site <- Trace.no_site;
     stats.writebacks <- stats.writebacks + 1;
-    Some (seg, f.vpn, asp.As.pid, f)
+    Some (seg, f.vpn, asp.As.pid, f, None)
   end
   else begin
     free_frame_locked t f ~freer:Vm_stats.Daemon ~site:Trace.no_site;
@@ -1013,9 +1059,9 @@ let chaos_phantom_loop t spikes () =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ?swap_config ?(trace = Trace.null) ?(ledger = Ledger.null)
-    ?(chaos = Chaos.none) ?(reqtrace = Reqtrace.null) ~config:(cfg : Config.t)
-    ~engine () =
+let create ?swap_config ?tiers:tiers_spec ?(trace = Trace.null)
+    ?(ledger = Ledger.null) ?(chaos = Chaos.none) ?(reqtrace = Reqtrace.null)
+    ~config:(cfg : Config.t) ~engine () =
   let swap =
     Swap.create
       ?config:swap_config
@@ -1030,6 +1076,7 @@ let create ?swap_config ?(trace = Trace.null) ?(ledger = Ledger.null)
       config = cfg;
       engine;
       swap;
+      tiers = None;
       frames;
       free;
       free_cond = Condition.create ~name:"free-memory" ();
@@ -1053,6 +1100,16 @@ let create ?swap_config ?(trace = Trace.null) ?(ledger = Ledger.null)
       daemon_waker = None;
     }
   in
+  (match tiers_spec with
+  | None -> ()
+  | Some spec ->
+      Trace.set_stream_name trace Trace.tier_stream "tiers";
+      t.tiers <-
+        Some
+          (Tiers.create
+             ~emit:(fun ev ->
+               if tracing t then emit t ~stream:Trace.tier_stream ev)
+             ~chaos ~trace ~engine ~page_bytes:cfg.page_bytes ~swap spec ()));
   Trace.set_stream_name trace Trace.daemon_stream "paging-daemon";
   Trace.set_stream_name trace Trace.releaser_stream "releaser-daemon";
   Trace.set_stream_name trace Trace.writeback_stream "writeback";
@@ -1181,6 +1238,24 @@ let check_invariants t =
                 | _ -> false)))
       t.frames
   in
+  (* Tiered store: reconcile the router's location map against frame-table
+     residency — a page must never be simultaneously resident and
+     tier-resident — and the zram occupancy against the map. *)
+  let tier_checks =
+    match t.tiers with
+    | None -> []
+    | Some tr ->
+        Tiers.check tr ~resident:(fun ~pid ~vpn ->
+            match Hashtbl.find_opt t.spaces pid with
+            | None -> false
+            | Some asp -> (
+                match As.find_segment asp ~vpn with
+                | exception Not_found -> false
+                | seg -> (
+                    match As.get_pte seg ~vpn with
+                    | As.Resident _ -> true
+                    | _ -> false)))
+  in
   [
     ("free-list count matches frame flags", ok_free_count);
     ("owned frames agree with PTEs", ok_frame_pte);
@@ -1189,3 +1264,4 @@ let check_invariants t =
     ("free-list membership is consistent and duplicate-free", ok_free_membership);
     ("listed frames are mapped only via rescue marking", ok_rescue_marking);
   ]
+  @ tier_checks

@@ -34,6 +34,7 @@ type prefetch_result =
 
 val create :
   ?swap_config:Memhog_disk.Swap.config ->
+  ?tiers:Tiers.spec ->
   ?trace:Memhog_sim.Trace.t ->
   ?ledger:Memhog_sim.Ledger.t ->
   ?chaos:Memhog_sim.Chaos.t ->
@@ -67,7 +68,13 @@ val create :
     service attribution), observes [Prefetch_done] events at the emit
     point (prefetch I/O spans for slack accounting), and is fed
     in-transit wait intervals from the fault path — all keyed by the
-    faulting fiber's pid. *)
+    faulting fiber's pid.
+
+    [tiers] (default absent) installs a {!Tiers} router over the swap
+    volume: released pages gain fast-tier copies (far memory, compressed
+    RAM) routed by their Eq. 2 priorities, and page reads go to wherever
+    the page lives, falling back to the durable swap copy when a tier is
+    dead or its circuit breaker is open. *)
 
 val config : t -> Config.t
 val engine : t -> Memhog_sim.Engine.t
@@ -91,6 +98,14 @@ val reqtrace : t -> Memhog_sim.Reqtrace.t
     server drives request lifecycles on it. *)
 
 val swap : t -> Memhog_disk.Swap.t
+
+val tiers : t -> Tiers.t option
+(** The tiered-store router, when one was requested at {!create}. *)
+
+val tier_far_open : t -> bool
+(** True when a far-memory tier exists and its circuit breaker is open —
+    the runtime's governor buffers releases locally while this holds. *)
+
 val global_stats : t -> Vm_stats.global
 
 val fault_histogram : t -> Memhog_sim.Histogram.t
@@ -144,14 +159,22 @@ val prefetch :
     demand misses. *)
 
 val release_request :
-  t -> ?sites:int array -> Address_space.t -> vpns:int array -> unit
+  t ->
+  ?sites:int array ->
+  ?priorities:int array ->
+  Address_space.t ->
+  vpns:int array ->
+  unit
 (** PagingDirected release request: clears the residency bits and posts the
     pages to the releaser daemon's work queue.  Non-blocking apart from the
     trap cost.  [sites] (parallel to [vpns]; defaults to all
     {!Memhog_sim.Trace.no_site}) carries each page's directive site through
     the releaser so frees, skips and later rescues stay attributable.
-    @raise Invalid_argument when [sites] is given with a different length
-    than [vpns]. *)
+    [priorities] (parallel to [vpns]; defaults to unattributed) carries the
+    Eq. 2 release priorities the tier router keys placement on; without a
+    router it is ignored.
+    @raise Invalid_argument when [sites] or [priorities] is given with a
+    different length than [vpns]. *)
 
 (** {1 Shared-page information (read-only to applications)} *)
 

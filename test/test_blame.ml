@@ -228,6 +228,9 @@ let test_slo_attainment_zero_recorded () =
       sm_recorded = 0;
       sm_max_queue = 1;
       sm_slo_ok = 0;
+      sm_mark = None;
+      sm_post_recorded = 0;
+      sm_post_slo_ok = 0;
       sm_hist = Histogram.create ();
     }
   in

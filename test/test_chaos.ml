@@ -32,7 +32,8 @@ let test_parse_all_kinds () =
   let spec =
     "disk-fault@10s-20s:p=0.5,retries=3,backoff=1ms;disk-slow@1m-2m:factor=8;"
     ^ "releaser-stall@0s-500ms;daemon-stall@1s-2s;releaser-drop@0s-1s:p=0.25;"
-    ^ "pressure@5s-6s:pages=128,hold=2s"
+    ^ "pressure@5s-6s:pages=128,hold=2s;net-partition@7s-8s:p=0.9;"
+    ^ "net-brownout@9s-10s:factor=10,bandwidth=0.1;net-jitter@11s-12s:latency=2ms,p=0.5"
   in
   (match Chaos.parse spec with
   | Ok t -> check_bool "plan not empty" false (Chaos.is_none t)
@@ -61,6 +62,18 @@ let test_parse_errors () =
       "disk-fault@0s-1s:p=2";     (* probability out of range *)
       "disk-fault@0s-1s:wat=1";   (* unknown parameter *)
       "pressure@0s-1s:pages=-4";  (* negative page count *)
+      (* net-* clauses with malformed bandwidth/latency arguments must
+         fail the parse, not degrade silently to the defaults *)
+      "net-partition@0s-1s:p=1.5";
+      "net-brownout@0s-1s";                  (* neither factor nor bw *)
+      "net-brownout@0s-1s:factor=0";
+      "net-brownout@0s-1s:bandwidth=0";
+      "net-brownout@0s-1s:bandwidth=1.5";    (* fraction in (0,1] *)
+      "net-brownout@0s-1s:bandwidth=lots";
+      "net-jitter@0s-1s";                    (* latency required *)
+      "net-jitter@0s-1s:latency=0";
+      "net-jitter@0s-1s:latency=-5us";
+      "net-jitter@0s-1s:latency=soon";
     ];
   Alcotest.check_raises "create raises on bad spec"
     (Invalid_argument "chaos spec: unknown fault kind \"explode\"")

@@ -194,6 +194,53 @@ let golden_metrics () =
     ~label:(Printf.sprintf "%s EMBAR/R" Machine.quick.Machine.m_name)
     [ r ]
 
+(* ------------------------------------------------------------------ *)
+(* The always-present disk object                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The per-request deadline counter used to be dormant outside chaos runs;
+   the cell's "disk" object now carries it everywhere.  An injected
+   disk-slow window must move it: inflated positioning/transfer times push
+   requests past the deadline that a healthy run meets. *)
+let disk_cell ?chaos () =
+  let wl = Memhog_workloads.Workload.find "EMBAR" in
+  let r =
+    E.run
+      (E.setup ~machine:Machine.quick ~workload:wl ~variant:E.R ~iterations:1
+         ?chaos ())
+  in
+  (Metrics.of_result r).Metrics.c_disk
+
+let test_disk_slow_moves_timeouts () =
+  let healthy = disk_cell () in
+  let slowed = disk_cell ~chaos:"disk-slow@0s-60s:factor=20" () in
+  check_bool "disk traffic present" true
+    (healthy.Metrics.dk_reads > 0 && healthy.Metrics.dk_writes > 0);
+  check_bool "slow window adds deadline misses" true
+    (slowed.Metrics.dk_timeouts > healthy.Metrics.dk_timeouts);
+  check_bool "busy time inflated too" true
+    (slowed.Metrics.dk_busy_ns > healthy.Metrics.dk_busy_ns);
+  (* And the counter is the one the report table renders. *)
+  let m =
+    Metrics.of_results ~label:"disk-slow"
+      [
+        E.run
+          (E.setup ~machine:Machine.quick
+             ~workload:(Memhog_workloads.Workload.find "EMBAR") ~variant:E.R
+             ~iterations:1 ~chaos:"disk-slow@0s-60s:factor=20" ());
+      ]
+  in
+  match Mio.render (Mio.metrics_json m) with
+  | Ok text ->
+      check_bool "report renders the swap-volume table" true
+        (let contains hay needle =
+           let nl = String.length needle and hl = String.length hay in
+           let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+           go 0
+         in
+         contains text "Swap volume")
+  | Error e -> Alcotest.failf "render failed: %s" e
+
 let golden_path = "golden_metrics.json"
 
 let test_golden_cell () =
@@ -273,6 +320,11 @@ let () =
           Alcotest.test_case "structure" `Quick test_compare_structure;
           Alcotest.test_case "perturbed percentile" `Quick
             test_perturbed_percentile_detected;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "disk-slow window moves the timeout counter"
+            `Slow test_disk_slow_moves_timeouts;
         ] );
       ( "golden",
         [ Alcotest.test_case "EMBAR/R cell" `Quick test_golden_cell ] );

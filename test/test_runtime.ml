@@ -24,11 +24,11 @@ let test_buffer_lowest_priority_first () =
   check_int "total" 4 (Release_buffer.total b);
   check_bool "lowest" true (Release_buffer.lowest_priority b = Some 1);
   let first = Release_buffer.pop_lowest b ~max:2 in
-  Alcotest.(check (array (pair int int)))
-    "priority-1 pages first" [| (200, 2); (201, 2) |] first;
+  Alcotest.(check (array (triple int int int)))
+    "priority-1 pages first" [| (200, 2, 1); (201, 2, 1) |] first;
   let second = Release_buffer.pop_lowest b ~max:10 in
-  Alcotest.(check (array (pair int int)))
-    "then priority-2 pages" [| (100, 1); (101, 1) |] second;
+  Alcotest.(check (array (triple int int int)))
+    "then priority-2 pages" [| (100, 1, 2); (101, 1, 2) |] second;
   check_int "drained" 0 (Release_buffer.total b)
 
 let test_buffer_round_robin_same_priority () =
@@ -37,8 +37,8 @@ let test_buffer_round_robin_same_priority () =
   List.iter (fun v -> Release_buffer.add b ~tag:1 ~priority:1 ~vpn:v) [ 10; 11; 12 ];
   List.iter (fun v -> Release_buffer.add b ~tag:2 ~priority:1 ~vpn:v) [ 20; 21; 22 ];
   let out = Release_buffer.pop_lowest b ~max:4 in
-  Alcotest.(check (array (pair int int)))
-    "round robin" [| (10, 1); (20, 2); (11, 1); (21, 2) |] out
+  Alcotest.(check (array (triple int int int)))
+    "round robin" [| (10, 1, 1); (20, 2, 1); (11, 1, 1); (21, 2, 1) |] out
 
 let test_buffer_respects_max () =
   let b = Release_buffer.create () in
@@ -64,7 +64,7 @@ let test_buffer_same_tag_pop_flush_interleaved () =
      remainder, and the flushed tag must be reusable at a new priority. *)
   let b = Release_buffer.create () in
   List.iter (fun v -> Release_buffer.add b ~tag:1 ~priority:2 ~vpn:v) [ 10; 11; 12 ];
-  Alcotest.(check (array (pair int int))) "partial pop" [| (10, 1) |]
+  Alcotest.(check (array (triple int int int))) "partial pop" [| (10, 1, 2) |]
     (Release_buffer.pop_lowest b ~max:1);
   List.iter (fun v -> Release_buffer.add b ~tag:1 ~priority:2 ~vpn:v) [ 13; 14 ];
   Alcotest.(check (array int)) "flush returns the rest in order"
@@ -72,8 +72,8 @@ let test_buffer_same_tag_pop_flush_interleaved () =
     (Release_buffer.flush_tag b ~tag:1);
   check_int "empty after flush" 0 (Release_buffer.total b);
   Release_buffer.add b ~tag:1 ~priority:1 ~vpn:99;
-  Alcotest.(check (array (pair int int)))
-    "reused tag pops at its new priority" [| (99, 1) |]
+  Alcotest.(check (array (triple int int int)))
+    "reused tag pops at its new priority" [| (99, 1, 1) |]
     (Release_buffer.pop_lowest b ~max:4)
 
 let test_buffer_preserves_site_ids () =
@@ -92,7 +92,7 @@ let test_buffer_preserves_site_ids () =
   List.iter (fun v -> add ~tag:3 v) [ 32 ];
   let check_pairs what pairs =
     Array.iter
-      (fun (v, tag) ->
+      (fun (v, tag, _prio) ->
         check_int (Printf.sprintf "%s: vpn %d keeps its site" what v)
           (Hashtbl.find site_of v) tag)
       pairs
@@ -116,7 +116,8 @@ let test_buffer_flush_tag () =
     (Release_buffer.flush_tag b ~tag:1);
   check_int "others stay" 2 (Release_buffer.total b);
   Alcotest.(check (array int)) "missing tag" [||] (Release_buffer.flush_tag b ~tag:7);
-  Alcotest.(check (array (pair int int))) "rest pops" [| (20, 2); (21, 2) |]
+  Alcotest.(check (array (triple int int int))) "rest pops"
+    [| (20, 2, 1); (21, 2, 1) |]
     (Release_buffer.pop_lowest b ~max:10);
   (* a flushed tag is fully forgotten: it may be reused at a new priority *)
   Release_buffer.add b ~tag:1 ~priority:3 ~vpn:99;
@@ -165,7 +166,7 @@ let prop_buffer_priority_order =
         let batch = Release_buffer.pop_lowest b ~max:3 in
         if Array.length batch > 0 then begin
           Array.iter
-            (fun (v, _) -> order := Hashtbl.find prio_of v :: !order)
+            (fun (v, _, _) -> order := Hashtbl.find prio_of v :: !order)
             batch;
           drain ()
         end
@@ -206,14 +207,14 @@ let prop_buffer_interleaved_ops =
             (match kind with
             | 2 ->
                 let pairs = Array.to_list (Release_buffer.pop_lowest b ~max:k) in
-                let popped = List.map fst pairs in
+                let popped = List.map (fun (v, _, _) -> v) pairs in
                 require (List.length popped = min k (List.length !model));
                 let entry vpn = List.find_opt (fun (_, _, v) -> v = vpn) !model in
                 require (List.for_all (fun v -> entry v <> None) popped);
                 (* every popped page carries the tag it was added under *)
                 require
                   (List.for_all
-                     (fun (v, tg) ->
+                     (fun (v, tg, _) ->
                        match entry v with
                        | Some (t', _, _) -> t' = tg
                        | None -> false)
