@@ -84,6 +84,17 @@
                                          recovered; writes
                                          TIER_metrics.json (CI gate; see
                                          @tier-smoke)
+     bench/main.exe obs --quick ...      observability brownout: the tiers
+                                         partition cell re-run with the
+                                         full telemetry probe set and the
+                                         default alert rules, with
+                                         built-in checks that the breaker-
+                                         flap and SLO-burn alerts fired
+                                         during the partition window and
+                                         cleared after; writes
+                                         OBS_metrics.json (CI gate; see
+                                         @obs-smoke) and the OpenMetrics
+                                         snapshot OBS_openmetrics.txt
      bench/main.exe --chaos SPEC ...     inject the given fault plan into
                                          every matrix cell
      bench/main.exe microbench           bechamel microbenchmarks of the
@@ -102,7 +113,7 @@
    Experiment ids: table1 table2 fig1 fig7 fig8 table3 fig9 fig10a fig10b
    fig10c ablation-batch ablation-hwbits ablation-conservative
    ablation-rescue ablation-drop ablation-tlb ext-freemem ext-reactive
-   ext-two-hogs smoke chaos audit perf serve blame tiers microbench *)
+   ext-two-hogs smoke chaos audit perf serve blame tiers obs microbench *)
 
 open Memhog_core
 
@@ -694,6 +705,26 @@ let tiers_experiment ~machine ~jobs () =
   log "wrote TIER_metrics.json (deterministic)";
   Tier_exp.render t
 
+let obs_experiment ~machine ~jobs () =
+  (* One cell — jobs only matters for the log line; the registry itself is
+     cell-private, so the frozen metrics are jobs-independent anyway. *)
+  let rate = List.hd (serve_rates ~machine) in
+  log
+    (Printf.sprintf "obs: telemetry brownout cell @ %g rps, %d jobs" rate jobs);
+  let t = Obs_exp.run ~machine ~rate ~log () in
+  Obs_exp.check t;
+  Metrics_io.write_file ~path:"OBS_metrics.json"
+    (Metrics.of_results
+       ~label:(Printf.sprintf "obs %s" machine.Machine.m_name)
+       (Obs_exp.results t));
+  log "wrote OBS_metrics.json (deterministic)";
+  (* The scrape-time exposition, for humans and for the CI artifact. *)
+  Out_channel.with_open_bin "OBS_openmetrics.txt" (fun oc ->
+      output_string oc
+        (Memhog_sim.Telemetry.to_openmetrics (Obs_exp.telemetry t)));
+  log "wrote OBS_openmetrics.txt";
+  Obs_exp.render t
+
 let experiments ~machine ~jobs =
   [
     ("table1", fun () -> Figures.table1 ~machine ());
@@ -723,13 +754,14 @@ let experiments ~machine ~jobs =
     ("serve", fun () -> serve_experiment ~machine ~jobs ());
     ("blame", fun () -> blame_experiment ~machine ~jobs ());
     ("tiers", fun () -> tiers_experiment ~machine ~jobs ());
+    ("obs", fun () -> obs_experiment ~machine ~jobs ());
   ]
 
 let usage () =
   Printf.eprintf
     "usage: main.exe [--quick] [--jobs N] [--json] [--smoke] [--trace DIR] \
      [--chaos SPEC] [--perf] [--serve] [--blame] [--gc-minor-kb KB] \
-     [EXPERIMENT ...]  (EXPERIMENT includes tiers)\n"
+     [EXPERIMENT ...]  (EXPERIMENT includes tiers and obs)\n"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -826,7 +858,7 @@ let () =
         List.filter
           (fun (n, _) ->
             n <> "smoke" && n <> "chaos" && n <> "audit" && n <> "perf"
-            && n <> "serve" && n <> "blame" && n <> "tiers")
+            && n <> "serve" && n <> "blame" && n <> "tiers" && n <> "obs")
           registry
     | names ->
         List.map

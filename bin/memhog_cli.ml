@@ -13,6 +13,7 @@
      compare    diff two metrics JSON files (the CI regression gate)
      audit      per-directive-site efficacy report from the page ledger
      perf       wall-clock throughput bench (events/sec; work counters gated)
+     top        replay a telemetry dump as a live terminal dashboard
 *)
 
 open Cmdliner
@@ -158,9 +159,16 @@ let run_cmd =
   in
   let telemetry =
     Arg.(
-      value & flag
-      & info [ "telemetry" ]
-          ~doc:"Print sampled time series (free memory, resident sets) as sparklines.")
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"DIR"
+          ~doc:
+            "Register the full telemetry probe set (VM, disk, tiers, \
+             runtime, server) and the default alert rules, print every \
+             series as a sparkline with the alert timeline, and dump the \
+             registry into $(docv): $(b,openmetrics.txt) (text \
+             exposition), $(b,series.csv) and $(b,alerts.csv) — the \
+             files $(b,memhog top) replays.")
   in
   let csv =
     Arg.(
@@ -168,8 +176,10 @@ let run_cmd =
       & opt (some string) None
       & info [ "series"; "csv" ] ~docv:"FILE"
           ~doc:
-            "Write the sampled time series (free memory, resident sets, \
-             upper limit) to a CSV file ($(b,series,time_ns,value) rows).")
+            "Write the sampled time series to a CSV file \
+             ($(b,series,time_ns,value) rows).  Without $(b,--telemetry) \
+             this selects the legacy trio — free memory, resident set and \
+             the Eq. 1 upper limit — plus the trace-drop counter.")
   in
   let trace =
     Arg.(
@@ -259,8 +269,8 @@ let run_cmd =
     let r =
       Experiment.run
         (Experiment.setup ~machine ?interactive_sleep ?iterations ~min_sim_time
-           ~conservative ?trace:trace_buf ?chaos ?serve ?tiers ~workload
-           ~variant ())
+           ~conservative ?trace:trace_buf ?chaos ?serve ?tiers
+           ~telemetry:(telemetry <> None) ~workload ~variant ())
     in
     let b = r.Experiment.r_breakdown in
     Format.printf "workload:   %s  variant: %s@." r.Experiment.r_workload
@@ -372,15 +382,19 @@ let run_cmd =
           | None -> "-")
           i.Experiment.is_sweeps
     | None -> ());
-    if telemetry then
-      List.iter
-        (fun (_, series) ->
-          Format.printf "%a@." Memhog_sim.Series.pp_summary series)
-        r.Experiment.r_series;
+    (match telemetry with
+    | Some dir ->
+        Format.printf "%a" Memhog_sim.Telemetry.pp r.Experiment.r_telemetry;
+        Trace_export.write_telemetry r.Experiment.r_telemetry ~dir;
+        Format.printf
+          "telemetry written to %s (openmetrics.txt, series.csv, \
+           alerts.csv); replay with: memhog top %s@."
+          dir dir
+    | None -> ());
     (match csv with
     | Some path ->
-        Trace_export.write_series_csv r.Experiment.r_series ~path;
-        Format.printf "telemetry written to %s@." path
+        Trace_export.write_series_csv r.Experiment.r_telemetry ~path;
+        Format.printf "series written to %s@." path
     | None -> ());
     (match trace with
     | Some path ->
@@ -827,12 +841,9 @@ let compare_cmd =
               current tolerance;
             0
         | diffs ->
-            Format.printf "%d metric(s) drifted beyond %g%% (%s vs %s):@."
-              (List.length diffs) tolerance baseline current;
-            List.iter
-              (fun d ->
-                Format.printf "  %s: %s@." d.Metrics_io.d_path
-                  d.Metrics_io.d_reason)
+            Format.printf "@[<v>%d metric(s) drifted beyond %g%% (%s vs %s):@,%a@]@."
+              (List.length diffs) tolerance baseline current
+              (Metrics_io.pp_diffs ?limit:None)
               diffs;
             1)
   in
@@ -843,6 +854,176 @@ let compare_cmd =
           any number drifts beyond the tolerance.  The CI regression gate \
           runs this with --tolerance 0 against a committed baseline.")
     Term.(const run $ baseline $ current $ tolerance)
+
+(* ------------------------------------------------------------------ *)
+(* top — replay a telemetry dump as a live terminal dashboard          *)
+(* ------------------------------------------------------------------ *)
+
+let top_cmd =
+  let module Telemetry = Memhog_sim.Telemetry in
+  (* series.csv rows ([series,time_ns,value]) grouped by name in
+     first-appearance order; each group's samples stay in file (= time)
+     order. *)
+  let read_series path =
+    let order = ref [] and index = Hashtbl.create 16 in
+    In_channel.with_open_bin path (fun ic ->
+        let rec loop first =
+          match In_channel.input_line ic with
+          | None -> ()
+          | Some line ->
+              (if not first then
+                 match String.split_on_char ',' line with
+                 | [ name; time; value ] -> (
+                     match (int_of_string_opt time, float_of_string_opt value) with
+                     | Some t, Some v ->
+                         let q =
+                           match Hashtbl.find_opt index name with
+                           | Some q -> q
+                           | None ->
+                               let q = Queue.create () in
+                               Hashtbl.add index name q;
+                               order := name :: !order;
+                               q
+                         in
+                         Queue.add (t, v) q
+                     | _ -> ())
+                 | _ -> ());
+              loop false
+        in
+        loop true);
+    List.rev_map
+      (fun name -> (name, List.of_seq (Queue.to_seq (Hashtbl.find index name))))
+      !order
+  in
+  (* alerts.csv rows ([time_ns,rule,event,value]), chronological. *)
+  let read_alerts path =
+    if not (Sys.file_exists path) then []
+    else
+      In_channel.with_open_bin path (fun ic ->
+          let rec loop first acc =
+            match In_channel.input_line ic with
+            | None -> List.rev acc
+            | Some line ->
+                let acc =
+                  if first then acc
+                  else
+                    match String.split_on_char ',' line with
+                    | [ time; rule; event; value ] -> (
+                        match
+                          (int_of_string_opt time, float_of_string_opt value)
+                        with
+                        | Some t, Some v -> (t, rule, event = "fire", v) :: acc
+                        | _ -> acc)
+                    | _ -> acc
+                in
+                loop false acc
+          in
+          loop true [])
+  in
+  let render_frame ~width ~now series alerts =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf "memhog top — t = %s\n\n" (Time_ns.to_string now));
+    List.iter
+      (fun (name, samples) ->
+        let visible = List.filter (fun (t, _) -> t <= now) samples in
+        let last =
+          match List.rev visible with (_, v) :: _ -> v | [] -> 0.0
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-20s %12.6g  %s\n" name last
+             (Telemetry.sparkline_of ~width visible)))
+      series;
+    let active =
+      List.fold_left
+        (fun acc (t, rule, fired, v) ->
+          if t > now then acc
+          else
+            let acc = List.filter (fun (r, _, _) -> r <> rule) acc in
+            if fired then (rule, t, v) :: acc else acc)
+        [] alerts
+    in
+    Buffer.add_string buf "\n  alerts:\n";
+    if active = [] then Buffer.add_string buf "    (none active)\n"
+    else
+      List.iter
+        (fun (rule, t, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    FIRING %-24s since %s (value %.6g)\n" rule
+               (Time_ns.to_string t) v))
+        (List.rev active);
+    Buffer.contents buf
+  in
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR"
+          ~doc:"Telemetry directory written by $(b,memhog run --telemetry).")
+  in
+  let speed =
+    Arg.(
+      value
+      & opt float 4.0
+      & info [ "speed" ] ~docv:"X"
+          ~doc:
+            "Playback rate: $(docv) seconds of simulated time per wall \
+             second.  0 renders the final frame only (no animation, no \
+             escape codes) — the scriptable mode.")
+  in
+  let width =
+    Arg.(
+      value
+      & opt int 60
+      & info [ "width" ] ~docv:"COLS" ~doc:"Sparkline width in columns.")
+  in
+  let run dir speed width =
+    let series = read_series (Filename.concat dir "series.csv") in
+    let alerts = read_alerts (Filename.concat dir "alerts.csv") in
+    if series = [] then begin
+      Format.eprintf "memhog top: no samples in %s@."
+        (Filename.concat dir "series.csv");
+      1
+    end
+    else begin
+      let t_end =
+        List.fold_left
+          (fun acc (_, samples) ->
+            List.fold_left (fun acc (t, _) -> max acc t) acc samples)
+          0 series
+      in
+      if speed <= 0.0 then
+        print_string (render_frame ~width ~now:t_end series alerts)
+      else begin
+        let frames = 120 in
+        let dt = max 1 (t_end / frames) in
+        (* Clear once, then repaint from the home position each frame —
+           flicker-free on any VT100-compatible terminal. *)
+        print_string "\027[2J";
+        let rec play now =
+          let now = min now t_end in
+          print_string "\027[H";
+          print_string (render_frame ~width ~now series alerts);
+          print_string "\027[J";
+          flush stdout;
+          if now < t_end then begin
+            Unix.sleepf (Time_ns.to_sec_f dt /. speed);
+            play (now + dt)
+          end
+        in
+        play dt;
+        print_newline ()
+      end;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Replay a telemetry dump (written by $(b,memhog run --telemetry \
+          DIR)) as a live terminal dashboard: one sparkline per series and \
+          an active-alert panel, animated over simulated time.")
+    Term.(const run $ dir $ speed $ width)
 
 (* ------------------------------------------------------------------ *)
 (* audit                                                               *)
@@ -1110,11 +1291,9 @@ let perf_cmd =
         Format.printf "perf work counters match the baseline@.";
         0
     | diffs ->
-        Format.printf "%d perf work counter(s) diverged from the baseline:@."
-          (List.length diffs);
-        List.iter
-          (fun d ->
-            Format.printf "  %s: %s@." d.Metrics_io.d_path d.Metrics_io.d_reason)
+        Format.printf "@[<v>%d perf work counter(s) diverged from the baseline:@,%a@]@."
+          (List.length diffs)
+          (Metrics_io.pp_diffs ?limit:None)
           diffs;
         1
   in
@@ -1168,5 +1347,5 @@ let () =
           [
             list_cmd; machine_cmd; compile_cmd; run_cmd; sweep_cmd;
             serve_cmd; blame_cmd; tiers_cmd; report_cmd; compare_cmd;
-            audit_cmd; perf_cmd;
+            audit_cmd; perf_cmd; top_cmd;
           ]))

@@ -49,10 +49,11 @@ let () =
             (match i.Experiment.is_avg_hard_faults with
             | Some f -> Printf.sprintf "%.1f" f
             | None -> "-");
-          (match List.assoc_opt "inter-rss" r.Experiment.r_series with
-          | Some s ->
+          let tl = r.Experiment.r_telemetry in
+          (match Memhog_sim.Telemetry.summary_of tl "inter-rss" with
+          | Some _ ->
               Format.printf "  resident set over time: |%s|@."
-                (Memhog_sim.Series.sparkline ~width:48 s)
+                (Memhog_sim.Telemetry.sparkline ~width:48 tl "inter-rss")
           | None -> ())
       | None -> ())
     Experiment.all_variants;

@@ -64,7 +64,7 @@ type result = {
   r_compiler : Pir.gen_stats;
   r_interactive : interactive_summary option;
   r_app_tlb_misses : int;
-  r_series : (string * Series.t) list;
+  r_telemetry : Telemetry.t;
   r_swap_reads : int;
   r_swap_writes : int;
   r_disk_busy : Time_ns.t;
@@ -102,6 +102,7 @@ type setup = {
   ledger_on : bool;
   serve : Server.cfg option;
   tiers : string option;
+  telemetry : bool;
 }
 
 (* Machine-relative serving cell: the keyspace shapes come from
@@ -135,7 +136,8 @@ let serve_cfg ?(slo = Time_ns.ms 30) ?(duration = Time_ns.sec 20)
 let setup ?(machine = Machine.paper) ?interactive_sleep ?iterations
     ?(min_sim_time = 0) ?(conservative = false) ?(reactive = false)
     ?release_target ?(max_sim_time = Time_ns.sec 3600) ?trace ?chaos ?governor
-    ?(ledger_on = true) ?serve ?tiers ~workload ~variant () =
+    ?(ledger_on = true) ?serve ?tiers ?(telemetry = false) ~workload ~variant
+    () =
   (* Validate the specs eagerly so a bad --chaos or --tiers fails before
      any work. *)
   (match chaos with
@@ -161,6 +163,7 @@ let setup ?(machine = Machine.paper) ?interactive_sleep ?iterations
     ledger_on;
     serve;
     tiers;
+    telemetry;
   }
 
 let summarize_interactive ~sleep (task : Interactive.t) =
@@ -258,23 +261,136 @@ let run (s : setup) =
   let iterations =
     Option.value s.iterations ~default:s.workload.Workload.w_iterations
   in
-  (* telemetry sampler *)
-  let free_series = Series.create ~name:"free" in
-  let rss_series = Series.create ~name:"app-rss" in
-  let limit_series = Series.create ~name:"app-limit" in
-  let inter_series = Series.create ~name:"inter-rss" in
+  (* Telemetry registry: the single sampling path.  Every probe is a
+     closure read at scrape time; scraping never touches the engine, so
+     the sampler fiber's event schedule — and every gated work counter —
+     is identical whether the registry holds four series or twenty. *)
+  let tl = Telemetry.create ~trace () in
+  let app_asp = App.asp app in
+  (* The legacy [--series] trio (plus the interactive task's RSS), under
+     their historical names. *)
+  Telemetry.register_gauge tl ~name:"free" ~help:"Free physical frames."
+    (fun () -> float_of_int (Os.free_pages os));
+  Telemetry.register_gauge tl ~name:"app-rss"
+    ~help:"Out-of-core application resident set (pages)." (fun () ->
+      float_of_int app_asp.Memhog_vm.Address_space.rss);
+  Telemetry.register_gauge tl ~name:"app-limit"
+    ~help:"Equation 1 upper limit the OS published for the app (pages)."
+    (fun () -> float_of_int (Os.shared_upper_limit os app_asp));
+  Option.iter
+    (fun t ->
+      let iasp = Interactive.asp t in
+      Telemetry.register_gauge tl ~name:"inter-rss"
+        ~help:"Interactive task resident set (pages)." (fun () ->
+          float_of_int iasp.Memhog_vm.Address_space.rss))
+    task;
+  (* Ring losses are telemetry, not a buried field: every exporter
+     (Chrome, CSV, OpenMetrics) reports this counter. *)
+  Telemetry.register_counter tl ~name:"trace-dropped"
+    ~help:"Events overwritten in the trace ring." (fun () ->
+      float_of_int (Trace.dropped trace));
+  if s.telemetry then begin
+    (* Full registry: VM, disk, tiers, runtime and server probes, plus the
+       default alert rules. *)
+    Telemetry.register_counter tl ~name:"hard-faults"
+      ~help:"Application demand reads from swap." (fun () ->
+        float_of_int
+          app_asp.Memhog_vm.Address_space.stats.Vm_stats.hard_faults);
+    Telemetry.register_counter tl ~name:"refaults"
+      ~help:"Too-early releases that hard-refaulted (ledger)." (fun () ->
+        float_of_int (Ledger.refaults ledger));
+    Telemetry.register_counter tl ~name:"early-rescues"
+      ~help:"Too-early releases rescued from the free list (ledger)."
+      (fun () -> float_of_int (Ledger.early_rescues ledger));
+    let swap = Os.swap os in
+    Telemetry.register_gauge tl ~name:"swap-queue"
+      ~help:"Requests waiting at (or occupying) the swap stripes' arms."
+      (fun () -> float_of_int (Memhog_disk.Swap.queue_depth swap));
+    Telemetry.register_counter tl ~name:"swap-busy-ns"
+      ~help:"Cumulative arm service time across the stripes (simulated ns)."
+      (fun () -> float_of_int (Memhog_disk.Swap.total_busy_time swap));
+    Telemetry.register_counter tl ~name:"swap-timeouts"
+      ~help:"Swap requests that blew their per-request deadline." (fun () ->
+        float_of_int (Memhog_disk.Swap.total_timeouts swap));
+    Option.iter
+      (fun tr ->
+        let module Tiers = Memhog_vm.Tiers in
+        Telemetry.register_gauge tl ~name:"breaker-state"
+          ~help:"Far-tier circuit breaker (0 closed, 1 half-open, 2 open)."
+          (fun () -> float_of_int (Tiers.breaker_state tr));
+        Telemetry.register_counter tl ~name:"breaker-transitions"
+          ~help:"Circuit-breaker state changes." (fun () ->
+            float_of_int (Tiers.breaker_transitions tr));
+        Telemetry.register_counter tl ~name:"tier-rescues"
+          ~help:"Reads rescued from the durable swap copy." (fun () ->
+            float_of_int (Tiers.rescues tr));
+        Telemetry.register_counter tl ~name:"far-failovers"
+          ~help:"Demotions failed over to local swap." (fun () ->
+            float_of_int (Tiers.far_failovers tr)))
+      (Os.tiers os);
+    (if s.variant <> O then
+       let rt = App.runtime app in
+       Telemetry.register_gauge tl ~name:"release-buffer"
+         ~help:"Pages held in the runtime's priority release buffer."
+         (fun () -> float_of_int (Runtime.buffered_pages rt));
+       Telemetry.register_gauge tl ~name:"gov-level"
+         ~help:"Degradation-governor rung (0 configured policy, 2 off)."
+         (fun () -> float_of_int (Runtime.governor_level rt));
+       Telemetry.register_counter tl ~name:"gov-transitions"
+         ~help:"Governor rung changes, both directions." (fun () ->
+           let st = Runtime.stats rt in
+           float_of_int (st.Runtime.rt_gov_degrades + st.Runtime.rt_gov_recoveries)));
+    Option.iter
+      (fun sv ->
+        Telemetry.register_gauge tl ~name:"queue-depth"
+          ~help:"Open-loop server arrival-queue backlog." (fun () ->
+            float_of_int (Server.queue_depth sv));
+        Telemetry.register_counter tl ~name:"arrivals"
+          ~help:"Requests generated by the open-loop source." (fun () ->
+            float_of_int (Server.arrived sv));
+        Telemetry.register_counter tl ~name:"slo-recorded"
+          ~help:"Responses recorded (completions past warm-up)." (fun () ->
+            float_of_int (Server.recorded sv));
+        Telemetry.register_counter tl ~name:"slo-missed"
+          ~help:"Recorded responses over the SLO." (fun () ->
+            float_of_int (Server.recorded sv - Server.slo_ok sv)))
+      server;
+    (* Default alert rules.  Windows count 100 ms scrapes. *)
+    let frames =
+      float_of_int m.Machine.m_config.Memhog_vm.Config.total_frames
+    in
+    Telemetry.add_rule tl ~name:"free_starvation" ~series:"free" ~window:5
+      ~signal:Telemetry.Window_mean ~direction:Telemetry.Below
+      ~fire:(frames /. 64.0) ~clear:(frames /. 32.0) ();
+    Telemetry.add_rule tl ~name:"refault_storm" ~series:"refaults" ~window:10
+      ~signal:Telemetry.Window_rate ~direction:Telemetry.Above ~fire:25.0
+      ~clear:0.0 ();
+    if Os.tiers os <> None then
+      Telemetry.add_rule tl ~name:"breaker_flap" ~series:"breaker-transitions"
+        ~window:20 ~signal:Telemetry.Window_rate ~direction:Telemetry.Above
+        ~fire:2.0 ~clear:0.0 ();
+    if s.variant <> O then
+      Telemetry.add_rule tl ~name:"governor_oscillation"
+        ~series:"gov-transitions" ~window:50 ~signal:Telemetry.Window_rate
+        ~direction:Telemetry.Above ~fire:3.0 ~clear:0.0 ();
+    if server <> None then begin
+      Telemetry.add_rule tl ~name:"slo_fast_burn" ~series:"slo-missed"
+        ~window:5
+        ~signal:(Telemetry.Window_ratio "slo-recorded")
+        ~direction:Telemetry.Above ~fire:0.5 ~clear:0.1 ();
+      Telemetry.add_rule tl ~name:"slo_slow_burn" ~series:"slo-missed"
+        ~window:30
+        ~signal:(Telemetry.Window_ratio "slo-recorded")
+        ~direction:Telemetry.Above ~fire:0.2 ~clear:0.05 ()
+    end
+  end;
   ignore
     (Engine.spawn engine ~name:"sampler" (fun () ->
          while true do
            Engine.delay ~cat:Account.Sleep (Time_ns.ms 100);
            let now = Engine.now () in
-           let app_asp = App.asp app in
+           Telemetry.scrape tl ~time:now;
            let app_rss = app_asp.Memhog_vm.Address_space.rss in
-           Series.add free_series ~time:now
-             ~value:(float_of_int (Os.free_pages os));
-           Series.add rss_series ~time:now ~value:(float_of_int app_rss);
-           Series.add limit_series ~time:now
-             ~value:(float_of_int (Os.shared_upper_limit os app_asp));
            if Trace.enabled trace then begin
              let pid = app_asp.Memhog_vm.Address_space.pid in
              Trace.emit trace ~time:now ~stream:pid
@@ -295,8 +411,6 @@ let run (s : setup) =
            match task with
            | Some t ->
                let iasp = Interactive.asp t in
-               Series.add inter_series ~time:now
-                 ~value:(float_of_int iasp.Memhog_vm.Address_space.rss);
                if Trace.enabled trace then
                  let pid = iasp.Memhog_vm.Address_space.pid in
                  Trace.emit trace ~time:now ~stream:pid
@@ -369,13 +483,7 @@ let run (s : setup) =
           summarize_interactive ~sleep:(Option.get s.interactive_sleep) t)
         task;
     r_app_tlb_misses = Memhog_vm.Tlb.misses asp.Memhog_vm.Address_space.tlb;
-    r_series =
-      [
-        ("free", free_series);
-        ("app-rss", rss_series);
-        ("app-limit", limit_series);
-      ]
-      @ (if task <> None then [ ("inter-rss", inter_series) ] else []);
+    r_telemetry = tl;
     r_swap_reads = Memhog_disk.Swap.page_reads swap;
     r_disk_busy = Memhog_disk.Swap.total_busy_time swap;
     r_swap_writes = Memhog_disk.Swap.page_writes swap;

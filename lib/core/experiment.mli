@@ -54,10 +54,15 @@ type result = {
   r_compiler : Memhog_compiler.Pir.gen_stats;
   r_interactive : interactive_summary option;
   r_app_tlb_misses : int;
-  r_series : (string * Memhog_sim.Series.t) list;
-      (** telemetry sampled every 100 ms of simulated time: "free" (free
-          pages), "app-rss", "app-limit" (the Equation 1 upper limit the OS
-          published), and "inter-rss" when the interactive task is present *)
+  r_telemetry : Memhog_sim.Telemetry.t;
+      (** the unified telemetry registry, scraped every 100 ms of simulated
+          time.  Always carries the legacy series — "free" (free pages),
+          "app-rss", "app-limit" (the Equation 1 upper limit the OS
+          published), "inter-rss" when the interactive task is present —
+          plus a "trace-dropped" counter.  With [setup.telemetry] the full
+          probe set (VM, disk, tiers, runtime, server) and the default
+          alert rules are registered too.  Cell-private and scraped on a
+          deterministic sim-time cadence: byte-identical at any [--jobs]. *)
   r_swap_reads : int;
   r_swap_writes : int;
   r_disk_busy : Memhog_sim.Time_ns.t;
@@ -155,6 +160,12 @@ type setup = {
           volume ({!Memhog_vm.Tiers.spec_of_string} grammar) — released
           pages gain fast-tier copies routed by their Eq. 2 priorities,
           with health-checked failover back to the durable swap copy *)
+  telemetry : bool;
+      (** register the full telemetry probe set and the default alert rules
+          (SLO burn, refault storm, free-list starvation, breaker flap,
+          governor oscillation).  Off by default; the sampler fiber runs
+          the same 100 ms cadence either way, so enabling telemetry never
+          changes the engine schedule or any gated work counter. *)
 }
 
 val serve_cfg :
@@ -190,6 +201,7 @@ val setup :
   ?ledger_on:bool ->
   ?serve:Memhog_exec.Server.cfg ->
   ?tiers:string ->
+  ?telemetry:bool ->
   workload:Memhog_workloads.Workload.t ->
   variant:variant ->
   unit ->

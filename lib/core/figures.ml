@@ -753,9 +753,9 @@ let ext_freemem ?(machine = Machine.paper) ?(jobs = 1) ?(log = no_log) () =
         (fun (v, (r : E.result)) ->
           Format.fprintf fmt "%s:@," (E.variant_name v);
           List.iter
-            (fun (_, series) ->
-              Format.fprintf fmt "  %a@," Memhog_sim.Series.pp_summary series)
-            r.E.r_series;
+            (fun s ->
+              Format.fprintf fmt "  %a@," Memhog_sim.Telemetry.pp_summary s)
+            (Memhog_sim.Telemetry.summaries r.E.r_telemetry);
           Format.fprintf fmt "@,")
         runs)
 

@@ -30,22 +30,55 @@ let summarize_hist h =
     hs_buckets = Histogram.to_alist h;
   }
 
-type series_summary = {
-  ss_name : string;
-  ss_samples : int;
-  ss_min : float;
-  ss_mean : float;
-  ss_max : float;
+type tel_series = {
+  es_name : string;
+  es_kind : string;
+  es_samples : int;
+  es_last : float;
+  es_min : float;
+  es_mean : float;
+  es_max : float;
 }
 
-let summarize_series (name, s) =
-  let v f = Option.value (f s) ~default:0.0 in
+type tel_alert = {
+  ea_time_ns : int;
+  ea_rule : string;
+  ea_fired : bool;
+  ea_value : float;
+}
+
+type telemetry_summary = {
+  tm_scrapes : int;
+  tm_series : tel_series list;
+  tm_alerts : tel_alert list;
+}
+
+let summarize_telemetry tl =
   {
-    ss_name = name;
-    ss_samples = Series.length s;
-    ss_min = v Series.min_value;
-    ss_mean = v Series.mean;
-    ss_max = v Series.max_value;
+    tm_scrapes = Telemetry.scrapes tl;
+    tm_series =
+      List.map
+        (fun (ts : Telemetry.series_summary) ->
+          {
+            es_name = ts.Telemetry.ts_name;
+            es_kind = Telemetry.kind_name ts.Telemetry.ts_kind;
+            es_samples = ts.Telemetry.ts_samples;
+            es_last = ts.Telemetry.ts_last;
+            es_min = ts.Telemetry.ts_min;
+            es_mean = ts.Telemetry.ts_mean;
+            es_max = ts.Telemetry.ts_max;
+          })
+        (Telemetry.summaries tl);
+    tm_alerts =
+      List.map
+        (fun (a : Telemetry.alert) ->
+          {
+            ea_time_ns = a.Telemetry.al_time;
+            ea_rule = a.Telemetry.al_rule;
+            ea_fired = a.Telemetry.al_fired;
+            ea_value = a.Telemetry.al_value;
+          })
+        (Telemetry.alerts tl);
   }
 
 type release_accuracy = {
@@ -284,7 +317,7 @@ type cell = {
   c_prefetch : hist_summary;
   c_response : hist_summary option;
   c_release : release_accuracy;
-  c_series : series_summary list;
+  c_telemetry : telemetry_summary;
   c_hard_faults : int;
   c_soft_faults : int;
   c_swap_reads : int;
@@ -336,7 +369,7 @@ let of_result (r : E.result) =
     c_prefetch = summarize_hist r.E.r_prefetch_hist;
     c_response = Option.map summarize_hist r.E.r_response_hist;
     c_release = release_accuracy_of r;
-    c_series = List.map summarize_series r.E.r_series;
+    c_telemetry = summarize_telemetry r.E.r_telemetry;
     c_hard_faults = r.E.r_app_stats.VS.hard_faults;
     c_soft_faults = r.E.r_app_stats.VS.soft_faults;
     c_swap_reads = r.E.r_swap_reads;

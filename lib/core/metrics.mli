@@ -30,13 +30,32 @@ type hist_summary = {
 
 val summarize_hist : Memhog_sim.Histogram.t -> hist_summary
 
-type series_summary = {
-  ss_name : string;
-  ss_samples : int;
-  ss_min : float;            (** 0.0 when the series is empty *)
-  ss_mean : float;
-  ss_max : float;
+(** One registered telemetry series, reduced to its all-time aggregates. *)
+type tel_series = {
+  es_name : string;
+  es_kind : string;          (** "counter" or "gauge" *)
+  es_samples : int;
+  es_last : float;
+  es_min : float;            (** 0.0 everywhere when the series is empty *)
+  es_mean : float;
+  es_max : float;
 }
+
+(** One alert-rule transition (fire or clear) from the telemetry timeline. *)
+type tel_alert = {
+  ea_time_ns : int;
+  ea_rule : string;
+  ea_fired : bool;           (** [true] = fire, [false] = clear *)
+  ea_value : float;          (** the rule's signal at the transition *)
+}
+
+type telemetry_summary = {
+  tm_scrapes : int;
+  tm_series : tel_series list;   (** registration order *)
+  tm_alerts : tel_alert list;    (** chronological *)
+}
+
+val summarize_telemetry : Memhog_sim.Telemetry.t -> telemetry_summary
 
 (** Release accuracy (Figure 9 plus the run-time layer's own filters): how
     many pages the application released, what happened to them, and the
@@ -222,8 +241,10 @@ type cell = {
   c_response : hist_summary option;
       (** interactive per-sweep response times (warm-up skipped) *)
   c_release : release_accuracy;
-  c_series : series_summary list;
-      (** free-list depth and RSS telemetry ("free", "app-rss", ...) *)
+  c_telemetry : telemetry_summary;
+      (** the telemetry registry's close-out: per-series aggregates
+          ("free", "app-rss", ... plus the full probe set when the cell
+          ran with telemetry on) and the alert timeline *)
   c_hard_faults : int;
   c_soft_faults : int;
   c_swap_reads : int;

@@ -267,8 +267,14 @@ let schema = "memhog-metrics"
    "tiers" object (tiered-store cells: per-tier traffic rows, cross-tier
    rescues, breaker state, placement and compression amplification; null
    without a --tiers spec); the "serving" object gained the recovery mark
-   and its post-mark SLO tally. *)
-let schema_version = 6
+   and its post-mark SLO tally.
+   v7: the ad-hoc "series" array became the always-present "telemetry"
+   object — the unified registry's close-out: scrape count, per-series
+   aggregates (name, kind, samples, last/min/mean/max; the legacy trio
+   plus a "trace-dropped" counter, and the full VM/disk/tiers/runtime/
+   server probe set for cells run with telemetry on) and the alert-rule
+   timeline (time, rule, fire|clear, signal value). *)
+let schema_version = 7
 
 let breakdown_json (b : Experiment.breakdown) =
   Obj
@@ -315,14 +321,33 @@ let release_json (ra : Metrics.release_accuracy) =
         num_of_float ra.Metrics.ra_rescue_ratio_releaser );
     ]
 
-let series_json (s : Metrics.series_summary) =
+let tel_series_json (s : Metrics.tel_series) =
   Obj
     [
-      ("name", Str s.Metrics.ss_name);
-      ("samples", num_of_int s.Metrics.ss_samples);
-      ("min", num_of_float s.Metrics.ss_min);
-      ("mean", num_of_float s.Metrics.ss_mean);
-      ("max", num_of_float s.Metrics.ss_max);
+      ("name", Str s.Metrics.es_name);
+      ("kind", Str s.Metrics.es_kind);
+      ("samples", num_of_int s.Metrics.es_samples);
+      ("last", num_of_float s.Metrics.es_last);
+      ("min", num_of_float s.Metrics.es_min);
+      ("mean", num_of_float s.Metrics.es_mean);
+      ("max", num_of_float s.Metrics.es_max);
+    ]
+
+let tel_alert_json (a : Metrics.tel_alert) =
+  Obj
+    [
+      ("time_ns", num_of_int a.Metrics.ea_time_ns);
+      ("rule", Str a.Metrics.ea_rule);
+      ("event", Str (if a.Metrics.ea_fired then "fire" else "clear"));
+      ("value", num_of_float a.Metrics.ea_value);
+    ]
+
+let telemetry_json (t : Metrics.telemetry_summary) =
+  Obj
+    [
+      ("scrapes", num_of_int t.Metrics.tm_scrapes);
+      ("series", Arr (List.map tel_series_json t.Metrics.tm_series));
+      ("alerts", Arr (List.map tel_alert_json t.Metrics.tm_alerts));
     ]
 
 let opt f = function None -> Null | Some v -> f v
@@ -527,7 +552,7 @@ let cell_json (c : Metrics.cell) =
       ("prefetch_hist", hist_json c.Metrics.c_prefetch);
       ("response_hist", opt hist_json c.Metrics.c_response);
       ("release_accuracy", release_json c.Metrics.c_release);
-      ("series", Arr (List.map series_json c.Metrics.c_series));
+      ("telemetry", telemetry_json c.Metrics.c_telemetry);
       ("hard_faults", num_of_int c.Metrics.c_hard_faults);
       ("soft_faults", num_of_int c.Metrics.c_soft_faults);
       ("swap_reads", num_of_int c.Metrics.c_swap_reads);
@@ -640,7 +665,12 @@ let load_file ~path =
 (* Comparison                                                          *)
 (* ------------------------------------------------------------------ *)
 
-type diff = { d_path : string; d_reason : string }
+type diff = {
+  d_path : string;
+  d_expected : string;
+  d_got : string;
+  d_reason : string;
+}
 
 let type_name = function
   | Null -> "null"
@@ -652,30 +682,44 @@ let type_name = function
 
 let compare_json ~tolerance a b =
   let diffs = ref [] in
-  let report path reason = diffs := { d_path = path; d_reason = reason } :: !diffs in
+  let report path ~expected ~got reason =
+    diffs :=
+      { d_path = path; d_expected = expected; d_got = got; d_reason = reason }
+      :: !diffs
+  in
   let rec go path a b =
     match (a, b) with
     | Null, Null -> ()
     | Bool x, Bool y ->
         if x <> y then
-          report path (Printf.sprintf "%b -> %b" x y)
+          report path ~expected:(string_of_bool x) ~got:(string_of_bool y)
+            "boolean changed"
     | Str x, Str y ->
-        if x <> y then report path (Printf.sprintf "%S -> %S" x y)
+        if x <> y then
+          report path
+            ~expected:(Printf.sprintf "%S" x)
+            ~got:(Printf.sprintf "%S" y)
+            "string changed"
     | Num (x, lx), Num (y, ly) ->
         if tolerance <= 0.0 then begin
-          if lx <> ly then report path (Printf.sprintf "%s -> %s" lx ly)
+          if lx <> ly then
+            report path ~expected:lx ~got:ly "lexeme differs (tolerance 0%)"
         end
         else if x <> y then begin
           let denom = Float.max (Float.abs x) (Float.abs y) in
           let pct = Float.abs (x -. y) /. denom *. 100.0 in
           if pct > tolerance then
-            report path
-              (Printf.sprintf "%s -> %s (%.3f%% > %.3f%%)" lx ly pct tolerance)
+            report path ~expected:lx ~got:ly
+              (Printf.sprintf "relative drift %.3f%% exceeds tolerance %.3f%%"
+                 pct tolerance)
         end
     | Arr xs, Arr ys ->
         let lx = List.length xs and ly = List.length ys in
         if lx <> ly then
-          report path (Printf.sprintf "array length %d -> %d" lx ly)
+          report path
+            ~expected:(Printf.sprintf "%d elements" lx)
+            ~got:(Printf.sprintf "%d elements" ly)
+            "array length changed"
         else
           List.iteri
             (fun i (x, y) -> go (Printf.sprintf "%s[%d]" path i) x y)
@@ -686,19 +730,32 @@ let compare_json ~tolerance a b =
           (fun (k, x) ->
             match List.assoc_opt k ys with
             | Some y -> go (join path k) x y
-            | None -> report (join path k) "missing in current")
+            | None ->
+                report (join path k) ~expected:(type_name x) ~got:"absent"
+                  "missing in current")
           xs;
         List.iter
-          (fun (k, _) ->
+          (fun (k, y) ->
             if List.assoc_opt k xs = None then
-              report (join path k) "not in baseline")
+              report (join path k) ~expected:"absent" ~got:(type_name y)
+                "not in baseline")
           ys
     | x, y ->
-        report path
-          (Printf.sprintf "type %s -> %s" (type_name x) (type_name y))
+        report path ~expected:(type_name x) ~got:(type_name y) "type changed"
   in
   go "" a b;
   List.rev !diffs
+
+let pp_diffs ?(limit = 8) fmt diffs =
+  let total = List.length diffs in
+  let shown = if limit <= 0 then diffs else List.filteri (fun i _ -> i < limit) diffs in
+  List.iter
+    (fun d ->
+      Format.fprintf fmt "  %s@,    expected %s@,    got      %s  (%s)@,"
+        d.d_path d.d_expected d.d_got d.d_reason)
+    shown;
+  let rest = total - List.length shown in
+  if rest > 0 then Format.fprintf fmt "  ... and %d more mismatch(es)@," rest
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -1083,28 +1140,62 @@ let render j =
         end
       end;
       Format.fprintf fmt "@,";
-      Report.table ~title:"Telemetry (min / mean / max)"
-        ~header:[ "run"; "series"; "samples"; "min"; "mean"; "max" ]
+      Report.table ~title:"Telemetry (min / mean / max / last)"
+        ~header:
+          [ "run"; "series"; "kind"; "samples"; "min"; "mean"; "max"; "last" ]
         ~rows:
           (List.concat_map
              (fun c ->
-               match member "series" c with
-               | Some (Arr ss) ->
-                   List.map
-                     (fun s ->
-                       let f k =
-                         match float_member k s with
-                         | Some f -> Report.f1 f
-                         | None -> "-"
-                       in
-                       [
-                         run c; istr "name" s; icount "samples" s;
-                         f "min"; f "mean"; f "max";
-                       ])
-                     ss
+               match member "telemetry" c with
+               | Some tel -> (
+                   match member "series" tel with
+                   | Some (Arr ss) ->
+                       List.map
+                         (fun s ->
+                           let f k =
+                             match float_member k s with
+                             | Some f -> Report.f1 f
+                             | None -> "-"
+                           in
+                           [
+                             run c; istr "name" s; istr "kind" s;
+                             icount "samples" s; f "min"; f "mean"; f "max";
+                             f "last";
+                           ])
+                         ss
+                   | _ -> [])
                | _ -> [])
              cells)
         fmt ();
+      let alert_rows =
+        List.concat_map
+          (fun c ->
+            match member "telemetry" c with
+            | Some tel -> (
+                match member "alerts" tel with
+                | Some (Arr als) ->
+                    List.map
+                      (fun a ->
+                        [
+                          run c;
+                          ins "time_ns" a;
+                          istr "rule" a;
+                          istr "event" a;
+                          (match float_member "value" a with
+                          | Some f -> Report.f1 f
+                          | None -> "-");
+                        ])
+                      als
+                | _ -> [])
+            | _ -> [])
+          cells
+      in
+      if alert_rows <> [] then begin
+        Format.fprintf fmt "@,";
+        Report.table ~title:"Alert timeline"
+          ~header:[ "run"; "time"; "rule"; "event"; "value" ]
+          ~rows:alert_rows fmt ()
+      end;
       let with_chaos =
         List.filter
           (fun c ->

@@ -49,8 +49,10 @@ val load_file : path:string -> (json, string) result
 (** {1 Comparison} *)
 
 type diff = {
-  d_path : string;   (** dotted path, e.g. ["cells[3].fault_hist.p99_ns"] *)
-  d_reason : string;
+  d_path : string;     (** full dotted path, e.g. ["cells[3].fault_hist.p99_ns"] *)
+  d_expected : string; (** baseline value (raw lexeme for numbers) *)
+  d_got : string;      (** current value *)
+  d_reason : string;   (** why it was flagged, including the tolerance *)
 }
 
 val compare_json : tolerance:float -> json -> json -> diff list
@@ -58,6 +60,13 @@ val compare_json : tolerance:float -> json -> json -> diff list
     match exactly.  Numbers: with [tolerance = 0] the raw lexemes must be
     byte-identical; otherwise the relative difference
     |a-b| / max(|a|,|b|) must not exceed [tolerance] percent. *)
+
+val pp_diffs : ?limit:int -> Format.formatter -> diff list -> unit
+(** Regression-gate failure report: for the first [limit] (default 8)
+    mismatches print the full JSON path, the expected and observed values,
+    and the reason (with the tolerance that was applied); any remainder is
+    summarised as a count.  Assumes the formatter is inside a vertical
+    box. *)
 
 (** {1 Rendering} *)
 

@@ -216,7 +216,9 @@ let check ~baseline ~current =
           Error
             (String.concat "\n"
                (List.map
-                  (fun d -> Printf.sprintf "%s: %s" d.d_path d.d_reason)
+                  (fun d ->
+                    Printf.sprintf "%s: expected %s, got %s (%s)" d.d_path
+                      d.d_expected d.d_got d.d_reason)
                   diffs)))
 
 let render t =

@@ -252,17 +252,14 @@ let blame_span_to_chrome_json (sp : Reqtrace.span) =
 
 let write_blame_span sp ~path = write_file ~path (blame_span_to_chrome_json sp)
 
-let series_to_csv series =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "series,time_ns,value\n";
-  List.iter
-    (fun (name, s) ->
-      Series.iter s (fun ~time ~value ->
-          Buffer.add_string buf (Printf.sprintf "%s,%d,%g\n" name time value)))
-    series;
-  Buffer.contents buf
+let write_series_csv tl ~path = write_file ~path (Telemetry.to_csv tl)
 
-let write_series_csv series ~path = write_file ~path (series_to_csv series)
+let write_telemetry tl ~dir =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  write_file ~path:(Filename.concat dir "openmetrics.txt")
+    (Telemetry.to_openmetrics tl);
+  write_file ~path:(Filename.concat dir "series.csv") (Telemetry.to_csv tl);
+  write_file ~path:(Filename.concat dir "alerts.csv") (Telemetry.alerts_csv tl)
 
 let summary trace =
   let rows =

@@ -223,3 +223,7 @@ let retry_attempts t = t.retries
 let backoff_time t = t.backoff_ns
 let timeouts t = t.timeouts
 let demand_bypasses t = t.demand_bypasses
+
+let queue_depth t =
+  Queue.length t.demand_q + Queue.length t.background_q
+  + if t.arm_busy then 1 else 0

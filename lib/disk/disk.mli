@@ -106,3 +106,7 @@ val timeouts : t -> int
 val demand_bypasses : t -> int
 (** Demand requests that overtook at least one queued background request —
     how often the two-class arm discipline actually mattered. *)
+
+val queue_depth : t -> int
+(** Requests currently waiting at (or occupying) the arm, both classes —
+    a point-in-time gauge for the telemetry scraper. *)

@@ -62,3 +62,9 @@ let page_writes t = t.page_writes
 let disks t = t.disk_array
 let total_busy_time t =
   Array.fold_left (fun acc d -> acc + Disk.busy_time d) 0 t.disk_array
+
+let queue_depth t =
+  Array.fold_left (fun acc d -> acc + Disk.queue_depth d) 0 t.disk_array
+
+let total_timeouts t =
+  Array.fold_left (fun acc d -> acc + Disk.timeouts d) 0 t.disk_array

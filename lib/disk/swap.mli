@@ -47,3 +47,10 @@ val page_reads : t -> int
 val page_writes : t -> int
 val disks : t -> Disk.t array
 val total_busy_time : t -> Time_ns.t
+
+val queue_depth : t -> int
+(** Requests waiting at (or occupying) any stripe's arm right now —
+    a point-in-time gauge for the telemetry scraper. *)
+
+val total_timeouts : t -> int
+(** Deadline timeouts summed across the stripes. *)

@@ -96,6 +96,10 @@ let account t = Option.map (fun p -> p.Engine.account) t.proc
 let finished t = t.done_
 let reqtrace t = t.reqtrace
 let queue_depth t = Mailbox.length t.queue
+let arrived t = t.arrived
+let completed t = t.completed
+let recorded t = Histogram.count t.hist
+let slo_ok t = t.slo_ok
 
 let index_vpn t key = t.index_seg.As.base_vpn + (key * 8 / t.page_bytes)
 

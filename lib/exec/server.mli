@@ -61,6 +61,18 @@ val queue_depth : t -> int
 (** Current arrival-queue backlog — sampled periodically into the trace
     as a [Queue_depth] counter event. *)
 
+val arrived : t -> int
+val completed : t -> int
+
+val recorded : t -> int
+(** Responses recorded so far (completions past the warm-up skip). *)
+
+val slo_ok : t -> int
+(** Of the recorded responses, those within the SLO.  Together with
+    {!recorded} this gives a running SLO-miss counter the telemetry
+    scraper reads every cadence — {!summary} allocates and is meant for
+    close-out, not per-scrape sampling. *)
+
 val reqtrace : t -> Memhog_sim.Reqtrace.t
 (** The per-request blame layer this server drives (the kernel's, from
     {!Memhog_vm.Os.reqtrace}; {!Memhog_sim.Reqtrace.null} when blame was

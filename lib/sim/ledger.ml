@@ -145,6 +145,8 @@ let null =
   }
 
 let enabled t = t.l_enabled
+let refaults t = t.early_refaulted
+let early_rescues t = t.early_rescued
 
 let site_stats t site =
   match Itbl.find_opt t.sites site with
@@ -344,7 +346,7 @@ let observe t ~time:_ ~stream ev =
     | Queue_depth _ | Phase_begin _ | Phase_end _ | Chaos_disk_fault _
     | Chaos_stall _ | Chaos_drop_directive _ | Chaos_pressure _
     | Chaos_pressure_end _ | Governor_transition _ | Tier_timeout _
-    | Breaker_transition _ ->
+    | Breaker_transition _ | Alert_fire _ | Alert_clear _ ->
         ()
 
 (* ------------------------------------------------------------------ *)

@@ -29,6 +29,15 @@ val null : t
 
 val enabled : t -> bool
 
+val refaults : t -> int
+(** Running count of too-early releases that hard-refaulted — the same
+    total {!summarize} reports as [ls_early_refaulted], but O(1): cheap
+    enough for a telemetry probe to read every scrape. *)
+
+val early_rescues : t -> int
+(** Running count of too-early releases rescued from the free list
+    ([ls_early_rescued]), also O(1). *)
+
 val observe : t -> time:Time_ns.t -> stream:int -> Trace.event -> unit
 (** Feed one event.  [stream] follows the {!Trace.emit} convention: the
     acting process's pid for application-stream events; daemon-side events

@@ -47,6 +47,9 @@ type event =
   | Tier_failover of { page : int; tier_from : int; tier_to : int }
   | Tier_rescue of { page : int; site : int }
   | Breaker_transition of { tier : int; state_from : int; state_to : int }
+  (* Telemetry alert rules ({!Telemetry}). *)
+  | Alert_fire of { rule : string; value_ppm : int }
+  | Alert_clear of { rule : string; value_ppm : int }
 
 let no_site = -1
 
@@ -170,6 +173,8 @@ let event_name = function
   | Tier_failover _ -> "tier_failover"
   | Tier_rescue _ -> "tier_rescue"
   | Breaker_transition _ -> "breaker_transition"
+  | Alert_fire _ -> "alert_fire"
+  | Alert_clear _ -> "alert_clear"
 
 let event_args = function
   | Hard_fault { vpn }
@@ -288,6 +293,8 @@ let event_args = function
         ("state_from", string_of_int state_from);
         ("state_to", string_of_int state_to);
       ]
+  | Alert_fire { rule; value_ppm } | Alert_clear { rule; value_ppm } ->
+      [ ("rule", rule); ("value_ppm", string_of_int value_ppm) ]
 
 let counts t =
   let tbl = Hashtbl.create 32 in
@@ -313,3 +320,4 @@ let kernel_stream = -4
 let chaos_stream = -5
 let disk_stream = -6
 let tier_stream = -7
+let telemetry_stream = -8

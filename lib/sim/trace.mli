@@ -97,6 +97,13 @@ type event =
       (** a read against a dead tier was served from its failover copy *)
   | Breaker_transition of { tier : int; state_from : int; state_to : int }
       (** circuit-breaker edge; states are 0=closed, 1=half-open, 2=open *)
+  (* Telemetry alert rules ({!Telemetry}). *)
+  | Alert_fire of { rule : string; value_ppm : int }
+      (** an alert rule crossed its fire threshold; [value_ppm] is the
+          signal value scaled by 1e6 (exact enough for a trace, and keeps
+          the payload an immediate) *)
+  | Alert_clear of { rule : string; value_ppm : int }
+      (** the rule crossed back over its clear threshold *)
 
 val no_site : int
 (** Site id (-1) for events not attributable to a compiler directive. *)
@@ -168,3 +175,6 @@ val disk_stream : int
 
 val tier_stream : int
 (** tiered-backing-store router and breaker events: -7 *)
+
+val telemetry_stream : int
+(** telemetry alert fire/clear events: -8 *)

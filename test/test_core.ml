@@ -115,13 +115,20 @@ let test_run_produces_telemetry () =
   let r =
     E.run (E.setup ~machine:Machine.quick ~workload:wl ~variant:E.O ~iterations:1 ())
   in
+  let tl = r.E.r_telemetry in
+  let module Telemetry = Memhog_sim.Telemetry in
   check_bool "free series sampled" true
-    (match List.assoc_opt "free" r.E.r_series with
-    | Some s -> Memhog_sim.Series.length s > 10
+    (match Telemetry.summary_of tl "free" with
+    | Some s -> s.Telemetry.ts_samples > 10
     | None -> false);
-  check_bool "rss series sampled" true (List.mem_assoc "app-rss" r.E.r_series);
+  check_bool "rss series sampled" true
+    (Telemetry.summary_of tl "app-rss" <> None);
   check_bool "no interactive series without the task" true
-    (not (List.mem_assoc "inter-rss" r.E.r_series))
+    (Telemetry.summary_of tl "inter-rss" = None);
+  check_bool "trace-drop counter registered" true
+    (Telemetry.summary_of tl "trace-dropped" <> None);
+  check_bool "full probe set off by default" true
+    (Telemetry.summary_of tl "hard-faults" = None)
 
 let () =
   Alcotest.run "memhog_core"

@@ -593,10 +593,15 @@ let test_time_pp_units () =
   Alcotest.(check string) "s" "1.500s" (Time_ns.to_string (Time_ns.ms 1500))
 
 let test_series_single_sample () =
-  let s = Series.create ~name:"one" in
-  Series.add s ~time:5 ~value:42.0;
-  check_bool "renders" true (String.length (Series.sparkline s) > 0);
-  check_bool "mean = value" true (Series.mean s = Some 42.0)
+  let tl = Telemetry.create () in
+  Telemetry.register_gauge tl ~name:"one" (fun () -> 42.0);
+  Telemetry.scrape tl ~time:5;
+  check_bool "renders" true
+    (String.length (Telemetry.sparkline tl "one") > 0);
+  check_bool "mean = value" true
+    (match Telemetry.summary_of tl "one" with
+    | Some s -> s.Telemetry.ts_mean = 42.0
+    | None -> false)
 
 let test_account_busy_total () =
   let a = Account.create () in
@@ -609,36 +614,52 @@ let test_account_busy_total () =
   check_int "reset" 0 (Account.total a)
 
 (* ------------------------------------------------------------------ *)
-(* Series                                                              *)
+(* Telemetry series                                                    *)
 (* ------------------------------------------------------------------ *)
 
+let scrape_values ?capacity values =
+  (* One gauge driven through a ref, scraped once per value. *)
+  let tl = Telemetry.create ?capacity () in
+  let v = ref 0.0 in
+  Telemetry.register_gauge tl ~name:"x" (fun () -> !v);
+  List.iteri
+    (fun i value ->
+      v := value;
+      Telemetry.scrape tl ~time:(i * 100))
+    values;
+  tl
+
 let test_series_stats () =
-  let s = Series.create ~name:"free" in
-  check_bool "empty" true (Series.is_empty s);
-  check_bool "no min" true (Series.min_value s = None);
-  Series.add s ~time:0 ~value:10.0;
-  Series.add s ~time:100 ~value:30.0;
-  Series.add s ~time:200 ~value:20.0;
-  check_int "length" 3 (Series.length s);
-  check_bool "min" true (Series.min_value s = Some 10.0);
-  check_bool "max" true (Series.max_value s = Some 30.0);
-  check_bool "mean" true (Series.mean s = Some 20.0);
-  check_bool "last" true (Series.last s = Some 20.0)
+  let tl = Telemetry.create () in
+  Telemetry.register_gauge tl ~name:"free" (fun () -> 0.0);
+  check_bool "empty summary" true
+    (match Telemetry.summary_of tl "free" with
+    | Some s -> s.Telemetry.ts_samples = 0 && s.Telemetry.ts_min = 0.0
+    | None -> false);
+  let tl = scrape_values [ 10.0; 30.0; 20.0 ] in
+  match Telemetry.summary_of tl "x" with
+  | None -> Alcotest.fail "series missing"
+  | Some s ->
+      check_int "length" 3 s.Telemetry.ts_samples;
+      check_bool "min" true (s.Telemetry.ts_min = 10.0);
+      check_bool "max" true (s.Telemetry.ts_max = 30.0);
+      check_bool "mean" true (s.Telemetry.ts_mean = 20.0);
+      check_bool "last" true (s.Telemetry.ts_last = 20.0)
 
 let test_series_ordering_enforced () =
-  let s = Series.create ~name:"x" in
-  Series.add s ~time:100 ~value:1.0;
+  let tl = Telemetry.create () in
+  Telemetry.register_gauge tl ~name:"x" (fun () -> 1.0);
+  Telemetry.scrape tl ~time:100;
   Alcotest.check_raises "backwards time"
-    (Invalid_argument "Series.add: time went backwards") (fun () ->
-      Series.add s ~time:50 ~value:2.0)
+    (Invalid_argument "Telemetry.scrape: time went backwards") (fun () ->
+      Telemetry.scrape tl ~time:50)
 
 let test_series_sparkline () =
-  let s = Series.create ~name:"x" in
-  check_bool "empty render" true (Series.sparkline s = "(no samples)");
-  for i = 0 to 99 do
-    Series.add s ~time:(i * 10) ~value:(float_of_int i)
-  done;
-  let line = Series.sparkline ~width:10 s in
+  let tl = Telemetry.create () in
+  Telemetry.register_gauge tl ~name:"x" (fun () -> 0.0);
+  check_bool "empty render" true (Telemetry.sparkline tl "x" = "(no samples)");
+  let tl = scrape_values (List.init 100 float_of_int) in
+  let line = Telemetry.sparkline ~width:10 tl "x" in
   check_bool "nonempty" true (String.length line > 0);
   (* a rising series renders with the last bucket at full height *)
   let is_suffix suffix str =
@@ -651,11 +672,12 @@ let prop_series_mean_bounded =
   QCheck.Test.make ~name:"series mean lies between min and max" ~count:200
     QCheck.(list_of_size (Gen.int_range 1 50) (float_bound_inclusive 1000.0))
     (fun values ->
-      let s = Series.create ~name:"p" in
-      List.iteri (fun i v -> Series.add s ~time:i ~value:v) values;
-      match (Series.min_value s, Series.mean s, Series.max_value s) with
-      | Some mn, Some av, Some mx -> mn <= av +. 1e-9 && av <= mx +. 1e-9
-      | _ -> false)
+      let tl = scrape_values values in
+      match Telemetry.summary_of tl "x" with
+      | Some s ->
+          s.Telemetry.ts_min <= s.Telemetry.ts_mean +. 1e-9
+          && s.Telemetry.ts_mean <= s.Telemetry.ts_max +. 1e-9
+      | None -> false)
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 

@@ -256,14 +256,23 @@ let test_chrome_export_live_parses_shape () =
     (String.length json >= 3 && String.sub json (String.length json - 3) 3 = "}}\n")
 
 let test_series_csv () =
-  let s = Series.create ~name:"free" in
-  Series.add s ~time:(Time_ns.us 1) ~value:32.0;
-  Series.add s ~time:(Time_ns.us 2) ~value:16.5;
-  let r = Series.create ~name:"rss" in
-  Series.add r ~time:(Time_ns.us 3) ~value:7.0;
-  let csv = Trace_export.series_to_csv [ ("free", s); ("rss", r) ] in
+  let tl = Telemetry.create () in
+  let free = ref 0.0 and rss = ref 0.0 in
+  Telemetry.register_gauge tl ~name:"free" (fun () -> !free);
+  Telemetry.register_gauge tl ~name:"rss" (fun () -> !rss);
+  free := 32.0;
+  rss := 7.0;
+  Telemetry.scrape tl ~time:(Time_ns.us 1);
+  free := 16.5;
+  Telemetry.scrape tl ~time:(Time_ns.us 2);
+  let csv = Telemetry.to_csv tl in
   check_string "csv"
-    "series,time_ns,value\nfree,1000,32\nfree,2000,16.5\nrss,3000,7\n" csv
+    "series,time_ns,value\n\
+     free,1000,32\n\
+     free,2000,16.5\n\
+     rss,1000,7\n\
+     rss,2000,7\n"
+    csv
 
 let test_summary_mentions_tallies () =
   let trace = traced_run () in
